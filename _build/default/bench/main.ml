@@ -1,0 +1,393 @@
+(* Benchmark harness reproducing the paper's evaluation (§8).
+
+   Regenerates:
+   - Figure 7: Rader's multiplicative overhead over running each benchmark
+     WITHOUT instrumentation, for the four detector configurations
+     (Check view-read race / No steals / Check updates / Check reductions);
+   - Figure 8: the same runs normalized to the EMPTY TOOL (instrumentation
+     dispatching to no-op callbacks);
+   - S1: the §7 steal-specification family sizes (Theorems 6 & 7 shapes);
+   - S2: SP+ running time as the number of simulated steals M grows
+     (the O((T + Mτ) α) cost model of Theorem 5);
+   - S3: work-stealing simulator speedup sanity (T₁/T_p);
+   plus a bechamel micro-benchmark group per figure table.
+
+   Environment knobs:
+     RADER_BENCH_SCALE      workload multiplier (default 4.0)
+     RADER_BENCH_FAST=1     scale 1.0 and skip bechamel (CI smoke)
+     RADER_BENCH_SKIP_BECHAMEL=1 *)
+
+open Rader_runtime
+open Rader_core
+open Rader_benchsuite
+module Stats = Rader_support.Stats
+module Tablefmt = Rader_support.Tablefmt
+module Rng = Rader_support.Rng
+
+let fast = Sys.getenv_opt "RADER_BENCH_FAST" = Some "1"
+
+let scale =
+  if fast then 1.0
+  else
+    match Sys.getenv_opt "RADER_BENCH_SCALE" with
+    | Some s -> float_of_string s
+    | None -> 4.0
+
+let skip_bechamel = fast || Sys.getenv_opt "RADER_BENCH_SKIP_BECHAMEL" = Some "1"
+
+(* Adaptive min-of-n timing: repeat until enough total time or reps. *)
+let measure f =
+  let min_total = if fast then 0.05 else 0.4 in
+  let max_reps = if fast then 3 else 9 in
+  let best = ref infinity in
+  let total = ref 0.0 in
+  let reps = ref 0 in
+  while !reps < 3 || (!total < min_total && !reps < max_reps) do
+    let _, dt = Stats.time_it f in
+    if dt < !best then best := dt;
+    total := !total +. dt;
+    incr reps
+  done;
+  !best
+
+(* ---------- detector configurations (paper Fig. 7 columns) ---------- *)
+
+type mode = {
+  mode_name : string;
+  run : Bench_def.t -> k:int -> int;
+      (** executes the benchmark once under this configuration *)
+}
+
+let with_detector attach ?(spec = Steal_spec.none) b =
+  let eng = Engine.create ~spec () in
+  attach eng;
+  Engine.run eng b.Bench_def.cilk
+
+let spec_updates ~k =
+  (* "steals at continuation depth that's half of the maximum sync block
+     size" (§8) *)
+  Steal_spec.at_local_indices ~policy:Steal_spec.Reduce_eagerly [ max 1 (k / 2) ]
+
+let spec_reductions ~k ~seed =
+  (* three random continuation positions per sync block, middle pair
+     reduced first (§8's random steal points) *)
+  let rng = Rng.create seed in
+  let pick () = 1 + Rng.int rng (max 1 k) in
+  let rec distinct3 () =
+    let a = pick () and b = pick () and c = pick () in
+    if a <> b && b <> c && a <> c then List.sort compare [ a; b; c ]
+    else if k < 3 then [ 1; 2; 3 ]
+    else distinct3 ()
+  in
+  Steal_spec.at_local_indices
+    ~policy:(Steal_spec.Reduce_schedule (fun ord -> if ord = 3 then 1 else 0))
+    (distinct3 ())
+
+let modes =
+  [
+    { mode_name = "plain"; run = (fun b ~k:_ -> b.Bench_def.plain ()) };
+    {
+      mode_name = "empty tool";
+      run = (fun b ~k:_ -> with_detector (fun _ -> ()) b);
+    };
+    {
+      mode_name = "Check view-read race";
+      run = (fun b ~k:_ -> with_detector (fun eng -> ignore (Peer_set.attach eng)) b);
+    };
+    {
+      mode_name = "No steals";
+      run = (fun b ~k:_ -> with_detector (fun eng -> ignore (Sp_plus.attach eng)) b);
+    };
+    {
+      mode_name = "Check updates";
+      run =
+        (fun b ~k ->
+          with_detector (fun eng -> ignore (Sp_plus.attach eng)) ~spec:(spec_updates ~k) b);
+    };
+    {
+      mode_name = "Check reductions";
+      run =
+        (fun b ~k ->
+          with_detector
+            (fun eng -> ignore (Sp_plus.attach eng))
+            ~spec:(spec_reductions ~k ~seed:20150613)
+            b);
+    };
+  ]
+
+type row = {
+  bench : Bench_def.t;
+  k : int;
+  d : int;
+  times : (string * float) list; (* mode -> best seconds *)
+}
+
+let time_suite () =
+  let suite = Suite.all ~scale () in
+  List.map
+    (fun b ->
+      Printf.printf "timing %-10s ...%!" b.Bench_def.name;
+      let prof = Coverage.profile b.Bench_def.cilk in
+      let k = prof.Coverage.k in
+      (* correctness check: every mode must return the plain checksum *)
+      let expected = b.Bench_def.plain () in
+      List.iter
+        (fun m ->
+          let got = m.run b ~k in
+          if got <> expected then
+            failwith
+              (Printf.sprintf "%s/%s: checksum mismatch" b.Bench_def.name m.mode_name))
+        modes;
+      let times = List.map (fun m -> (m.mode_name, measure (fun () -> m.run b ~k))) modes in
+      Printf.printf " done\n%!";
+      { bench = b; k; d = prof.Coverage.d; times })
+    suite
+
+let ratio row m base = List.assoc m row.times /. List.assoc base row.times
+
+let overhead_table ~title ~base rows =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=');
+  let cols = [ "Check view-read race"; "No steals"; "Check updates"; "Check reductions" ] in
+  let t = Tablefmt.create ([ "Benchmark"; "Input size"; "Description" ] @ cols) in
+  List.iter
+    (fun row ->
+      Tablefmt.add_row t
+        ([
+           row.bench.Bench_def.name;
+           row.bench.Bench_def.input;
+           row.bench.Bench_def.descr;
+         ]
+        @ List.map (fun c -> Tablefmt.cell_f (ratio row c base)) cols))
+    rows;
+  Tablefmt.add_rule t;
+  let geo c = Stats.geomean (List.map (fun r -> ratio r c base) rows) in
+  Tablefmt.add_row t
+    ([ "geometric mean"; ""; "" ] @ List.map (fun c -> Tablefmt.cell_f (geo c)) cols);
+  let lo, hi =
+    Stats.min_max (List.concat_map (fun r -> List.map (fun c -> ratio r c base) cols) rows)
+  in
+  Tablefmt.add_row t
+    [ "range"; ""; ""; Printf.sprintf "%.2f - %.2f" lo hi ];
+  Tablefmt.print t
+
+let base_times_table rows =
+  Printf.printf "\nAbsolute base times (best of n)\n-------------------------------\n";
+  let t = Tablefmt.create [ "Benchmark"; "K"; "D"; "plain (s)"; "empty tool (s)" ] in
+  List.iter
+    (fun row ->
+      Tablefmt.add_row t
+        [
+          row.bench.Bench_def.name;
+          string_of_int row.k;
+          string_of_int row.d;
+          Printf.sprintf "%.5f" (List.assoc "plain" row.times);
+          Printf.sprintf "%.5f" (List.assoc "empty tool" row.times);
+        ])
+    rows;
+  Tablefmt.print t
+
+(* ---------- S1: §7 steal-specification family sizes ---------- *)
+
+let s1_spec_families rows =
+  Printf.printf
+    "\nS1: coverage steal-specification family sizes (Theorems 6 & 7)\n\
+     ---------------------------------------------------------------\n";
+  let t =
+    Tablefmt.create [ "K"; "update specs (K+D+1, D=4)"; "reduction specs"; "K^3/6" ]
+  in
+  List.iter
+    (fun k ->
+      Tablefmt.add_row t
+        [
+          string_of_int k;
+          string_of_int (List.length (Coverage.specs_for_updates ~k ~d:4));
+          string_of_int (List.length (Coverage.specs_for_reductions ~k));
+          string_of_int (k * k * k / 6);
+        ])
+    [ 2; 4; 8; 12; 16; 24; 32 ];
+  Tablefmt.print t;
+  Printf.printf "\nPer-benchmark profile (K = max continuations per sync block):\n";
+  let t = Tablefmt.create [ "Benchmark"; "K"; "D"; "specs for full coverage" ] in
+  List.iter
+    (fun row ->
+      Tablefmt.add_row t
+        [
+          row.bench.Bench_def.name;
+          string_of_int row.k;
+          string_of_int row.d;
+          string_of_int (List.length (Coverage.all_specs ~k:row.k ~d:row.d));
+        ])
+    rows;
+  Tablefmt.print t
+
+(* ---------- S2: SP+ cost vs number of steals (Theorem 5) ---------- *)
+
+let s2_steal_sweep () =
+  Printf.printf
+    "\nS2: SP+ running time vs simulated steals M (fib workload)\n\
+     ---------------------------------------------------------\n";
+  let b = Suite.find ~scale:(Float.min scale 2.0) "fib" in
+  let t = Tablefmt.create [ "steal density"; "steals M"; "reduce calls"; "time (s)"; "vs M=0" ] in
+  let base = ref None in
+  List.iter
+    (fun density ->
+      let spec =
+        if density = 0.0 then Steal_spec.none
+        else Steal_spec.random ~seed:7 ~density ()
+      in
+      let run () =
+        let eng = Engine.create ~spec () in
+        ignore (Sp_plus.attach eng);
+        ignore (Engine.run eng b.Bench_def.cilk);
+        Engine.stats eng
+      in
+      let stats = run () in
+      let dt = measure (fun () -> ignore (run ())) in
+      let b0 = match !base with None -> base := Some dt; dt | Some b0 -> b0 in
+      Tablefmt.add_row t
+        [
+          Printf.sprintf "%.2f" density;
+          string_of_int stats.Engine.n_steals;
+          string_of_int stats.Engine.n_reduce_calls;
+          Printf.sprintf "%.4f" dt;
+          Tablefmt.cell_f (dt /. b0);
+        ])
+    [ 0.0; 0.05; 0.1; 0.25; 0.5; 0.75; 1.0 ];
+  Tablefmt.print t
+
+(* ---------- S3: work-stealing simulator speedup ---------- *)
+
+let s3_wsim () =
+  Printf.printf
+    "\nS3: simulated work-stealing speedup (pbfs dag, unit-cost strands)\n\
+     -----------------------------------------------------------------\n";
+  let b = Suite.find ~scale:(Float.min scale 1.0) "pbfs" in
+  let eng = Engine.create ~record:true () in
+  ignore (Engine.run eng b.Bench_def.cilk);
+  let t = Tablefmt.create [ "workers"; "makespan T_p"; "speedup T1/T_p"; "steals" ] in
+  let t1 = ref 0 in
+  List.iter
+    (fun p ->
+      let res = Rader_sched.Wsim.simulate ~workers:p ~seed:42 eng in
+      if p = 1 then t1 := res.Rader_sched.Wsim.makespan;
+      Tablefmt.add_row t
+        [
+          string_of_int p;
+          string_of_int res.Rader_sched.Wsim.makespan;
+          Printf.sprintf "%.2f"
+            (float_of_int !t1 /. float_of_int res.Rader_sched.Wsim.makespan);
+          string_of_int res.Rader_sched.Wsim.n_steals;
+        ])
+    [ 1; 2; 4; 8; 16 ];
+  Tablefmt.print t
+
+(* ---------- S4: detector comparison on view-oblivious workloads ---------- *)
+
+let s4_detector_comparison () =
+  Printf.printf
+    "\nS4: serial detector comparison on reducer-free workloads\n\
+     (overhead over the empty tool; SP-bags/SP-order/offset-span are the\n\
+     related-work baselines of §9, SP+ degenerates to SP-bags here)\n\
+     --------------------------------------------------------------\n";
+  let workloads =
+    [
+      Bm_oblivious.fib_futures ~n:(if fast then 18 else 21);
+      Bm_oblivious.stencil ~seed:1
+        ~n:(if fast then 4096 else 16384)
+        ~rounds:(if fast then 4 else 8)
+        ~grain:32;
+    ]
+  in
+  let detectors =
+    [
+      ("empty", fun _ -> ());
+      ("SP-bags", fun eng -> ignore (Sp_bags.attach eng));
+      ("SP-order", fun eng -> ignore (Sp_order.attach eng));
+      ("offset-span", fun eng -> ignore (Offset_span.attach eng));
+      ("SP+", fun eng -> ignore (Sp_plus.attach eng));
+    ]
+  in
+  let t =
+    Tablefmt.create
+      ("Workload" :: "Input" :: List.map fst (List.tl detectors))
+  in
+  List.iter
+    (fun b ->
+      let time_of attach =
+        measure (fun () ->
+            let eng = Engine.create () in
+            attach eng;
+            ignore (Engine.run eng b.Bench_def.cilk))
+      in
+      let base = time_of (fun _ -> ()) in
+      Tablefmt.add_row t
+        (b.Bench_def.name :: b.Bench_def.input
+        :: List.filter_map
+             (fun (name, attach) ->
+               if name = "empty" then None
+               else Some (Tablefmt.cell_f (time_of attach /. base)))
+             detectors))
+    workloads;
+  Tablefmt.print t
+
+(* ---------- bechamel micro-benchmarks: one Test.make per table ---------- *)
+
+let bechamel_tables () =
+  let open Bechamel in
+  let tiny = Suite.all ~scale:0.25 () in
+  let mk_fig7 b =
+    Test.make ~name:b.Bench_def.name
+      (Staged.stage (fun () ->
+           let eng = Engine.create () in
+           ignore (Sp_plus.attach eng);
+           ignore (Engine.run eng b.Bench_def.cilk)))
+  in
+  let mk_fig8 b =
+    Test.make ~name:b.Bench_def.name
+      (Staged.stage (fun () ->
+           let eng = Engine.create () in
+           ignore (Engine.run eng b.Bench_def.cilk)))
+  in
+  let grouped =
+    Test.make_grouped ~name:"bechamel"
+      [
+        Test.make_grouped ~name:"fig7-sp+" (List.map mk_fig7 tiny);
+        Test.make_grouped ~name:"fig8-empty-tool" (List.map mk_fig8 tiny);
+      ]
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.3) ~stabilize:false () in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Printf.printf
+    "\nBechamel micro-benchmarks (ns per whole-benchmark run, tiny inputs)\n\
+     -------------------------------------------------------------------\n";
+  let t = Tablefmt.create [ "test"; "ns/run"; "r^2" ] in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      let est =
+        match Analyze.OLS.estimates ols with Some [ e ] -> e | _ -> nan
+      in
+      let r2 = match Analyze.OLS.r_square ols with Some r -> r | None -> nan in
+      Tablefmt.add_row t
+        [ name; Printf.sprintf "%.0f" est; Printf.sprintf "%.4f" r2 ])
+    (List.sort compare rows);
+  Tablefmt.print t
+
+let () =
+  Printf.printf
+    "Rader/OCaml benchmark harness — reproducing Lee & Schardl, SPAA'15 §8\n\
+     scale=%.2f fast=%b\n\n%!"
+    scale fast;
+  let rows = time_suite () in
+  overhead_table ~title:"Figure 7: overhead over no instrumentation" ~base:"plain" rows;
+  overhead_table ~title:"Figure 8: overhead over an empty tool" ~base:"empty tool" rows;
+  base_times_table rows;
+  s1_spec_families rows;
+  s2_steal_sweep ();
+  s3_wsim ();
+  s4_detector_comparison ();
+  if not skip_bechamel then bechamel_tables ();
+  Printf.printf "\ndone.\n"

@@ -1,0 +1,389 @@
+(* rader — command-line driver for the Rader/OCaml race detectors.
+
+   Subcommands:
+     rader check    run a benchmark or demo under a detector + steal spec
+     rader coverage run the §7 exhaustive steal-specification enumeration
+     rader fuzz     run under simulated work-stealing schedules
+     rader sim      work-stealing simulator speedup table
+     rader dag      dump the (performance) dag of a program as Graphviz dot *)
+
+open Cmdliner
+open Rader_runtime
+open Rader_core
+open Rader_benchsuite
+
+(* ---------- programs addressable from the CLI ---------- *)
+
+let update_list ctx n list =
+  Cilk.call ctx (fun ctx ->
+      let red = Reducer.create ctx (Mylist.monoid ()) ~init:(Mylist.empty ctx) in
+      Reducer.set_value ctx red list;
+      let _ = Cilk.spawn ctx (fun ctx -> ignore ctx) in
+      Cilk.parallel_for ctx ~lo:0 ~hi:n (fun ctx i ->
+          Reducer.update ctx red (fun c l ->
+              Mylist.insert c l i;
+              l));
+      Cilk.sync ctx;
+      Reducer.get_value ctx red)
+
+let fig1 ~buggy ctx =
+  let list = Mylist.empty ctx in
+  List.iter (Mylist.insert ctx list) [ 10; 20; 30 ];
+  let copy = (if buggy then Mylist.shallow_copy else Mylist.deep_copy) ctx list in
+  let len = Cilk.spawn ctx (fun ctx -> Mylist.scan ctx list) in
+  let _ = update_list ctx 6 copy in
+  Cilk.sync ctx;
+  Cilk.get ctx len
+
+let racy_read ctx =
+  let r = Rmonoid.new_int_add ctx ~init:0 in
+  ignore
+    (Cilk.spawn ctx (fun ctx ->
+         Cilk.parallel_for ctx ~lo:1 ~hi:33 (fun ctx i -> Rmonoid.add ctx r i)));
+  let v = Rmonoid.int_cell_value ctx r in
+  Cilk.sync ctx;
+  v
+
+let demo_names = [ "fig1-buggy"; "fig1-fixed"; "racy-read"; "nqueens" ]
+
+let program_names () = demo_names @ Suite.names
+
+let resolve_program ~scale name : Engine.ctx -> int =
+  match name with
+  | "fig1-buggy" -> fig1 ~buggy:true
+  | "fig1-fixed" -> fig1 ~buggy:false
+  | "racy-read" -> racy_read
+  | "nqueens" ->
+      (Bm_nqueens.bench ~n:(7 + int_of_float scale) ~spawn_depth:3).Bench_def.cilk
+  | name -> (
+      match Suite.find ~scale name with
+      | b -> b.Bench_def.cilk
+      | exception Not_found ->
+          Printf.eprintf "unknown program %S; try one of: %s\n" name
+            (String.concat ", " (program_names ()));
+          exit 2)
+
+(* ---------- common options ---------- *)
+
+let program_arg =
+  let doc =
+    "Program to analyze: a benchmark ("
+    ^ String.concat ", " Suite.names
+    ^ ") or a demo (" ^ String.concat ", " demo_names ^ ")."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
+
+let scale_arg =
+  Arg.(value & opt float 0.25 & info [ "scale" ] ~docv:"X" ~doc:"Workload scale factor.")
+
+let seed_arg =
+  Arg.(value & opt int 20150613 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let spec_arg =
+  let doc =
+    "Steal specification: $(b,none), $(b,all), $(b,random) (with --density), or a \
+     comma-separated list of sync-block continuation indices, e.g. $(b,1,2,3)."
+  in
+  Arg.(value & opt string "none" & info [ "steal"; "s" ] ~docv:"SPEC" ~doc)
+
+let density_arg =
+  Arg.(
+    value
+    & opt float 0.5
+    & info [ "density" ] ~docv:"P" ~doc:"Steal probability for --steal random.")
+
+let parse_spec ~seed ~density = function
+  | "none" -> Steal_spec.none
+  | "all" -> Steal_spec.all ()
+  | "random" -> Steal_spec.random ~seed ~density ()
+  | s -> (
+      try
+        let idxs = List.map int_of_string (String.split_on_char ',' s) in
+        Steal_spec.at_local_indices ~policy:Steal_spec.Reduce_eagerly idxs
+      with _ ->
+        Printf.eprintf "cannot parse steal spec %S\n" s;
+        exit 2)
+
+let detector_arg =
+  let detector_conv =
+    Arg.enum
+      [
+        ("peerset", `Peerset);
+        ("spbags", `Spbags);
+        ("sporder", `Sporder);
+        ("offsetspan", `Offsetspan);
+        ("sp+", `Spplus);
+      ]
+  in
+  Arg.(
+    value
+    & opt detector_conv `Spplus
+    & info [ "detector"; "d" ] ~docv:"NAME"
+        ~doc:
+          "Detector: $(b,peerset), $(b,spbags), $(b,sporder), $(b,offsetspan) \
+           or $(b,sp+).")
+
+(* ---------- check ---------- *)
+
+let do_check program scale seed spec_str density detector =
+  let spec = parse_spec ~seed ~density spec_str in
+  let prog = resolve_program ~scale program in
+  let eng = Engine.create ~spec () in
+  let races =
+    match detector with
+    | `Peerset ->
+        let d = Peer_set.attach eng in
+        fun () -> Peer_set.races d
+    | `Spbags ->
+        let d = Sp_bags.attach eng in
+        fun () -> Sp_bags.races d
+    | `Sporder ->
+        let d = Sp_order.attach eng in
+        fun () -> Sp_order.races d
+    | `Offsetspan ->
+        let d = Offset_span.attach eng in
+        fun () -> Offset_span.races d
+    | `Spplus ->
+        let d = Sp_plus.attach eng in
+        fun () -> Sp_plus.races d
+  in
+  let value = Engine.run eng prog in
+  let stats = Engine.stats eng in
+  Printf.printf
+    "program %s finished (result %d)\n\
+     %d frames, %d spawns, %d steals, %d reduce ops, %d accesses\n"
+    program value stats.Engine.n_frames stats.Engine.n_spawns stats.Engine.n_steals
+    stats.Engine.n_reduce_calls
+    (stats.Engine.n_reads + stats.Engine.n_writes);
+  match races () with
+  | [] ->
+      print_endline "no races detected";
+      0
+  | races ->
+      Printf.printf "%d race(s):\n" (List.length races);
+      List.iter (fun r -> Printf.printf "  %s\n" (Report.to_string r)) races;
+      1
+
+let check_cmd =
+  let doc = "Run a program under a detector and steal specification." in
+  Cmd.v
+    (Cmd.info "check" ~doc)
+    Term.(
+      const do_check $ program_arg $ scale_arg $ seed_arg $ spec_arg $ density_arg
+      $ detector_arg)
+
+(* ---------- coverage ---------- *)
+
+let do_coverage program scale verbose =
+  let prog = resolve_program ~scale program in
+  let res = Coverage.exhaustive_check prog in
+  Printf.printf "profile: K=%d D=%d spawns=%d; %d steal specifications\n"
+    res.Coverage.prof.Coverage.k res.Coverage.prof.Coverage.d
+    res.Coverage.prof.Coverage.n_spawns res.Coverage.n_specs;
+  if verbose then
+    List.iter
+      (fun ((spec : Steal_spec.t), locs) ->
+        if locs <> [] then
+          Printf.printf "  %s -> %d racy location(s)\n" spec.Steal_spec.name
+            (List.length locs))
+      res.Coverage.per_spec;
+  match res.Coverage.reports with
+  | [] ->
+      print_endline "no determinacy races under any specification";
+      0
+  | reports ->
+      Printf.printf "%d racy location(s):\n" (List.length reports);
+      List.iter
+        (fun r ->
+          Printf.printf "  %s\n" (Report.to_string r);
+          match Coverage.witness_spec res r.Report.subject with
+          | Some spec ->
+              Printf.printf "    reproduce with: --steal %s\n" spec.Steal_spec.name
+          | None -> ())
+        reports;
+      1
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print per-specification results.")
+
+let coverage_cmd =
+  let doc = "Exhaustively check every possible view-aware strand (paper §7)." in
+  Cmd.v (Cmd.info "coverage" ~doc) Term.(const do_coverage $ program_arg $ scale_arg $ verbose_arg)
+
+(* ---------- fuzz ---------- *)
+
+let do_fuzz program scale seed runs workers =
+  let prog = resolve_program ~scale program in
+  let seeds = List.init runs (fun i -> seed + i) in
+  let outs = Rader_sched.Schedule_gen.fuzz prog ~workers ~seeds in
+  let values = List.sort_uniq compare (List.map snd outs) in
+  Printf.printf "%d schedules (%d workers) -> %d distinct result(s)\n"
+    (List.length outs) workers (List.length values);
+  List.iter
+    (fun v ->
+      let names =
+        List.filter_map (fun (n, v') -> if v = v' then Some n else None) outs
+      in
+      Printf.printf "  %d  (%d schedules, e.g. %s)\n" v (List.length names)
+        (List.hd names))
+    values;
+  if List.length values > 1 then 1 else 0
+
+let runs_arg =
+  Arg.(value & opt int 16 & info [ "runs"; "n" ] ~docv:"N" ~doc:"Number of schedules.")
+
+let workers_arg =
+  Arg.(value & opt int 8 & info [ "workers"; "p" ] ~docv:"P" ~doc:"Simulated workers.")
+
+let fuzz_cmd =
+  let doc = "Run under randomized simulated work-stealing schedules." in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc)
+    Term.(const do_fuzz $ program_arg $ scale_arg $ seed_arg $ runs_arg $ workers_arg)
+
+(* ---------- sim ---------- *)
+
+let do_sim program scale seed =
+  let prog = resolve_program ~scale program in
+  let eng = Engine.create ~record:true () in
+  ignore (Engine.run eng prog);
+  Printf.printf "workers  makespan  speedup  steals\n";
+  let t1 = ref 0 in
+  List.iter
+    (fun p ->
+      let res = Rader_sched.Wsim.simulate ~workers:p ~seed eng in
+      if p = 1 then t1 := res.Rader_sched.Wsim.makespan;
+      Printf.printf "%7d %9d %8.2f %7d\n" p res.Rader_sched.Wsim.makespan
+        (float_of_int !t1 /. float_of_int res.Rader_sched.Wsim.makespan)
+        res.Rader_sched.Wsim.n_steals)
+    [ 1; 2; 4; 8; 16; 32 ];
+  0
+
+let sim_cmd =
+  let doc = "Simulate randomized work stealing over the recorded dag." in
+  Cmd.v (Cmd.info "sim" ~doc) Term.(const do_sim $ program_arg $ scale_arg $ seed_arg)
+
+(* ---------- dag ---------- *)
+
+let do_dag program scale seed spec_str density output =
+  let spec = parse_spec ~seed ~density spec_str in
+  let prog = resolve_program ~scale program in
+  let eng = Engine.create ~spec ~record:true () in
+  ignore (Engine.run eng prog);
+  let dot = Rader_dag.Dag.to_dot (Option.get (Engine.dag eng)) in
+  (match output with
+  | None -> print_string dot
+  | Some path ->
+      let oc = open_out path in
+      output_string oc dot;
+      close_out oc;
+      Printf.printf "wrote %s\n" path);
+  0
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Write dot to FILE instead of stdout.")
+
+let dag_cmd =
+  let doc = "Dump the performance dag of an execution as Graphviz dot." in
+  Cmd.v
+    (Cmd.info "dag" ~doc)
+    Term.(
+      const do_dag $ program_arg $ scale_arg $ seed_arg $ spec_arg $ density_arg
+      $ output_arg)
+
+(* ---------- tree: canonical SP parse tree (paper Fig. 4) ---------- *)
+
+let do_tree program scale output =
+  let prog = resolve_program ~scale program in
+  let eng = Engine.create ~record:true () in
+  ignore (Engine.run eng prog);
+  let tree = Trace.sp_tree (Trace.of_engine eng) in
+  let dot = Rader_dag.Sp_tree.to_dot tree in
+  (match output with
+  | None -> print_string dot
+  | Some path ->
+      let oc = open_out path in
+      output_string oc dot;
+      close_out oc;
+      Printf.printf "wrote %s\n" path);
+  0
+
+let tree_cmd =
+  let doc = "Dump the canonical SP parse tree of the serial execution as dot." in
+  Cmd.v (Cmd.info "tree" ~doc) Term.(const do_tree $ program_arg $ scale_arg $ output_arg)
+
+(* ---------- record / oracle (offline analysis of saved traces) ---------- *)
+
+let do_record program scale seed spec_str density output =
+  let spec = parse_spec ~seed ~density spec_str in
+  let prog = resolve_program ~scale program in
+  let eng = Engine.create ~spec ~record:true () in
+  ignore (Engine.run eng prog);
+  let tr = Trace.of_engine eng in
+  Trace.save tr output;
+  let stats = Engine.stats eng in
+  Printf.printf "recorded %s under %s: %d strands, %d accesses -> %s\n" program
+    spec_str stats.Engine.n_strands
+    (stats.Engine.n_reads + stats.Engine.n_writes)
+    output;
+  0
+
+let record_output_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Trace file to write.")
+
+let record_cmd =
+  let doc = "Execute a program with full recording and save the trace." in
+  Cmd.v
+    (Cmd.info "record" ~doc)
+    Term.(
+      const do_record $ program_arg $ scale_arg $ seed_arg $ spec_arg $ density_arg
+      $ record_output_arg)
+
+let do_oracle path =
+  let tr = Trace.load path in
+  let vr = Oracle.view_read_races_t tr in
+  let dr = Oracle.determinacy_races_t tr in
+  Printf.printf "trace: %d strands, %d accesses, %d merges\n"
+    (Rader_dag.Dag.n_strands tr.Trace.dag)
+    (List.length tr.Trace.accesses)
+    (List.length tr.Trace.merges);
+  Printf.printf "view-read races: %d reducer(s)%s\n" (List.length vr)
+    (if vr = [] then ""
+     else " — " ^ String.concat ", " (List.map string_of_int vr));
+  Printf.printf "determinacy races: %d location(s)%s\n" (List.length dr)
+    (if dr = [] then ""
+     else
+       " — "
+       ^ String.concat ", "
+           (List.map (fun l -> Printf.sprintf "%d (%s)" l (Trace.loc_label tr l)) dr));
+  if vr = [] && dr = [] then 0 else 1
+
+let trace_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE" ~doc:"Trace file.")
+
+let oracle_cmd =
+  let doc = "Run the brute-force race oracles on a saved trace." in
+  Cmd.v (Cmd.info "oracle" ~doc) Term.(const do_oracle $ trace_arg)
+
+let () =
+  let doc = "race detection for Cilk-style programs that use reducer hyperobjects" in
+  let info = Cmd.info "rader" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            check_cmd;
+            coverage_cmd;
+            fuzz_cmd;
+            sim_cmd;
+            dag_cmd;
+            tree_cmd;
+            record_cmd;
+            oracle_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/coverage_demo.ml: Cell Cilk Coverage Engine List Printf Rader_core Rader_runtime Reducer Report Sp_plus

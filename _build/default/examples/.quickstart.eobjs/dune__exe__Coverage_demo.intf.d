@@ -1,0 +1,1 @@
+examples/coverage_demo.mli:

@@ -1,0 +1,1 @@
+examples/linked_list_race.ml: Cilk Engine List Mylist Printf Rader_core Rader_runtime Reducer Report Sp_bags Sp_plus Steal_spec

@@ -1,0 +1,1 @@
+examples/minimax.ml: Cilk Engine List Peer_set Printf Rader_core Rader_monoid Rader_runtime Reducer Rmonoid Steal_spec

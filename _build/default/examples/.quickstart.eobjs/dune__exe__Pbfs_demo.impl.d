@@ -1,0 +1,1 @@
+examples/pbfs_demo.ml: Bench_def Bm_pbfs Cilk Engine List Peer_set Printf Rader_benchsuite Rader_core Rader_runtime Rader_support Sp_plus Steal_spec

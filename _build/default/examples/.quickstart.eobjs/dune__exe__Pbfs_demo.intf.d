@@ -1,0 +1,1 @@
+examples/pbfs_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cilk Engine List Peer_set Printf Rader_core Rader_runtime Report Rmonoid Steal_spec

@@ -1,0 +1,1 @@
+examples/schedule_fuzz.ml: Cilk List Printf Rader_runtime Rader_sched Rmonoid Schedule_gen String

@@ -1,0 +1,1 @@
+examples/wordcount.ml: Array Cilk Engine List Peer_set Printf Rader_core Rader_monoid Rader_runtime Rader_support Reducer Rmonoid Steal_spec String

@@ -1,0 +1,90 @@
+(* Parallel game-tree search with an arg-max reducer: the root's moves are
+   searched in parallel, each subtree scored serially, and the best
+   (score, move) is folded through an [arg_max] reducer — whose
+   left-biased tie-breaking plus the reducer's serial-order guarantee
+   makes the chosen move deterministic under every schedule, which a
+   naive "compare-and-update a shared best" implementation is not.
+
+   Run with: dune exec examples/minimax.exe *)
+
+open Rader_runtime
+open Rader_core
+module Monoids = Rader_monoid.Monoids
+
+(* A synthetic game: positions are paths of moves; leaf values come from a
+   hash of the path, so the tree is reproducible without game rules. *)
+let branching = 4
+
+let leaf_value path =
+  let h = List.fold_left (fun acc m -> (acc * 31) + m + 17) 1 path in
+  (h * 2654435761) land 1023
+
+let rec minimax path depth maximizing =
+  if depth = 0 then leaf_value path
+  else begin
+    let best = ref (if maximizing then min_int else max_int) in
+    for m = 0 to branching - 1 do
+      let v = minimax (m :: path) (depth - 1) (not maximizing) in
+      if maximizing then best := max !best v else best := min !best v
+    done;
+    !best
+  end
+
+let search_parallel ~depth spec =
+  Cilk.exec ~spec (fun ctx ->
+      let best =
+        Reducer.create ctx
+          (Rmonoid.of_pure (Monoids.arg_max ()))
+          ~init:None
+      in
+      Cilk.parallel_for ctx ~lo:0 ~hi:branching (fun ctx m ->
+          let score = minimax [ m ] (depth - 1) false in
+          Reducer.update ctx best (fun _ b ->
+              (Monoids.arg_max ()).Rader_monoid.Monoid.combine b (Some (score, m))));
+      Cilk.sync ctx;
+      Reducer.get_value ctx best)
+
+let search_serial ~depth =
+  let best = ref None in
+  for m = 0 to branching - 1 do
+    let score = minimax [ m ] (depth - 1) false in
+    match !best with
+    | Some (s, _) when s >= score -> ()
+    | _ -> best := Some (score, m)
+  done;
+  !best
+
+let () =
+  print_endline "== Parallel minimax with an arg-max reducer ==";
+  let depth = 8 in
+  let reference = search_serial ~depth in
+  (match reference with
+  | Some (score, move) -> Printf.printf "serial search: move %d scores %d\n" move score
+  | None -> print_endline "serial search: no moves");
+  List.iter
+    (fun (name, spec) ->
+      let result, eng = search_parallel ~depth spec in
+      Printf.printf "%-18s -> %s (%d steals)\n" name
+        (match result with
+        | Some (s, m) -> Printf.sprintf "move %d scores %d%s" m s
+                           (if result = reference then "" else "  << DIFFERS")
+        | None -> "none")
+        (Engine.stats eng).Engine.n_steals)
+    [
+      ("serial schedule", Steal_spec.none);
+      ("all stolen", Steal_spec.all ());
+      ("random schedule", Steal_spec.random ~seed:8 ~density:0.5 ());
+    ];
+  (* certify with Peer-Set and SP+ *)
+  let eng = Engine.create () in
+  let ps = Peer_set.attach eng in
+  ignore (Engine.run eng (fun ctx ->
+      let best = Reducer.create ctx (Rmonoid.of_pure (Monoids.arg_max ())) ~init:None in
+      Cilk.parallel_for ctx ~lo:0 ~hi:branching (fun ctx m ->
+          let score = minimax [ m ] 3 false in
+          Reducer.update ctx best (fun _ b ->
+              (Monoids.arg_max ()).Rader_monoid.Monoid.combine b (Some (score, m))));
+      Cilk.sync ctx;
+      ignore (Reducer.get_value ctx best)));
+  Printf.printf "Peer-Set: %d races; the search is certified deterministic.\n"
+    (List.length (Peer_set.races ps))

@@ -1,0 +1,54 @@
+(* Schedule fuzzing with the work-stealing simulator: a correct reducer
+   program yields the same answer under every simulated schedule; a
+   program with a view-read race visibly yields different answers — the
+   nondeterminism the paper's detectors exist to catch before it bites.
+
+   Run with: dune exec examples/schedule_fuzz.exe *)
+
+open Rader_runtime
+open Rader_sched
+
+(* Correct: value read after the sync. *)
+let clean ctx =
+  let r = Rmonoid.new_int_add ctx ~init:0 in
+  Cilk.parallel_for ctx ~lo:1 ~hi:65 (fun ctx i -> Rmonoid.add ctx r i);
+  Cilk.sync ctx;
+  Rmonoid.int_cell_value ctx r
+
+(* Racy: a progress probe reads the reducer mid-flight. *)
+let racy ctx =
+  let r = Rmonoid.new_int_add ctx ~init:0 in
+  let probe = ref (-1) in
+  Cilk.call ctx (fun ctx ->
+      ignore
+        (Cilk.spawn ctx (fun ctx ->
+             Cilk.parallel_for ctx ~lo:1 ~hi:33 (fun ctx i -> Rmonoid.add ctx r i)));
+      ignore
+        (Cilk.spawn ctx (fun ctx ->
+             Cilk.parallel_for ctx ~lo:33 ~hi:65 (fun ctx i -> Rmonoid.add ctx r i)));
+      probe := Rmonoid.int_cell_value ctx r; (* view-read race *)
+      Cilk.sync ctx);
+  Cilk.sync ctx;
+  (!probe * 100000) + Rmonoid.int_cell_value ctx r
+
+let summarize name program =
+  let seeds = List.init 24 (fun i -> i + 1) in
+  let outs = Schedule_gen.fuzz program ~workers:8 ~seeds in
+  let values = List.sort_uniq compare (List.map snd outs) in
+  Printf.printf "%-6s %d simulated 8-worker schedules -> %d distinct result(s)%s\n"
+    name (List.length outs) (List.length values)
+    (if List.length values = 1 then " (deterministic)" else "");
+  if List.length values > 1 then begin
+    let show v = Printf.sprintf "probe=%d sum=%d" (v / 100000) (v mod 100000) in
+    Printf.printf "       e.g. %s\n"
+      (String.concat " | " (List.map show (List.filteri (fun i _ -> i < 4) values)))
+  end
+
+let () =
+  print_endline "== Schedule fuzzing with the work-stealing simulator ==";
+  summarize "clean" clean;
+  summarize "racy" racy;
+  print_endline
+    "The racy probe's value depends on which continuations were stolen\n\
+     (fresh views observe nothing); the final sum is always correct —\n\
+     exactly the subtle symptom view-read races produce in practice."

@@ -1,0 +1,1 @@
+lib/benchsuite/bench_def.ml: Char Rader_runtime String

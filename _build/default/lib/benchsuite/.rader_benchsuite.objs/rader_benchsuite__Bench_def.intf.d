@@ -1,0 +1,1 @@
+lib/benchsuite/bench_def.mli: Rader_runtime

@@ -1,0 +1,1 @@
+lib/benchsuite/bm_collision.ml: Array Bench_def Cilk Hashtbl List Printf Rader_monoid Rader_runtime Reducer Rvec Workloads

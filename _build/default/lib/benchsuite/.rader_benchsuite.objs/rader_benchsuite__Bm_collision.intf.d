@@ -1,0 +1,1 @@
+lib/benchsuite/bm_collision.mli: Bench_def

@@ -1,0 +1,1 @@
+lib/benchsuite/bm_dedup.ml: Bench_def Buffer Bytes Cell Char Cilk Hashtbl List Printf Rader_runtime Reducer Rmonoid String Workloads

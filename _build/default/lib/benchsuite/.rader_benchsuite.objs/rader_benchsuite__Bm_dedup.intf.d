@@ -1,0 +1,1 @@
+lib/benchsuite/bm_dedup.mli: Bench_def

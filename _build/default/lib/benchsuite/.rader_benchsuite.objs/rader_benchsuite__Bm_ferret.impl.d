@@ -1,0 +1,1 @@
+lib/benchsuite/bm_ferret.ml: Array Bench_def Buffer Cell Cilk List Printf Rader_runtime Rader_support Reducer Rmonoid String Workloads

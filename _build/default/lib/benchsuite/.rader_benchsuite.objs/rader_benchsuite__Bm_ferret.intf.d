@@ -1,0 +1,1 @@
+lib/benchsuite/bm_ferret.mli: Bench_def

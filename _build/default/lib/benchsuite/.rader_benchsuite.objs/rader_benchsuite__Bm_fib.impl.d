@@ -1,0 +1,1 @@
+lib/benchsuite/bm_fib.ml: Bench_def Cilk Rader_runtime Rmonoid

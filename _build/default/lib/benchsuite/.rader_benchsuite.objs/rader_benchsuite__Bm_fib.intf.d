@@ -1,0 +1,1 @@
+lib/benchsuite/bm_fib.mli: Bench_def

@@ -1,0 +1,1 @@
+lib/benchsuite/bm_knapsack.ml: Array Bench_def Cilk Printf Rader_runtime Rmonoid Workloads

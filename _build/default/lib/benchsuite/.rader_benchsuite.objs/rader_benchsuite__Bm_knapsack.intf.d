@@ -1,0 +1,1 @@
+lib/benchsuite/bm_knapsack.mli: Bench_def

@@ -1,0 +1,1 @@
+lib/benchsuite/bm_nqueens.ml: Bench_def Cilk Printf Rader_runtime Rmonoid

@@ -1,0 +1,1 @@
+lib/benchsuite/bm_nqueens.mli: Bench_def

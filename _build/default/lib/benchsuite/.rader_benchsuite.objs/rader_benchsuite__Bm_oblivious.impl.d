@@ -1,0 +1,1 @@
+lib/benchsuite/bm_oblivious.ml: Array Bench_def Cilk Engine Printf Rader_runtime Rader_support Rarray

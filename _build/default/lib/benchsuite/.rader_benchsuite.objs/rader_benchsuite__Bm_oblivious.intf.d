@@ -1,0 +1,1 @@
+lib/benchsuite/bm_oblivious.mli: Bench_def

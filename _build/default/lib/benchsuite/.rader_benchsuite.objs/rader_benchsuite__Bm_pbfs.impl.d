@@ -1,0 +1,1 @@
+lib/benchsuite/bm_pbfs.ml: Array Bench_def Cilk Engine List Printf Rader_monoid Rader_runtime Rarray Reducer Rmonoid Workloads

@@ -1,0 +1,1 @@
+lib/benchsuite/bm_pbfs.mli: Bench_def

@@ -1,0 +1,1 @@
+lib/benchsuite/suite.ml: Bench_def Bm_collision Bm_dedup Bm_ferret Bm_fib Bm_knapsack Bm_pbfs Float List

@@ -1,0 +1,1 @@
+lib/benchsuite/suite.mli: Bench_def

@@ -1,0 +1,1 @@
+lib/benchsuite/workloads.ml: Array Bytes Char Rader_support

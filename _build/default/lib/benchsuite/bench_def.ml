@@ -1,0 +1,24 @@
+type t = {
+  name : string;
+  descr : string;
+  input : string;
+  plain : unit -> int;
+  cilk : Rader_runtime.Engine.ctx -> int;
+}
+
+let fnv_prime = 0x100000001b3
+let fnv_basis = 0x3bf29ce484222325
+
+let fnv_int acc x =
+  (* fold the int byte by byte *)
+  let acc = ref acc in
+  for shift = 0 to 7 do
+    let byte = (x lsr (8 * shift)) land 0xff in
+    acc := (!acc lxor byte) * fnv_prime
+  done;
+  !acc
+
+let fnv_string s =
+  let acc = ref fnv_basis in
+  String.iter (fun c -> acc := (!acc lxor Char.code c) * fnv_prime) s;
+  !acc

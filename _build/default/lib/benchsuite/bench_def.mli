@@ -1,0 +1,17 @@
+(** Common shape of a benchmark: a plain-OCaml version (the paper's
+    "no instrumentation" baseline) and a Cilk-DSL version that computes the
+    same integer checksum, so correctness is checked on every run. *)
+
+type t = {
+  name : string;
+  descr : string;
+  input : string;  (** human-readable input description for the tables *)
+  plain : unit -> int;  (** uninstrumented implementation, returns checksum *)
+  cilk : Rader_runtime.Engine.ctx -> int;  (** DSL implementation, same checksum *)
+}
+
+(** [fnv_string s] / [fnv_int acc x]: FNV-1a hashing used for stable
+    checksums across implementations. *)
+val fnv_string : string -> int
+
+val fnv_int : int -> int -> int

@@ -1,0 +1,80 @@
+open Rader_runtime
+module Monoids = Rader_monoid.Monoids
+
+(* Uniform-grid binning is identical (and serial) in both versions; the
+   parallel part is the per-cell pair testing. Spheres whose centers fall
+   in the same grid cell are tested pairwise. *)
+
+type scene = {
+  spheres : (float * float * float * float) array;
+  cells : int array array; (* sphere ids per grid cell *)
+}
+
+let build_scene ~seed ~n ~world ~cell =
+  let spheres = Workloads.spheres ~seed ~n ~world in
+  let per_side = max 1 (int_of_float (world /. cell)) in
+  let idx x = min (per_side - 1) (int_of_float (x /. cell)) in
+  let buckets = Hashtbl.create 64 in
+  Array.iteri
+    (fun i (x, y, z, _) ->
+      let key = (idx x * per_side * per_side) + (idx y * per_side) + idx z in
+      let prev = try Hashtbl.find buckets key with Not_found -> [] in
+      Hashtbl.replace buckets key (i :: prev))
+    spheres;
+  let cells =
+    Hashtbl.fold (fun key ids acc -> (key, Array.of_list (List.rev ids)) :: acc) buckets []
+    |> List.sort compare
+    |> List.map snd
+    |> Array.of_list
+  in
+  { spheres; cells }
+
+let overlaps spheres i j =
+  let x1, y1, z1, r1 = spheres.(i) in
+  let x2, y2, z2, r2 = spheres.(j) in
+  let dx = x1 -. x2 and dy = y1 -. y2 and dz = z1 -. z2 in
+  (dx *. dx) +. (dy *. dy) +. (dz *. dz) <= (r1 +. r2) *. (r1 +. r2)
+
+let cell_pairs scene c emit =
+  let ids = scene.cells.(c) in
+  let k = Array.length ids in
+  for a = 0 to k - 1 do
+    for b = a + 1 to k - 1 do
+      if overlaps scene.spheres ids.(a) ids.(b) then emit (ids.(a), ids.(b))
+    done
+  done
+
+let checksum pairs =
+  List.fold_left
+    (fun acc (i, j) -> Bench_def.fnv_int (Bench_def.fnv_int acc i) j)
+    (Bench_def.fnv_string "collision") pairs
+
+let plain scene () =
+  let hits = ref [] in
+  for c = 0 to Array.length scene.cells - 1 do
+    cell_pairs scene c (fun p -> hits := p :: !hits)
+  done;
+  checksum (List.rev !hits)
+
+let cilk scene ctx =
+  (* Instrumented hypervector views (Rvec): slot writes in updates and the
+     O(|src|) copy in every Reduce hit shadow memory, like the paper's
+     C++ hypervector. *)
+  let r = Reducer.create ctx (Rvec.monoid ()) ~init:(Rvec.create ctx ()) in
+  Cilk.parallel_for ctx ~lo:0 ~hi:(Array.length scene.cells) (fun ctx c ->
+      cell_pairs scene c (fun p ->
+          Reducer.update ctx r (fun c hv ->
+              Rvec.push c hv p;
+              hv)));
+  Cilk.sync ctx;
+  checksum (Rvec.to_list ctx (Reducer.get_value ctx r))
+
+let bench ~seed ~n ~world ~cell =
+  let scene = build_scene ~seed ~n ~world ~cell in
+  {
+    Bench_def.name = "collision";
+    descr = "Collision detection in 3D";
+    input = Printf.sprintf "%d spheres" n;
+    plain = plain scene;
+    cilk = cilk scene;
+  }

@@ -1,0 +1,8 @@
+(** Collision detection in 3D (the paper's [collision] benchmark): spheres
+    are binned into a uniform grid; cells are scanned by a parallel loop
+    that tests all pairs within a cell and appends hits to a
+    "hypervector" reducer (an append/concatenate vector monoid). The
+    checksum folds the ordered list of colliding pairs, so the reducer's
+    order-preservation is part of what is verified. *)
+
+val bench : seed:int -> n:int -> world:float -> cell:float -> Bench_def.t

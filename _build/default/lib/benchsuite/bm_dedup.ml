@@ -1,0 +1,99 @@
+open Rader_runtime
+
+(* Content-defined chunking: a boundary is declared where a rolling hash of
+   the last 8 bytes has its low [mask_bits] bits zero, with min/max chunk
+   lengths; then each chunk is fingerprinted and RLE-compressed. All of
+   this is pure, block-local computation shared verbatim by both
+   versions. *)
+
+let mask = 0x3f (* ~64-byte average chunks *)
+let min_chunk = 16
+let max_chunk = 256
+
+let chunk_block bytes lo hi emit =
+  let roll = ref 0 in
+  let start = ref lo in
+  for i = lo to hi - 1 do
+    roll := ((!roll lsl 1) + Char.code (Bytes.get bytes i)) land 0xffffff;
+    let len = i - !start + 1 in
+    if (len >= min_chunk && !roll land mask = 0) || len >= max_chunk || i = hi - 1
+    then begin
+      emit !start (i + 1);
+      start := i + 1;
+      roll := 0
+    end
+  done
+
+let fingerprint bytes lo hi =
+  let acc = ref 0x3bf29ce484222325 in
+  for i = lo to hi - 1 do
+    acc := (!acc lxor Char.code (Bytes.get bytes i)) * 0x100000001b3
+  done;
+  !acc land max_int
+
+let rle_size bytes lo hi =
+  (* size of the run-length encoding: 2 bytes per run *)
+  let runs = ref 0 in
+  let i = ref lo in
+  while !i < hi do
+    let c = Bytes.get bytes !i in
+    let j = ref !i in
+    while !j < hi && Bytes.get bytes !j = c && !j - !i < 255 do
+      incr j
+    done;
+    incr runs;
+    i := !j
+  done;
+  2 * !runs
+
+let descriptor bytes lo hi =
+  Printf.sprintf "%016x:%d:%d\n" (fingerprint bytes lo hi) (hi - lo)
+    (rle_size bytes lo hi)
+
+let block_bounds size block i =
+  let lo = i * block in
+  (lo, min size (lo + block))
+
+let distinct_fingerprints output =
+  let seen = Hashtbl.create 256 in
+  String.split_on_char '\n' output
+  |> List.iter (fun line ->
+         match String.index_opt line ':' with
+         | Some k -> Hashtbl.replace seen (String.sub line 0 k) ()
+         | None -> ());
+  Hashtbl.length seen
+
+let checksum output =
+  Bench_def.fnv_int (Bench_def.fnv_string output) (distinct_fingerprints output)
+
+let plain bytes block () =
+  let size = Bytes.length bytes in
+  let n_blocks = (size + block - 1) / block in
+  let buf = Buffer.create (size / 8) in
+  for i = 0 to n_blocks - 1 do
+    let lo, hi = block_bounds size block i in
+    chunk_block bytes lo hi (fun a b -> Buffer.add_string buf (descriptor bytes a b))
+  done;
+  checksum (Buffer.contents buf)
+
+let cilk bytes block ctx =
+  let size = Bytes.length bytes in
+  let n_blocks = (size + block - 1) / block in
+  let out = Reducer.create ctx Rmonoid.ostream ~init:(Cell.make_in ctx (Buffer.create (size / 8))) in
+  Cilk.parallel_for ctx ~lo:0 ~hi:n_blocks (fun ctx i ->
+      let lo, hi = block_bounds size block i in
+      chunk_block bytes lo hi (fun a b ->
+          Rmonoid.ostream_emit ctx out (descriptor bytes a b)));
+  Cilk.sync ctx;
+  let final = Reducer.get_value ctx out in
+  checksum (Buffer.contents (Cell.read ctx final))
+
+let bench ~seed ~size ~block =
+  let bytes = Workloads.random_bytes ~seed size in
+  {
+    Bench_def.name = "dedup";
+    descr = "Compression program";
+    input = Printf.sprintf "%d KiB" (size / 1024);
+    plain = plain bytes block;
+    cilk = cilk bytes block;
+  }

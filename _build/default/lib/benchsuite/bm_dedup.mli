@@ -1,0 +1,11 @@
+(** Deduplicating compressor, a Cilk-ified rendition of PARSEC's [dedup]
+    pipeline (the paper converted it to Cilk with a [reducer_ostream]).
+    The input byte stream is split into coarse blocks processed by a
+    parallel loop; each block is content-defined-chunked with a rolling
+    hash, every chunk is fingerprinted (FNV-64) and run-length compressed,
+    and a descriptor line per chunk is written through an ostream reducer,
+    which keeps the output in serial order. The checksum hashes the final
+    output stream plus the count of distinct fingerprints (the
+    deduplication result, computed from the assembled stream). *)
+
+val bench : seed:int -> size:int -> block:int -> Bench_def.t

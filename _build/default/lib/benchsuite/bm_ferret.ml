@@ -1,0 +1,66 @@
+open Rader_runtime
+
+let dist2 a b =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let d = a.(i) -. b.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  !acc
+
+(* Top-k nearest database entries for one query: a small insertion-sorted
+   candidate array; pure computation shared by both versions. *)
+let top_k db q k =
+  let best_ids = Array.make k (-1) in
+  let best_d = Array.make k infinity in
+  Array.iteri
+    (fun i v ->
+      let d = dist2 q v in
+      if d < best_d.(k - 1) then begin
+        let pos = ref (k - 1) in
+        while !pos > 0 && best_d.(!pos - 1) > d do
+          best_d.(!pos) <- best_d.(!pos - 1);
+          best_ids.(!pos) <- best_ids.(!pos - 1);
+          decr pos
+        done;
+        best_d.(!pos) <- d;
+        best_ids.(!pos) <- i
+      end)
+    db;
+  best_ids
+
+let result_line db q_idx q k =
+  let ids = top_k db q k in
+  Printf.sprintf "%d:%s\n" q_idx
+    (String.concat "," (List.map string_of_int (Array.to_list ids)))
+
+let make_queries ~seed ~db ~queries ~dim =
+  (* queries are perturbed database entries, so matches are nontrivial *)
+  let rng = Rader_support.Rng.create (seed + 17) in
+  Array.init queries (fun _ ->
+      let base = db.(Rader_support.Rng.int rng (Array.length db)) in
+      Array.init dim (fun j -> base.(j) +. Rader_support.Rng.float rng 0.25))
+
+let plain db qs k () =
+  let buf = Buffer.create 4096 in
+  Array.iteri (fun i q -> Buffer.add_string buf (result_line db i q k)) qs;
+  Bench_def.fnv_string (Buffer.contents buf)
+
+let cilk db qs k ctx =
+  let out = Reducer.create ctx Rmonoid.ostream ~init:(Cell.make_in ctx (Buffer.create 4096)) in
+  Cilk.parallel_for ctx ~lo:0 ~hi:(Array.length qs) (fun ctx i ->
+      Rmonoid.ostream_emit ctx out (result_line db i qs.(i) k));
+  Cilk.sync ctx;
+  let final = Reducer.get_value ctx out in
+  Bench_def.fnv_string (Buffer.contents (Cell.read ctx final))
+
+let bench ~seed ~db ~queries ~dim ~topk =
+  let database = Workloads.feature_vectors ~seed ~count:db ~dim in
+  let qs = make_queries ~seed ~db:database ~queries ~dim in
+  {
+    Bench_def.name = "ferret";
+    descr = "Image similarity search";
+    input = Printf.sprintf "%d queries x %d db" queries db;
+    plain = plain database qs topk;
+    cilk = cilk database qs topk;
+  }

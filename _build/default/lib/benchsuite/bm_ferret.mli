@@ -1,0 +1,9 @@
+(** Image similarity search, a synthetic rendition of PARSEC's [ferret]
+    (the paper converted it to Cilk with a [reducer_ostream]). A database
+    of clustered feature vectors stands in for the image corpus; each
+    query vector is matched by brute-force k-nearest-neighbour (L2) over
+    the database by a parallel loop over queries, and one result line per
+    query is written through an ostream reducer. Checksum = FNV of the
+    ordered output. *)
+
+val bench : seed:int -> db:int -> queries:int -> dim:int -> topk:int -> Bench_def.t

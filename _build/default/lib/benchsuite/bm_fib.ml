@@ -1,0 +1,35 @@
+open Rader_runtime
+
+let plain n =
+  let acc = ref 0 in
+  let rec go n =
+    if n < 2 then acc := !acc + n
+    else begin
+      go (n - 1);
+      go (n - 2)
+    end
+  in
+  go n;
+  !acc
+
+let cilk n ctx =
+  let r = Rmonoid.new_int_add ctx ~init:0 in
+  let rec go ctx n =
+    if n < 2 then Rmonoid.add ctx r n
+    else begin
+      ignore (Cilk.spawn ctx (fun ctx -> go ctx (n - 1)));
+      Cilk.call ctx (fun ctx -> go ctx (n - 2));
+      Cilk.sync ctx
+    end
+  in
+  Cilk.call ctx (fun ctx -> go ctx n);
+  Rmonoid.int_cell_value ctx r
+
+let bench ~n =
+  {
+    Bench_def.name = "fib";
+    descr = "Recursive Fibonacci";
+    input = string_of_int n;
+    plain = (fun () -> plain n);
+    cilk = cilk n;
+  }

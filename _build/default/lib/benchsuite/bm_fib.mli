@@ -1,0 +1,7 @@
+(** The paper's synthetic [fib] stress test: recursive Fibonacci where
+    every base case updates a [reducer_opadd] and every internal node
+    spawns — almost no work per strand, so running time is dominated by
+    instrumentation and reducer bookkeeping (paper §8: the benchmark
+    "devised to stress test Rader"). *)
+
+val bench : n:int -> Bench_def.t

@@ -1,0 +1,73 @@
+open Rader_runtime
+
+(* Exhaustive search with a capacity cut and a suffix-value bound (both
+   functions of local state only, so the Cilk version stays race-free). *)
+
+let suffix_values items =
+  let n = Array.length items in
+  let s = Array.make (n + 1) 0 in
+  for i = n - 1 downto 0 do
+    s.(i) <- s.(i + 1) + snd items.(i)
+  done;
+  s
+
+let plain items capacity =
+  let n = Array.length items in
+  let suffix = suffix_values items in
+  let best = ref 0 in
+  let rec go i cap value =
+    if value > !best then best := value;
+    if i < n && value + suffix.(i) > !best then begin
+      let w, v = items.(i) in
+      if w <= cap then go (i + 1) (cap - w) (value + v);
+      go (i + 1) cap value
+    end
+  in
+  go 0 capacity 0;
+  !best
+
+(* Serial subtree without pruning against the shared best (reading the
+   reducer mid-computation would be a view-read race); suffix bound only. *)
+let serial_best items suffix i0 cap0 value0 =
+  let n = Array.length items in
+  let best = ref value0 in
+  let rec go i cap value =
+    if value > !best then best := value;
+    if i < n && value + suffix.(i) > !best then begin
+      let w, v = items.(i) in
+      if w <= cap then go (i + 1) (cap - w) (value + v);
+      go (i + 1) cap value
+    end
+  in
+  go i0 cap0 value0;
+  !best
+
+let cilk items capacity spawn_depth ctx =
+  let n = Array.length items in
+  let suffix = suffix_values items in
+  let r = Rmonoid.new_int_max ctx ~init:0 in
+  let rec go ctx i cap value =
+    if i >= min spawn_depth n then
+      Rmonoid.maximize ctx r (serial_best items suffix i cap value)
+    else begin
+      let w, v = items.(i) in
+      if w <= cap then
+        ignore (Cilk.spawn ctx (fun ctx -> go ctx (i + 1) (cap - w) (value + v)));
+      Cilk.call ctx (fun ctx -> go ctx (i + 1) cap value);
+      Cilk.sync ctx
+    end
+  in
+  Cilk.call ctx (fun ctx -> go ctx 0 capacity 0);
+  Rmonoid.int_cell_value ctx r
+
+let bench ~seed ~n_items ~capacity ~spawn_depth =
+  let items =
+    Workloads.knapsack_items ~seed ~n:n_items ~max_weight:10 ~max_value:20
+  in
+  {
+    Bench_def.name = "knapsack";
+    descr = "Recursive knapsack";
+    input = Printf.sprintf "%d items, cap %d" n_items capacity;
+    plain = (fun () -> plain items capacity);
+    cilk = cilk items capacity spawn_depth;
+  }

@@ -1,0 +1,6 @@
+(** Recursive 0/1 knapsack (after Frigo's Cilk++ knapsack-challenge
+    program): exhaustive branch-and-bound over item subsets with spawns at
+    every take/skip decision near the root, folding candidate values into a
+    user-defined maximum reducer. Like [fib], very little work per strand. *)
+
+val bench : seed:int -> n_items:int -> capacity:int -> spawn_depth:int -> Bench_def.t

@@ -1,0 +1,54 @@
+open Rader_runtime
+
+(* Board state as three attack masks (columns, diagonals); a queen may be
+   placed where no mask bit is set. Pure helper shared by both versions. *)
+let safe_slots n cols diag1 diag2 = lnot (cols lor diag1 lor diag2) land ((1 lsl n) - 1)
+
+let rec count_serial n row cols diag1 diag2 =
+  if row = n then 1
+  else begin
+    let slots = ref (safe_slots n cols diag1 diag2) in
+    let total = ref 0 in
+    while !slots <> 0 do
+      let bit = !slots land - !slots in
+      slots := !slots lxor bit;
+      total :=
+        !total
+        + count_serial n (row + 1) (cols lor bit)
+            ((diag1 lor bit) lsl 1)
+            ((diag2 lor bit) lsr 1)
+    done;
+    !total
+  end
+
+let plain n () = count_serial n 0 0 0 0
+
+let cilk n spawn_depth ctx =
+  let r = Rmonoid.new_int_add ctx ~init:0 in
+  let rec go ctx row cols diag1 diag2 =
+    if row >= spawn_depth then
+      Rmonoid.add ctx r (count_serial n row cols diag1 diag2)
+    else begin
+      let slots = ref (safe_slots n cols diag1 diag2) in
+      while !slots <> 0 do
+        let bit = !slots land - !slots in
+        slots := !slots lxor bit;
+        let c = cols lor bit
+        and d1 = (diag1 lor bit) lsl 1
+        and d2 = (diag2 lor bit) lsr 1 in
+        ignore (Cilk.spawn ctx (fun ctx -> go ctx (row + 1) c d1 d2))
+      done;
+      Cilk.sync ctx
+    end
+  in
+  Cilk.call ctx (fun ctx -> go ctx 0 0 0 0);
+  Rmonoid.int_cell_value ctx r
+
+let bench ~n ~spawn_depth =
+  {
+    Bench_def.name = "nqueens";
+    descr = "N-queens solution counting";
+    input = Printf.sprintf "n=%d" n;
+    plain = plain n;
+    cilk = cilk n spawn_depth;
+  }

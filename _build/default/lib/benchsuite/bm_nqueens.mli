@@ -1,0 +1,8 @@
+(** N-queens solution counting — the classic Cilk demo program, here with
+    the solution count accumulated in a [reducer_opadd] instead of the
+    traditional return-value reduction: every safe full placement updates
+    the reducer from a leaf of the spawn tree. Not part of the paper's
+    table (its suite has exactly 6 rows); used as an extra workload for
+    tests and the CLI. *)
+
+val bench : n:int -> spawn_depth:int -> Bench_def.t

@@ -1,0 +1,78 @@
+open Rader_runtime
+
+(* ---------- fib via futures ---------- *)
+
+let rec fib_plain n = if n < 2 then n else fib_plain (n - 1) + fib_plain (n - 2)
+
+let fib_cilk n ctx =
+  let rec go ctx n =
+    if n < 2 then n
+    else begin
+      let a = Cilk.spawn ctx (fun ctx -> go ctx (n - 1)) in
+      let b = Cilk.call ctx (fun ctx -> go ctx (n - 2)) in
+      Cilk.sync ctx;
+      Cilk.get ctx a + b
+    end
+  in
+  Cilk.call ctx (fun ctx -> go ctx n)
+
+let fib_futures ~n =
+  {
+    Bench_def.name = "fib-futures";
+    descr = "Fibonacci via spawn/sync futures";
+    input = string_of_int n;
+    plain = (fun () -> fib_plain n);
+    cilk = fib_cilk n;
+  }
+
+(* ---------- stencil ---------- *)
+
+let step3 a b c = ((a * 31) + (b * 17) + (c * 7)) land 0xFFFFFF
+
+let stencil_plain init rounds () =
+  let n = Array.length init in
+  let cur = Array.copy init in
+  let next = Array.make n 0 in
+  let cur = ref cur and next = ref next in
+  for _ = 1 to rounds do
+    for i = 0 to n - 1 do
+      let a = if i = 0 then 0 else !cur.(i - 1) in
+      let c = if i = n - 1 then 0 else !cur.(i + 1) in
+      !next.(i) <- step3 a !cur.(i) c
+    done;
+    let t = !cur in
+    cur := !next;
+    next := t
+  done;
+  Array.fold_left Bench_def.fnv_int (Bench_def.fnv_string "stencil") !cur
+
+let stencil_cilk init rounds grain ctx =
+  let eng = Engine.engine ctx in
+  let n = Array.length init in
+  let buf0 = Rarray.init eng ~label:"stencil.a" n (fun i -> init.(i)) in
+  let buf1 = Rarray.make eng ~label:"stencil.b" n 0 in
+  let cur = ref buf0 and next = ref buf1 in
+  for _ = 1 to rounds do
+    let c = !cur and nx = !next in
+    Cilk.parallel_for ~grain ctx ~lo:0 ~hi:n (fun ctx i ->
+        let a = if i = 0 then 0 else Rarray.read ctx c (i - 1) in
+        let m = Rarray.read ctx c i in
+        let b = if i = n - 1 then 0 else Rarray.read ctx c (i + 1) in
+        Rarray.write ctx nx i (step3 a m b));
+    Cilk.sync ctx;
+    cur := nx;
+    next := c
+  done;
+  Array.fold_left Bench_def.fnv_int (Bench_def.fnv_string "stencil")
+    (Rarray.to_array !cur)
+
+let stencil ~seed ~n ~rounds ~grain =
+  let rng = Rader_support.Rng.create seed in
+  let init = Array.init n (fun _ -> Rader_support.Rng.int rng 1000) in
+  {
+    Bench_def.name = "stencil";
+    descr = "Iterated 3-point stencil";
+    input = Printf.sprintf "n=%d rounds=%d" n rounds;
+    plain = stencil_plain init rounds;
+    cilk = stencil_cilk init rounds grain;
+  }

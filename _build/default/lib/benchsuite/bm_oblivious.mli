@@ -1,0 +1,12 @@
+(** View-oblivious (reducer-free) workloads used for the detector-comparison
+    ablation: SP-bags, SP-order, offset-span and SP+ are all sound on these,
+    so their bookkeeping costs can be compared head-to-head. *)
+
+(** Fibonacci via spawn/sync futures — pure control flow, no shared
+    memory: measures parallel-control bookkeeping (bags vs labels). *)
+val fib_futures : n:int -> Bench_def.t
+
+(** Iterated 1-D three-point stencil over instrumented arrays — disjoint
+    parallel writes and overlapping parallel reads, race-free: measures
+    shadow-memory traffic. *)
+val stencil : seed:int -> n:int -> rounds:int -> grain:int -> Bench_def.t

@@ -1,0 +1,79 @@
+open Rader_runtime
+module Monoids = Rader_monoid.Monoids
+
+let src = 0
+
+let checksum_dist dist =
+  Array.fold_left Bench_def.fnv_int Bench_def.(fnv_string "pbfs") dist
+
+let plain (g : Workloads.graph) =
+  let dist = Array.make g.Workloads.n (-1) in
+  dist.(src) <- 0;
+  let frontier = ref [ src ] in
+  let d = ref 0 in
+  while !frontier <> [] do
+    incr d;
+    let next = ref [] in
+    List.iter
+      (fun u ->
+        for k = g.Workloads.row.(u) to g.Workloads.row.(u + 1) - 1 do
+          let w = g.Workloads.col.(k) in
+          if dist.(w) < 0 then begin
+            dist.(w) <- !d;
+            next := w :: !next
+          end
+        done)
+      !frontier;
+    frontier := !next
+  done;
+  checksum_dist dist
+
+let cilk (g : Workloads.graph) grain ctx =
+  let eng = Engine.engine ctx in
+  let n = g.Workloads.n in
+  let bag_monoid = Monoids.bag () in
+  let dist = Rarray.make eng ~label:"pbfs.dist" n (-1) in
+  Rarray.write ctx dist src 0;
+  let frontier = ref [| src |] in
+  let d = ref 0 in
+  while Array.length !frontier > 0 do
+    incr d;
+    let layer = !frontier in
+    let depth = !d in
+    let bag =
+      Reducer.create ctx (Rmonoid.of_pure bag_monoid)
+        ~init:(bag_monoid.Rader_monoid.Monoid.identity ())
+    in
+    Cilk.parallel_for ~grain ctx ~lo:0 ~hi:(Array.length layer) (fun ctx i ->
+        let u = layer.(i) in
+        for k = g.Workloads.row.(u) to g.Workloads.row.(u + 1) - 1 do
+          let w = g.Workloads.col.(k) in
+          (* Reads race with nothing: distances are only written serially
+             between layers. *)
+          if Rarray.read ctx dist w < 0 then
+            Reducer.update ctx bag (fun _ b ->
+                bag_monoid.Rader_monoid.Monoid.combine b (Monoids.bag_singleton w))
+        done);
+    Cilk.sync ctx;
+    let candidates = Monoids.bag_elements (Reducer.get_value ctx bag) in
+    let next = ref [] in
+    List.iter
+      (fun w ->
+        if Rarray.read ctx dist w < 0 then begin
+          Rarray.write ctx dist w depth;
+          next := w :: !next
+        end)
+      candidates;
+    frontier := Array.of_list !next
+  done;
+  checksum_dist (Rarray.to_array dist)
+
+let bench ~seed ~n ~m ~grain =
+  let g = Workloads.random_graph ~seed ~n ~m in
+  {
+    Bench_def.name = "pbfs";
+    descr = "Parallel breadth-first search";
+    input = Printf.sprintf "|V|=%d |E|=%d" n m;
+    plain = (fun () -> plain g);
+    cilk = cilk g grain;
+  }

@@ -1,0 +1,8 @@
+(** Parallel breadth-first search with a Bag reducer, after Leiserson &
+    Schardl's PBFS (the paper's [pbfs] benchmark). Each BFS layer is
+    processed by a parallel loop whose iterations toss newly discovered
+    vertices into a bag reducer; between layers the bag is emptied
+    serially, deduplicated against the distance array, and becomes the
+    next frontier. The checksum is the FNV hash of the distance array. *)
+
+val bench : seed:int -> n:int -> m:int -> grain:int -> Bench_def.t

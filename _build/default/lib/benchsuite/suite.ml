@@ -1,0 +1,17 @@
+let names = [ "collision"; "dedup"; "ferret"; "fib"; "knapsack"; "pbfs" ]
+
+let all ?(seed = 20150613) ?(scale = 1.0) () =
+  let s f = max 1 (int_of_float (f *. scale)) in
+  let log_extra base = int_of_float (Float.round (Float.log2 (Float.max 1.0 scale))) + base in
+  [
+    Bm_collision.bench ~seed ~n:(s 4000.) ~world:50.0 ~cell:2.5;
+    Bm_dedup.bench ~seed ~size:(s 262144.) ~block:2048;
+    Bm_ferret.bench ~seed ~db:(s 512.) ~queries:(s 192.) ~dim:16 ~topk:3;
+    Bm_fib.bench ~n:(log_extra 21);
+    (let n_items = log_extra 24 in
+     Bm_knapsack.bench ~seed ~n_items ~capacity:50 ~spawn_depth:(n_items - 8));
+    Bm_pbfs.bench ~seed ~n:(s 30000.) ~m:(s 190000.) ~grain:16;
+  ]
+
+let find ?seed ?scale name =
+  List.find (fun b -> b.Bench_def.name = name) (all ?seed ?scale ())

@@ -1,0 +1,79 @@
+module Rng = Rader_support.Rng
+
+type graph = { n : int; row : int array; col : int array }
+
+let random_graph ~seed ~n ~m =
+  if n <= 0 then invalid_arg "random_graph: n";
+  let rng = Rng.create seed in
+  (* Skewed endpoint choice: square a uniform to bias toward low ids. *)
+  let vertex () =
+    let u = Rng.float rng 1.0 in
+    let v = int_of_float (u *. u *. float_of_int n) in
+    if v >= n then n - 1 else v
+  in
+  let edges = Array.init m (fun _ -> (vertex (), Rng.int rng n)) in
+  let deg = Array.make n 0 in
+  Array.iter
+    (fun (a, b) ->
+      deg.(a) <- deg.(a) + 1;
+      deg.(b) <- deg.(b) + 1)
+    edges;
+  let row = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    row.(v + 1) <- row.(v) + deg.(v)
+  done;
+  let col = Array.make row.(n) 0 in
+  let fill = Array.copy row in
+  Array.iter
+    (fun (a, b) ->
+      col.(fill.(a)) <- b;
+      fill.(a) <- fill.(a) + 1;
+      col.(fill.(b)) <- a;
+      fill.(b) <- fill.(b) + 1)
+    edges;
+  { n; row; col }
+
+let random_bytes ~seed n =
+  let rng = Rng.create seed in
+  let b = Bytes.create n in
+  let i = ref 0 in
+  while !i < n do
+    if Rng.bernoulli rng 0.3 then begin
+      (* a run of one repeated byte, compressible and dedupable *)
+      let len = min (n - !i) (8 + Rng.int rng 56) in
+      let c = Char.chr (Rng.int rng 256) in
+      Bytes.fill b !i len c;
+      i := !i + len
+    end
+    else begin
+      (* low-entropy "text": a small alphabet *)
+      let len = min (n - !i) (4 + Rng.int rng 28) in
+      for j = !i to !i + len - 1 do
+        Bytes.set b j (Char.chr (97 + Rng.int rng 16))
+      done;
+      i := !i + len
+    end
+  done;
+  b
+
+let feature_vectors ~seed ~count ~dim =
+  let rng = Rng.create seed in
+  let n_clusters = max 1 (count / 16) in
+  let centers =
+    Array.init n_clusters (fun _ -> Array.init dim (fun _ -> Rng.float rng 10.0))
+  in
+  Array.init count (fun _ ->
+      let c = centers.(Rng.int rng n_clusters) in
+      Array.init dim (fun j -> c.(j) +. Rng.float rng 1.0))
+
+let knapsack_items ~seed ~n ~max_weight ~max_value =
+  let rng = Rng.create seed in
+  Array.init n (fun _ -> (1 + Rng.int rng max_weight, 1 + Rng.int rng max_value))
+
+let spheres ~seed ~n ~world =
+  let rng = Rng.create seed in
+  Array.init n (fun _ ->
+      ( Rng.float rng world,
+        Rng.float rng world,
+        Rng.float rng world,
+        0.5 +. Rng.float rng 1.0 ))

@@ -1,0 +1,36 @@
+(** Seeded synthetic workload generators for the benchmark suite.
+
+    Substitutes for the paper's external inputs (PARSEC media files and
+    image databases; see DESIGN.md §2): everything is derived
+    deterministically from an integer seed, so benchmark checksums are
+    stable across runs and machines. *)
+
+(** Directed graph in CSR form. *)
+type graph = {
+  n : int;
+  row : int array;  (** length n+1; neighbors of v are col.(row.(v))..col.(row.(v+1)-1) *)
+  col : int array;
+}
+
+(** [random_graph ~seed ~n ~m] is a random multigraph with [n] vertices and
+    [m] edges; endpoints chosen with a power-law-ish skew so BFS frontiers
+    look like real graph workloads. Edges are made symmetric. *)
+val random_graph : seed:int -> n:int -> m:int -> graph
+
+(** [random_bytes ~seed n] is [n] pseudo-random bytes with repeated runs
+    mixed in so that chunk-level deduplication and RLE compression have
+    something to find (the dedup workload). *)
+val random_bytes : seed:int -> int -> Bytes.t
+
+(** [feature_vectors ~seed ~count ~dim] is a database of [count] vectors of
+    dimension [dim] with clustered structure (the ferret image database). *)
+val feature_vectors : seed:int -> count:int -> dim:int -> float array array
+
+(** [knapsack_items ~seed ~n ~max_weight ~max_value] is [(weight, value)]
+    pairs. *)
+val knapsack_items :
+  seed:int -> n:int -> max_weight:int -> max_value:int -> (int * int) array
+
+(** [spheres ~seed ~n ~world] is [n] sphere centers (x, y, z, radius) in a
+    cube of side [world] (the collision-detection scene). *)
+val spheres : seed:int -> n:int -> world:float -> (float * float * float * float) array

@@ -1,0 +1,1 @@
+lib/core/coverage.ml: Hashtbl List Printf Rader_runtime Report Sp_plus

@@ -1,0 +1,1 @@
+lib/core/offset_span.ml: Array Rader_memory Rader_runtime Rader_support Report

@@ -1,0 +1,1 @@
+lib/core/offset_span.mli: Rader_runtime Report

@@ -1,0 +1,1 @@
+lib/core/peer_set.ml: Printf Rader_dsets Rader_memory Rader_runtime Rader_support Report

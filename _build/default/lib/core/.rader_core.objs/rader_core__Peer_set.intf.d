@@ -1,0 +1,1 @@
+lib/core/peer_set.mli: Rader_runtime Report

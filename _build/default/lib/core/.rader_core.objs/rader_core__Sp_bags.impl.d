@@ -1,0 +1,1 @@
+lib/core/sp_bags.ml: Rader_dsets Rader_memory Rader_runtime Rader_support Report

@@ -1,0 +1,1 @@
+lib/core/sp_bags.mli: Rader_runtime Report

@@ -1,0 +1,1 @@
+lib/core/sp_order.ml: Rader_memory Rader_runtime Rader_support Report

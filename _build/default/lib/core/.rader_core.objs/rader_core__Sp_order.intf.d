@@ -1,0 +1,1 @@
+lib/core/sp_order.mli: Rader_runtime Report

@@ -1,0 +1,1 @@
+lib/core/sp_plus.ml: Printf Rader_dsets Rader_memory Rader_runtime Rader_support Report

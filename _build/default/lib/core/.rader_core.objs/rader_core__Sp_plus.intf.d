@@ -1,0 +1,1 @@
+lib/core/sp_plus.mli: Rader_runtime Report

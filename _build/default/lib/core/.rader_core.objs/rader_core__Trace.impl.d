@@ -1,0 +1,1 @@
+lib/core/trace.ml: Hashtbl List Printf Rader_dag Rader_runtime String

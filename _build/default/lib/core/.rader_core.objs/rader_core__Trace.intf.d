@@ -1,0 +1,1 @@
+lib/core/trace.mli: Rader_dag Rader_runtime

@@ -1,0 +1,116 @@
+module Engine = Rader_runtime.Engine
+module Tool = Rader_runtime.Tool
+module Steal_spec = Rader_runtime.Steal_spec
+
+type profile = { k : int; d : int; n_spawns : int }
+
+let profile program =
+  (* Count continuations per sync block and spawn depth with a tiny tool:
+     each spawned-child return in a frame is one continuation; sync resets
+     the frame's count. *)
+  let max_k = ref 0 in
+  let max_d = ref 0 in
+  let conts = Hashtbl.create 64 in (* frame -> conts in current block *)
+  let depth = Hashtbl.create 64 in
+  let tool =
+    {
+      Tool.null with
+      Tool.on_frame_enter =
+        (fun ~frame ~parent ~spawned:_ ~kind:_ ->
+          let d = if parent < 0 then 0 else Hashtbl.find depth parent + 1 in
+          Hashtbl.replace depth frame d;
+          if d > !max_d then max_d := d;
+          Hashtbl.replace conts frame 0);
+      on_frame_return =
+        (fun ~frame ~parent ~spawned ~kind:_ ->
+          Hashtbl.remove conts frame;
+          Hashtbl.remove depth frame;
+          if spawned && parent >= 0 then begin
+            let c = Hashtbl.find conts parent + 1 in
+            Hashtbl.replace conts parent c;
+            if c > !max_k then max_k := c
+          end);
+      on_sync = (fun ~frame -> Hashtbl.replace conts frame 0);
+    }
+  in
+  let eng = Engine.create ~tool () in
+  let _ = Engine.run eng program in
+  let stats = Engine.stats eng in
+  { k = !max_k; d = !max_d; n_spawns = stats.Engine.n_spawns }
+
+let specs_for_updates ~k ~d =
+  let by_position =
+    List.init k (fun i ->
+        Steal_spec.at_local_indices ~policy:Steal_spec.Reduce_eagerly [ i + 1 ])
+  in
+  let by_depth = List.init (d + 1) (fun dd -> Steal_spec.at_depth dd) in
+  by_position @ by_depth
+
+let specs_for_reductions ~k =
+  let specs = ref [] in
+  let push s = specs := s :: !specs in
+  for a = 1 to k do
+    (* single steal: elicits ⟨0..a⟩ ⊗ ⟨a..end⟩ *)
+    push (Steal_spec.at_local_indices ~policy:Steal_spec.Reduce_at_sync [ a ]);
+    for b = a + 1 to k do
+      (* right fold: elicits ⟨a..b⟩ ⊗ ⟨b..end⟩ then ⟨0..a⟩ ⊗ rest;
+         left (eager) fold: elicits ⟨0..a⟩ ⊗ ⟨a..b⟩ then rest ⊗ ⟨b..end⟩ *)
+      push (Steal_spec.at_local_indices ~policy:Steal_spec.Reduce_at_sync [ a; b ]);
+      push (Steal_spec.at_local_indices ~policy:Steal_spec.Reduce_eagerly [ a; b ]);
+      for c = b + 1 to k do
+        (* middle pair first: elicits ⟨a..b⟩ ⊗ ⟨b..c⟩ (Theorem 7) *)
+        push
+          (Steal_spec.with_name
+             (Steal_spec.at_local_indices
+                ~policy:(Steal_spec.Reduce_schedule (fun ord -> if ord = 3 then 1 else 0))
+                [ a; b; c ])
+             (Printf.sprintf "triple(%d,%d,%d)" a b c))
+      done
+    done
+  done;
+  List.rev !specs
+
+let all_specs ~k ~d =
+  (Steal_spec.none :: specs_for_updates ~k ~d) @ specs_for_reductions ~k
+
+type result = {
+  prof : profile;
+  n_specs : int;
+  racy_locs : int list;
+  reports : Report.t list;
+  per_spec : (Steal_spec.t * int list) list;
+}
+
+let exhaustive_check program =
+  let prof = profile program in
+  let specs = all_specs ~k:prof.k ~d:prof.d in
+  let seen = Hashtbl.create 32 in
+  let reports = ref [] in
+  let per_spec = ref [] in
+  List.iter
+    (fun spec ->
+      let eng = Engine.create ~spec () in
+      let detector = Sp_plus.attach eng in
+      let _ = Engine.run eng program in
+      let locs = Sp_plus.racy_locs detector in
+      per_spec := (spec, locs) :: !per_spec;
+      List.iter
+        (fun r ->
+          if not (Hashtbl.mem seen r.Report.subject) then begin
+            Hashtbl.replace seen r.Report.subject ();
+            reports := r :: !reports
+          end)
+        (Sp_plus.races detector))
+    specs;
+  {
+    prof;
+    n_specs = List.length specs;
+    racy_locs = List.sort_uniq compare (Hashtbl.fold (fun k () acc -> k :: acc) seen []);
+    reports = List.rev !reports;
+    per_spec = List.rev !per_spec;
+  }
+
+let witness_spec res loc =
+  List.find_map
+    (fun (spec, locs) -> if List.mem loc locs then Some spec else None)
+    res.per_spec

@@ -1,0 +1,63 @@
+(** Exhaustive coverage via steal-specification enumeration (paper §7).
+
+    A single SP+ run checks one schedule. For an {e ostensibly
+    deterministic} program — fixed view-oblivious strands, semantically
+    associative reducers — Theorems 6 and 7 show that
+    [Θ(max{KD, K³})] steal specifications are necessary and [O(KD + K³)]
+    sufficient to elicit {e every} possible view-aware strand, where [K]
+    is the maximum number of continuations in a sync block and [D] the
+    spawn depth. Rader's practical construction (§8) steals the same
+    continuation positions in every sync block:
+
+    - {e update strands}: one spec per continuation position (and one per
+      depth), so each update site runs at least once on a freshly created
+      view — [O(K + D)] specs covering the [Θ(M)] classes of Theorem 6;
+    - {e reduce strands}: every reduce operation combines two adjacent
+      subsequences [⟨a..b⟩ ⊗ ⟨b..c⟩] of a sync block's continuation
+      sequence; stealing the triple [(a, b, c)] and scheduling the merge
+      of the middle pair first elicits exactly that reduce strand —
+      [O(K³)] specs (Theorem 7 shows [Ω(K³)] are necessary).
+
+    [exhaustive_check] runs SP+ under the whole family and aggregates the
+    races; together with one serial Peer-Set run this yields the paper's
+    §7 coverage guarantee for races involving a view-oblivious strand. *)
+
+type profile = {
+  k : int;  (** max continuations (spawns) in any sync block *)
+  d : int;  (** max spawn depth *)
+  n_spawns : int;  (** total spawns in the serial execution *)
+}
+
+(** [profile program] measures [k], [d] and the spawn count by running
+    [program] once, uninstrumented, under [Steal_spec.none]. *)
+val profile : (Rader_runtime.Engine.ctx -> 'a) -> profile
+
+(** [specs_for_updates ~k ~d] is the update-eliciting family. *)
+val specs_for_updates : k:int -> d:int -> Rader_runtime.Steal_spec.t list
+
+(** [specs_for_reductions ~k] is the reduce-eliciting family: singles,
+    pairs (both fold directions) and middle-pair-first triples over
+    continuation positions [1..k]. *)
+val specs_for_reductions : k:int -> Rader_runtime.Steal_spec.t list
+
+(** [all_specs ~k ~d] is the union (updates, reductions, and the no-steal
+    spec). *)
+val all_specs : k:int -> d:int -> Rader_runtime.Steal_spec.t list
+
+type result = {
+  prof : profile;
+  n_specs : int;
+  racy_locs : int list;  (** union over all runs, sorted *)
+  reports : Report.t list;  (** deduplicated by location *)
+  per_spec : (Rader_runtime.Steal_spec.t * int list) list;
+      (** each spec together with the racy locations it elicited *)
+}
+
+(** [exhaustive_check program] runs SP+ on [program] under every spec in
+    [all_specs] and aggregates. *)
+val exhaustive_check : (Rader_runtime.Engine.ctx -> 'a) -> result
+
+(** [witness_spec res loc] is a steal specification that elicits a race on
+    [loc] (if one was found) — Rader's "repeat the run for regression
+    tests" hook (§8): re-run SP+ under exactly this spec to reproduce. *)
+val witness_spec : result -> int -> Rader_runtime.Steal_spec.t option

@@ -1,0 +1,33 @@
+(** Offset-span labeling [Mellor-Crummey, SC'91] — the classic labeling
+    baseline from the paper's related work (§9).
+
+    Every strand carries a label: a sequence of (offset, span) pairs that
+    grows with spawn-nesting depth. For Cilk's binary fork structure, a
+    spawn forks span-2 branches — the child extends the label with
+    [(1, 2)], the continuation with [(2, 2)] — and a sync replaces the
+    block with its sequential successor by bumping the enclosing pair's
+    offset by its span. Two labels are ordered iff one is a prefix of the
+    other, or at their first differing position the spans agree, the
+    offsets are congruent modulo the span, and the earlier offset is
+    smaller; otherwise the strands are logically parallel.
+
+    Label comparisons cost O(depth) — the trade-off against SP-bags'
+    near-constant bags that Mellor-Crummey's scheme embodies — and, like
+    SP-bags and SP-order, the algorithm is not reducer-aware. *)
+
+type t
+
+val create : Rader_runtime.Engine.t -> t
+val tool : t -> Rader_runtime.Tool.t
+val attach : Rader_runtime.Engine.t -> t
+val races : t -> Report.t list
+val found : t -> bool
+
+(** Exposed for unit tests. *)
+module Label : sig
+  type l = (int * int) array
+
+  (** [precedes a b]: serial-order test described above ([precedes a a]
+      is true: a strand is serial with itself). *)
+  val precedes : l -> l -> bool
+end

@@ -1,0 +1,47 @@
+(** Brute-force ground-truth race detection from a recorded execution.
+
+    These oracles re-derive races directly from the definitions in the
+    paper, using the recorded performance dag, access trace, region-merge
+    log and reducer-read log of an engine run with [~record:true]. They are
+    asymptotically expensive (reachability matrices, all access pairs) and
+    exist to property-test the real detectors, whose outputs must agree
+    with them exactly.
+
+    - A {e view-read race} exists iff two reducer-reads of the same reducer
+      occur at strands with different peer sets (Definition 1 / §3),
+      evaluated on the user dag of the serial execution (run the program
+      under [Steal_spec.none]).
+    - A {e determinacy race} exists between accesses [e1] (earlier in the
+      serial order) and [e2] to the same location, one of them a write,
+      iff they are logically parallel in the performance dag and — when
+      [e2] is view-aware — they operate on {e parallel views}: the view
+      IDs of their strands, canonicalized through all region merges that
+      happened before [e2] executed, differ (§5). This canonicalization is
+      the semantic counterpart of SP+ preserving the destination bag's vid
+      on every union. *)
+
+(** [view_read_races eng] is the sorted list of reducer ids with a
+    view-read race. Requires a recorded run; meaningful under
+    [Steal_spec.none]. @raise Invalid_argument if the run was not
+    recorded. *)
+val view_read_races : Rader_runtime.Engine.t -> int list
+
+(** [view_read_pairs eng] is every racing pair of reducer-read strands,
+    as [(reducer, strand1, strand2)] — for debugging test failures. *)
+val view_read_pairs : Rader_runtime.Engine.t -> (int * int * int) list
+
+(** [determinacy_races eng] is the sorted list of location ids involved in
+    at least one determinacy race in the recorded execution. *)
+val determinacy_races : Rader_runtime.Engine.t -> int list
+
+(** [determinacy_pairs eng] is every racing access pair as
+    [(loc, strand1, strand2)] — for debugging. *)
+val determinacy_pairs : Rader_runtime.Engine.t -> (int * int * int) list
+
+(** {1 Offline variants} operating on saved {!Trace.t} values — the
+    Engine entry points above are [_t ∘ Trace.of_engine]. *)
+
+val view_read_races_t : Trace.t -> int list
+val view_read_pairs_t : Trace.t -> (int * int * int) list
+val determinacy_races_t : Trace.t -> int list
+val determinacy_pairs_t : Trace.t -> (int * int * int) list

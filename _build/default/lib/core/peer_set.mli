@@ -1,0 +1,43 @@
+(** The Peer-Set algorithm (paper §3, Fig. 3).
+
+    Detects {e view-read races}: two reducer-reads (create / set-value /
+    get-value) of the same reducer executed at strands with different peer
+    sets, which makes the value observed dependent on scheduling. The
+    algorithm follows the serial execution, maintaining for every function
+    instantiation [F] on the call stack the ancestor-spawn count [F.as],
+    the local-spawn count [F.ls], and three bags of completed-descendant
+    ids in a fast disjoint-set structure:
+
+    - [F.SS]: descendants with the same peer set as [F]'s first strand;
+    - [F.SP]: descendants with the same peer set as the last continuation
+      strand [F] executed (empty if [F] has not spawned since its last
+      sync);
+    - [F.P]: all other completed descendants.
+
+    A shadow map [reader(h)] keeps the last reader of reducer [h] and its
+    spawn count. A reducer-read races with the previous one iff the
+    previous reader sits in a P bag or the spawn counts differ
+    (paper Lemma 3 / Theorem 4).
+
+    The detector is correct for the serial execution ([Steal_spec.none]);
+    run it without steals, as Rader does for the Check-view-read-race
+    configuration. Cost: O(T α(x, x)) for x reducers (Theorem 1). *)
+
+type t
+
+(** [create eng] makes a detector bound to [eng] (for strand ids and
+    labels in reports). Install with [Engine.set_tool eng (tool d)] or use
+    {!attach}. *)
+val create : Rader_runtime.Engine.t -> t
+
+(** [tool d] is the detector's event interface. *)
+val tool : t -> Rader_runtime.Tool.t
+
+(** [attach eng] creates a detector and installs it on [eng]. *)
+val attach : Rader_runtime.Engine.t -> t
+
+(** [races d] is the view-read races found so far, one per reducer. *)
+val races : t -> Report.t list
+
+(** [found d] is true iff any race was detected. *)
+val found : t -> bool

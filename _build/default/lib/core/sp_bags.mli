@@ -1,0 +1,26 @@
+(** The SP-bags algorithm [Feng & Leiserson '99] — the baseline detector.
+
+    Detects determinacy races in computations {e without} reducers: every
+    function instantiation [F] keeps an S bag (completed descendants in
+    series with the current strand) and a P bag (completed descendants
+    logically parallel to it); shadow spaces [reader]/[writer] keep the
+    last accessor of each location, and an access races iff the recorded
+    accessor lies in a P bag.
+
+    SP-bags is {e not} reducer-aware: it ignores steal and reduce events
+    and treats view-aware accesses like ordinary ones. Run on a computation
+    that uses reducers under a steal specification, it can both miss races
+    (it never sees reduce strands under [Steal_spec.none] — the situation
+    of the paper's Figure 1) and report false positives (it takes a reduce
+    strand's accesses, which are in series with the views it merges, to be
+    parallel) — this is precisely the motivation for SP+ (paper §1, §5).
+    It is included as the correctness baseline for view-oblivious programs
+    and for overhead comparisons. *)
+
+type t
+
+val create : Rader_runtime.Engine.t -> t
+val tool : t -> Rader_runtime.Tool.t
+val attach : Rader_runtime.Engine.t -> t
+val races : t -> Report.t list
+val found : t -> bool

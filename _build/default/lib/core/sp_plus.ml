@@ -1,0 +1,190 @@
+module Engine = Rader_runtime.Engine
+module Tool = Rader_runtime.Tool
+module Bag = Rader_dsets.Bag
+module Shadow = Rader_memory.Shadow
+module Dynarr = Rader_support.Dynarr
+
+type bag_kind = KS | KP
+
+type payload = { bkind : bag_kind; vid : int }
+
+type fstate = {
+  fid : int;
+  fkind : Tool.frame_kind;
+  s : payload Bag.t;
+  pstack : payload Bag.t Dynarr.t;
+}
+
+type t = {
+  eng : Engine.t;
+  store : payload Bag.store;
+  stack : fstate Dynarr.t;
+  reader : Shadow.t;
+  writer : Shadow.t;
+  collector : Report.collector;
+}
+
+let create eng =
+  {
+    eng;
+    store = Bag.create_store ();
+    stack = Dynarr.create ();
+    reader = Shadow.create ();
+    writer = Shadow.create ();
+    collector = Report.collector ();
+  }
+
+let top d = Dynarr.top d.stack
+
+let top_vid f = (Bag.payload (Dynarr.top f.pstack)).vid
+
+let on_frame_enter d ~frame ~kind =
+  (* Fig. 6, "F spawns or calls G": G's S bag and initial P bag inherit the
+     view ID of F's top P bag (0 for the root frame). *)
+  let vid = if Dynarr.is_empty d.stack then 0 else top_vid (top d) in
+  let s = Bag.make d.store { bkind = KS; vid } [ frame ] in
+  let pstack = Dynarr.create () in
+  Dynarr.push pstack (Bag.make d.store { bkind = KP; vid } []);
+  Dynarr.push d.stack { fid = frame; fkind = kind; s; pstack }
+
+let on_frame_return d ~frame ~spawned =
+  let g = Dynarr.pop d.stack in
+  assert (g.fid = frame);
+  if not (Dynarr.is_empty d.stack) then begin
+    let f = top d in
+    (* G has synced: its P stack holds a single empty bag; only G.S moves.
+       A returning Reduce invocation joins the P bag whose views it just
+       merged (it is in series with those descendants but parallel to the
+       sync block's later regions, paper §6); spawned children join the
+       top P bag; called children are serial with F. *)
+    if g.fkind = Tool.Reduce_fn || spawned then
+      Bag.union_into d.store ~dst:(Dynarr.top f.pstack) ~src:g.s
+    else Bag.union_into d.store ~dst:f.s ~src:g.s
+  end
+
+let on_sync d ~frame =
+  let f = top d in
+  assert (f.fid = frame);
+  assert (Dynarr.length f.pstack = 1);
+  let p = Dynarr.pop f.pstack in
+  Bag.union_into d.store ~dst:f.s ~src:p;
+  let svid = (Bag.payload f.s).vid in
+  Dynarr.push f.pstack (Bag.make d.store { bkind = KP; vid = svid } [])
+
+let on_steal d ~frame ~region =
+  let f = top d in
+  assert (f.fid = frame);
+  Dynarr.push f.pstack (Bag.make d.store { bkind = KP; vid = region } [])
+
+let on_reduce d ~frame ~into_region:_ ~from_region:_ =
+  let f = top d in
+  assert (f.fid = frame);
+  let p = Dynarr.pop f.pstack in
+  Bag.union_into d.store ~dst:(Dynarr.top f.pstack) ~src:p
+
+(* Shadow-entry classification: the bag currently holding the recorded
+   frame, if it is a P bag, together with its vid. *)
+let find_bag d frame_id =
+  if frame_id = Shadow.absent then None else Bag.find d.store frame_id
+
+let report d ~loc ~first_frame ~first_access ~second_access ~frame ~view_aware ~detail =
+  Report.report d.collector
+    {
+      Report.kind = Report.Determinacy_race;
+      subject = loc;
+      subject_label = Engine.loc_label d.eng loc;
+      first_frame;
+      first_access;
+      second_frame = frame;
+      second_access;
+      second_strand = Engine.current_strand d.eng;
+      second_view_aware = view_aware;
+      detail;
+    }
+
+let on_read d ~frame ~loc ~view_aware =
+  let f = top d in
+  let w = Shadow.get d.writer loc in
+  (match find_bag d w with
+  | Some bag when (Bag.payload bag).bkind = KP ->
+      if not view_aware then
+        report d ~loc ~first_frame:w ~first_access:Report.Write
+          ~second_access:Report.Read ~frame ~view_aware ~detail:""
+      else begin
+        let cur = top_vid f in
+        let pv = (Bag.payload bag).vid in
+        if pv <> cur then
+          report d ~loc ~first_frame:w ~first_access:Report.Write
+            ~second_access:Report.Read ~frame ~view_aware
+            ~detail:(Printf.sprintf "parallel views %d vs %d" pv cur)
+      end
+  | _ -> ());
+  (* Shadow update. *)
+  let r = Shadow.get d.reader loc in
+  let update =
+    match find_bag d r with
+    | None -> true
+    | Some bag ->
+        let p = Bag.payload bag in
+        p.bkind = KS
+        || (view_aware && f.fkind = Tool.Reduce_fn && p.vid = top_vid f)
+  in
+  if update then Shadow.set d.reader loc frame
+
+let on_write d ~frame ~loc ~view_aware =
+  let f = top d in
+  let check ~first_frame ~first_access =
+    match find_bag d first_frame with
+    | Some bag when (Bag.payload bag).bkind = KP ->
+        if not view_aware then
+          report d ~loc ~first_frame ~first_access ~second_access:Report.Write
+            ~frame ~view_aware ~detail:""
+        else begin
+          let cur = top_vid f in
+          let pv = (Bag.payload bag).vid in
+          if pv <> cur then
+            report d ~loc ~first_frame ~first_access ~second_access:Report.Write
+              ~frame ~view_aware
+              ~detail:(Printf.sprintf "parallel views %d vs %d" pv cur)
+        end
+    | _ -> ()
+  in
+  check ~first_frame:(Shadow.get d.reader loc) ~first_access:Report.Read;
+  check ~first_frame:(Shadow.get d.writer loc) ~first_access:Report.Write;
+  let w = Shadow.get d.writer loc in
+  let update =
+    match find_bag d w with
+    | None -> true
+    | Some bag ->
+        let p = Bag.payload bag in
+        p.bkind = KS
+        || (view_aware && f.fkind = Tool.Reduce_fn && p.vid = top_vid f)
+  in
+  if update then Shadow.set d.writer loc frame
+
+let tool d =
+  {
+    Tool.on_frame_enter =
+      (fun ~frame ~parent:_ ~spawned:_ ~kind -> on_frame_enter d ~frame ~kind);
+    on_frame_return =
+      (fun ~frame ~parent:_ ~spawned ~kind:_ -> on_frame_return d ~frame ~spawned);
+    on_sync = (fun ~frame -> on_sync d ~frame);
+    on_steal = (fun ~frame ~region -> on_steal d ~frame ~region);
+    on_reduce =
+      (fun ~frame ~into_region ~from_region ->
+        on_reduce d ~frame ~into_region ~from_region);
+    on_read = (fun ~frame ~loc ~view_aware -> on_read d ~frame ~loc ~view_aware);
+    on_write = (fun ~frame ~loc ~view_aware -> on_write d ~frame ~loc ~view_aware);
+    on_reducer_read = (fun ~frame:_ ~reducer:_ -> ());
+  }
+
+let attach eng =
+  let d = create eng in
+  Engine.set_tool eng (tool d);
+  d
+
+let races d = Report.races d.collector
+
+let found d = Report.count d.collector > 0
+
+let racy_locs d = Report.racy_subjects d.collector

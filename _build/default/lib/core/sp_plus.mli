@@ -1,0 +1,35 @@
+(** The SP+ algorithm (paper §5–§6, Fig. 6).
+
+    Detects determinacy races in Cilk computations {e that use reducers},
+    executed serially under a steal specification that fixes which
+    continuations are stolen and which reduce operations run when. SP+
+    extends SP-bags in two ways:
+
+    - Each function instantiation [F] keeps, instead of one P bag, a
+      {e stack} of P bags, each tagged with a view ID ([vid]): executing a
+      stolen continuation pushes a fresh P bag with the new view's id, and
+      every runtime [Reduce] pops the top P bag and unions it into the one
+      below (the destination's vid survives) — imitating how the runtime
+      creates views at steals and destroys dominated views at reduces.
+
+    - Accesses by {e view-aware} strands (update / reduce /
+      create-identity code) only race with parallel accesses whose
+      recorded P bag carries a {e different} vid — logically parallel
+      strands operating on the same view are in series through the reduce
+      tree. A reduce strand may also overwrite a shadow entry whose bag
+      shares its vid, since the reduce serializes with those strands.
+
+    Correct for the execution named by the steal specification
+    (paper §6); cost O((T + Mτ) α(v, v)) for M steals and reduce cost τ
+    (Theorem 5). Combine with {!Coverage} for the §7 guarantee. *)
+
+type t
+
+val create : Rader_runtime.Engine.t -> t
+val tool : t -> Rader_runtime.Tool.t
+val attach : Rader_runtime.Engine.t -> t
+val races : t -> Report.t list
+val found : t -> bool
+
+(** [racy_locs d] is the sorted list of distinct racy location ids. *)
+val racy_locs : t -> int list

@@ -1,0 +1,1 @@
+lib/dag/dag.ml: Array Hashtbl List Printf Rader_support

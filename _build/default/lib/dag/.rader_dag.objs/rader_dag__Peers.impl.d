@@ -1,0 +1,1 @@
+lib/dag/peers.ml: Array Dag Rader_support Reach

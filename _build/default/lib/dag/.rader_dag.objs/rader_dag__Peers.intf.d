@@ -1,0 +1,1 @@
+lib/dag/peers.mli: Dag Rader_support

@@ -1,0 +1,1 @@
+lib/dag/reach.ml: Array Dag List Rader_support

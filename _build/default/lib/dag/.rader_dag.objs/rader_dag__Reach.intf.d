@@ -1,0 +1,1 @@
+lib/dag/reach.mli: Dag Rader_support

@@ -1,0 +1,1 @@
+lib/dag/sp_tree.ml: Array Dag Hashtbl List Printf Rader_support

@@ -1,0 +1,21 @@
+(** Peer sets (paper §3).
+
+    The peers of a strand [u] are [peers(u) = { w ∈ V : w ‖ u }]. Peer-set
+    semantics guarantee that the view of a reducer observed at [v] reflects
+    the updates since [u] iff [peers(u) = peers(v)] (Definition 1); the
+    Peer-Set algorithm detects reducer-reads whose peer sets differ. This
+    module computes peer sets explicitly — the testing oracle. *)
+
+type t
+
+(** [compute dag] precomputes everything needed for peer queries. *)
+val compute : Dag.t -> t
+
+(** [peers t u] is the peer bitset of [u] (do not mutate). *)
+val peers : t -> int -> Rader_support.Bitset.t
+
+(** [equal_peers t u v] is [peers(u) = peers(v)]. *)
+val equal_peers : t -> int -> int -> bool
+
+(** [n_peers t u] is [|peers(u)|]. *)
+val n_peers : t -> int -> int

@@ -1,0 +1,49 @@
+module Bitset = Rader_support.Bitset
+
+type t = {
+  n : int;
+  desc : Bitset.t array; (* desc.(u) = strict descendants of u *)
+  anc : Bitset.t array; (* anc.(u) = strict ancestors of u *)
+}
+
+let compute dag =
+  let n = Dag.n_strands dag in
+  let desc = Array.init n (fun _ -> Bitset.create n) in
+  let anc = Array.init n (fun _ -> Bitset.create n) in
+  (* Strand ids are a topological order, so a reverse sweep closes desc
+     and a forward sweep closes anc. *)
+  for u = n - 1 downto 0 do
+    List.iter
+      (fun v ->
+        Bitset.add desc.(u) v;
+        Bitset.union_into desc.(u) desc.(v))
+      (Dag.succs dag u)
+  done;
+  for v = 0 to n - 1 do
+    List.iter
+      (fun u ->
+        Bitset.add anc.(v) u;
+        Bitset.union_into anc.(v) anc.(u))
+      (Dag.preds dag v)
+  done;
+  { n; desc; anc }
+
+let check t u = if u < 0 || u >= t.n then invalid_arg "Reach: unknown strand"
+
+let precedes t u v =
+  check t u;
+  check t v;
+  Bitset.mem t.desc.(u) v
+
+let parallel t u v =
+  check t u;
+  check t v;
+  u <> v && (not (Bitset.mem t.desc.(u) v)) && not (Bitset.mem t.desc.(v) u)
+
+let descendants t u =
+  check t u;
+  t.desc.(u)
+
+let ancestors t u =
+  check t u;
+  t.anc.(u)

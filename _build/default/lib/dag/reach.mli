@@ -1,0 +1,27 @@
+(** Transitive reachability and logical series/parallel queries over a
+    computation dag — the brute-force ground truth that the detector
+    algorithms are property-tested against.
+
+    For strands [u], [v]: [u ≺ v] iff a path exists from [u] to [v]; [u ‖ v]
+    iff neither precedes the other (paper §3). Computed as an [n × n] bit
+    matrix by a single reverse-serial-order sweep, O(V·E/64) time and
+    O(V²/8) space — fine for the test-scale programs it is used on. *)
+
+type t
+
+(** [compute dag] builds the reachability closure. *)
+val compute : Dag.t -> t
+
+(** [precedes t u v] is [u ≺ v] (strictly: [precedes t u u = false]). *)
+val precedes : t -> int -> int -> bool
+
+(** [parallel t u v] is [u ‖ v]; false when [u = v]. *)
+val parallel : t -> int -> int -> bool
+
+(** [descendants t u] is the bitset of strands [v] with [u ≺ v]
+    (not including [u]). The returned bitset must not be mutated. *)
+val descendants : t -> int -> Rader_support.Bitset.t
+
+(** [ancestors t u] is the bitset of strands [v] with [v ≺ u]. The returned
+    bitset must not be mutated. *)
+val ancestors : t -> int -> Rader_support.Bitset.t

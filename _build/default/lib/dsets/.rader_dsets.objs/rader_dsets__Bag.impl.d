@@ -1,0 +1,1 @@
+lib/dsets/bag.ml: Dset List Rader_support

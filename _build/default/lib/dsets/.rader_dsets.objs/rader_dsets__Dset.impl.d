@@ -1,0 +1,1 @@
+lib/dsets/dset.ml: Rader_support

@@ -1,0 +1,1 @@
+lib/dsets/dset.mli:

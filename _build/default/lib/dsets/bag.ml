@@ -1,0 +1,73 @@
+module Dynarr = Rader_support.Dynarr
+
+type 'a t = {
+  mutable root : int; (* representative element, or -1 when empty *)
+  mutable payload : 'a;
+}
+
+type 'a store = {
+  dset : Dset.t;
+  owner : 'a t option Dynarr.t; (* indexed by representative element *)
+}
+
+let create_store () = { dset = Dset.create (); owner = Dynarr.create () }
+
+let set_owner store root bag =
+  Dynarr.ensure store.owner (root + 1) None;
+  Dynarr.set store.owner root bag
+
+let owner_of store root =
+  if root < Dynarr.length store.owner then Dynarr.get store.owner root else None
+
+let add_fresh store bag x =
+  Dset.add store.dset x;
+  if bag.root < 0 then begin
+    bag.root <- x;
+    set_owner store x (Some bag)
+  end
+  else begin
+    let r = Dset.union store.dset bag.root x in
+    if r <> bag.root then begin
+      set_owner store bag.root None;
+      bag.root <- r
+    end;
+    set_owner store r (Some bag)
+  end
+
+let make store payload elts =
+  let bag = { root = -1; payload } in
+  List.iter (add_fresh store bag) elts;
+  bag
+
+let payload b = b.payload
+
+let set_payload b p = b.payload <- p
+
+let add store b x = add_fresh store b x
+
+let union_into store ~dst ~src =
+  if dst == src then invalid_arg "Bag.union_into: dst and src are the same bag";
+  if src.root >= 0 then begin
+    if dst.root < 0 then begin
+      dst.root <- src.root;
+      set_owner store src.root (Some dst)
+    end
+    else begin
+      let r = Dset.union store.dset dst.root src.root in
+      set_owner store dst.root None;
+      set_owner store src.root None;
+      dst.root <- r;
+      set_owner store r (Some dst)
+    end;
+    src.root <- -1
+  end
+
+let find store x =
+  if Dset.mem store.dset x then owner_of store (Dset.find store.dset x) else None
+
+let is_empty b = b.root < 0
+
+let same_bag a b = a == b
+
+let mem store b x =
+  match find store x with Some b' -> b' == b | None -> false

@@ -1,0 +1,53 @@
+(** SP-bags-style bags: possibly-empty sets of elements with an attached
+    payload, supporting the MakeBag / FindBag / Union trio used verbatim in
+    the pseudocode of the SP-bags, SP+ (paper Fig. 6) and Peer-Set
+    (paper Fig. 3) algorithms.
+
+    A {e bag} is a descriptor object that owns the set of elements currently
+    in it; the element partition itself lives in a shared disjoint-set
+    [store]. Unioning bag [src] into bag [dst] moves all of [src]'s elements
+    into [dst] (in O(α) amortized), empties [src], and — crucially for SP+ —
+    {e preserves [dst]'s payload} (e.g. its view ID). [find] maps an element
+    to the bag currently containing it, which is how the detectors classify
+    the last reader/writer of a shadow location. *)
+
+type 'a store
+
+(** A bag holding elements, carrying a mutable payload of type ['a]. *)
+type 'a t
+
+(** [create_store ()] is a fresh element partition shared by related bags. *)
+val create_store : unit -> 'a store
+
+(** [make store payload elts] is a new bag containing exactly [elts] (each of
+    which must be fresh in [store]); [make store payload \[\]] is the
+    pseudocode's [MakeBag(∅)]. *)
+val make : 'a store -> 'a -> int list -> 'a t
+
+(** [payload b] is [b]'s payload. *)
+val payload : 'a t -> 'a
+
+(** [set_payload b p] replaces [b]'s payload. *)
+val set_payload : 'a t -> 'a -> unit
+
+(** [add store b x] inserts the fresh element [x] into [b].
+    @raise Invalid_argument if [x] is already in the store. *)
+val add : 'a store -> 'a t -> int -> unit
+
+(** [union_into store ~dst ~src] moves all elements of [src] into [dst] and
+    empties [src]. [dst]'s payload is preserved; [src] can be reused (it is
+    simply empty afterwards). The pseudocode's [A ∪= B; B = ∅]. *)
+val union_into : 'a store -> dst:'a t -> src:'a t -> unit
+
+(** [find store x] is the bag currently containing [x], or [None] if [x] was
+    never added. The pseudocode's [FindBag]. *)
+val find : 'a store -> int -> 'a t option
+
+(** [is_empty b] is true iff [b] currently holds no element. *)
+val is_empty : 'a t -> bool
+
+(** [same_bag a b] is physical identity of bag descriptors. *)
+val same_bag : 'a t -> 'a t -> bool
+
+(** [mem store b x] is true iff element [x] is currently in bag [b]. *)
+val mem : 'a store -> 'a t -> int -> bool

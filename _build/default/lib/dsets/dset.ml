@@ -1,0 +1,57 @@
+module Dynarr = Rader_support.Dynarr
+
+type t = {
+  parent : int Dynarr.t; (* parent.(x) = x for roots; -1 for absent *)
+  rank : int Dynarr.t;
+  mutable count : int;
+}
+
+let create () = { parent = Dynarr.create (); rank = Dynarr.create (); count = 0 }
+
+let mem t x = x >= 0 && x < Dynarr.length t.parent && Dynarr.get t.parent x >= 0
+
+let add t x =
+  if x < 0 then invalid_arg "Dset.add: negative element";
+  Dynarr.ensure t.parent (x + 1) (-1);
+  Dynarr.ensure t.rank (x + 1) 0;
+  if Dynarr.get t.parent x >= 0 then invalid_arg "Dset.add: element already present";
+  Dynarr.set t.parent x x;
+  Dynarr.set t.rank x 0;
+  t.count <- t.count + 1
+
+let rec find_root t x =
+  let p = Dynarr.get t.parent x in
+  if p = x then x
+  else begin
+    let root = find_root t p in
+    Dynarr.set t.parent x root;
+    root
+  end
+
+let find t x =
+  if not (mem t x) then invalid_arg "Dset.find: unknown element";
+  find_root t x
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra = rb then ra
+  else begin
+    let ka = Dynarr.get t.rank ra and kb = Dynarr.get t.rank rb in
+    if ka < kb then begin
+      Dynarr.set t.parent ra rb;
+      rb
+    end
+    else if ka > kb then begin
+      Dynarr.set t.parent rb ra;
+      ra
+    end
+    else begin
+      Dynarr.set t.parent rb ra;
+      Dynarr.set t.rank ra (ka + 1);
+      ra
+    end
+  end
+
+let same_set t a b = find t a = find t b
+
+let cardinal t = t.count

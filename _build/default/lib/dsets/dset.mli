@@ -1,0 +1,33 @@
+(** Disjoint-set forest over dense integer elements.
+
+    The classic union-find structure [CLRS Ch. 21] with union by rank and
+    path compression, giving amortized O(α(n)) per operation — the data
+    structure underlying the SP-bags, SP+ and Peer-Set "bags". Elements are
+    nonnegative integers allocated densely by the caller (frame ids). *)
+
+type t
+
+(** [create ()] is an empty forest. *)
+val create : unit -> t
+
+(** [add t x] makes [x] a fresh singleton set. [x] must not already be
+    present; elements may be added in any order but are stored densely, so
+    keep ids small. @raise Invalid_argument if [x] is negative or present. *)
+val add : t -> int -> unit
+
+(** [mem t x] is true iff [x] has been added. *)
+val mem : t -> int -> bool
+
+(** [find t x] is the canonical representative of [x]'s set, with path
+    compression. @raise Invalid_argument if [x] was never added. *)
+val find : t -> int -> int
+
+(** [union t a b] merges the sets of [a] and [b] (by rank) and returns the
+    representative of the merged set. *)
+val union : t -> int -> int -> int
+
+(** [same_set t a b] is true iff [a] and [b] are in one set. *)
+val same_set : t -> int -> int -> bool
+
+(** [cardinal t] is the number of elements added so far. *)
+val cardinal : t -> int

@@ -1,0 +1,1 @@
+lib/memory/loc.ml: Printf Rader_support

@@ -1,0 +1,43 @@
+module Dynarr = Rader_support.Dynarr
+
+type t = int
+
+(* Ranges are stored as (first_id, label) and resolved by binary search so
+   that allocating a million-slot array costs O(1), not O(n) label strings. *)
+type registry = {
+  mutable next : int;
+  starts : int Dynarr.t;
+  labels : string Dynarr.t;
+  sizes : int Dynarr.t;
+}
+
+let registry () =
+  { next = 0; starts = Dynarr.create (); labels = Dynarr.create (); sizes = Dynarr.create () }
+
+let alloc_range reg ~label n =
+  if n <= 0 then invalid_arg "Loc.alloc_range: size must be positive";
+  let first = reg.next in
+  reg.next <- reg.next + n;
+  Dynarr.push reg.starts first;
+  Dynarr.push reg.labels label;
+  Dynarr.push reg.sizes n;
+  first
+
+let alloc reg ~label = alloc_range reg ~label 1
+
+let label reg loc =
+  if loc < 0 || loc >= reg.next then "?"
+  else begin
+    (* binary search for the last start <= loc *)
+    let lo = ref 0 and hi = ref (Dynarr.length reg.starts - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if Dynarr.get reg.starts mid <= loc then lo := mid else hi := mid - 1
+    done;
+    let base = Dynarr.get reg.starts !lo in
+    let name = Dynarr.get reg.labels !lo in
+    if Dynarr.get reg.sizes !lo = 1 then name
+    else Printf.sprintf "%s[%d]" name (loc - base)
+  end
+
+let count reg = reg.next

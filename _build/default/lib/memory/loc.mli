@@ -1,0 +1,28 @@
+(** Dense memory-location identifiers.
+
+    Every instrumented cell and array slot is assigned a small integer id by
+    the registry at allocation time (the analogue of an address under
+    ThreadSanitizer instrumentation). Shadow spaces are indexed by these
+    ids. A registry is created per engine run so ids stay dense. *)
+
+type t = int
+
+(** A per-run allocator of location ids, with human-readable labels kept for
+    race reports. *)
+type registry
+
+(** [registry ()] is a fresh registry; the first allocated id is 0. *)
+val registry : unit -> registry
+
+(** [alloc reg ~label] returns a fresh location id described by [label]. *)
+val alloc : registry -> label:string -> t
+
+(** [alloc_range reg ~label n] returns the first of [n] consecutive fresh
+    ids; slot [i] is labelled ["label[i]"]. *)
+val alloc_range : registry -> label:string -> int -> t
+
+(** [label reg loc] is the label given at allocation ("?" if unknown). *)
+val label : registry -> t -> string
+
+(** [count reg] is the number of ids allocated so far. *)
+val count : registry -> int

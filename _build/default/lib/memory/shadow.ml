@@ -1,0 +1,16 @@
+module Dynarr = Rader_support.Dynarr
+
+type t = int Dynarr.t
+
+let absent = -1
+
+let create () = Dynarr.create ()
+
+let get t loc = if loc < Dynarr.length t then Dynarr.get t loc else absent
+
+let set t loc v =
+  if v < 0 then invalid_arg "Shadow.set: negative value";
+  Dynarr.ensure t (loc + 1) absent;
+  Dynarr.set t loc v
+
+let clear t = Dynarr.clear t

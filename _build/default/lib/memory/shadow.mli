@@ -1,0 +1,25 @@
+(** Shadow spaces: location → integer metadata.
+
+    The SP-bags/SP+ algorithms keep two shadow spaces, [reader] and
+    [writer], mapping each accessed memory location to the ID of the Cilk
+    function instantiation that last read/wrote it; Peer-Set keeps one per
+    reducer plus a spawn count. All of these are int-valued maps over dense
+    location ids with a distinguished "never accessed" value, which is what
+    this module provides. Reads and sets are O(1). *)
+
+type t
+
+(** The value returned for never-written locations. *)
+val absent : int
+
+(** [create ()] is an empty shadow space. *)
+val create : unit -> t
+
+(** [get t loc] is the stored value, or [absent]. *)
+val get : t -> int -> int
+
+(** [set t loc v] stores [v] (which must be >= 0) for [loc]. *)
+val set : t -> int -> int -> unit
+
+(** [clear t] forgets everything. *)
+val clear : t -> unit

@@ -1,0 +1,1 @@
+lib/monoid/monoid.mli:

@@ -1,0 +1,1 @@
+lib/monoid/monoids.ml: List Monoid Printf

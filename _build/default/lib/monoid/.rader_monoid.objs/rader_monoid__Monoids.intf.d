@@ -1,0 +1,1 @@
+lib/monoid/monoids.mli: Monoid

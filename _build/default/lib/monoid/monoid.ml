@@ -1,0 +1,42 @@
+type 'a t = {
+  name : string;
+  identity : unit -> 'a;
+  combine : 'a -> 'a -> 'a;
+}
+
+let make ~name ~identity ~combine = { name; identity; combine }
+
+let fold m xs = List.fold_left m.combine (m.identity ()) xs
+
+let fold_tree m xs =
+  let rec pairwise = function
+    | [] -> []
+    | [ x ] -> [ x ]
+    | x :: y :: rest -> m.combine x y :: pairwise rest
+  in
+  let rec go = function
+    | [] -> m.identity ()
+    | [ x ] -> x
+    | xs -> go (pairwise xs)
+  in
+  go xs
+
+let is_associative ~equal m samples =
+  let assoc_ok =
+    List.for_all
+      (fun a ->
+        List.for_all
+          (fun b ->
+            List.for_all
+              (fun c -> equal (m.combine (m.combine a b) c) (m.combine a (m.combine b c)))
+              samples)
+          samples)
+      samples
+  in
+  let identity_ok =
+    List.for_all
+      (fun a ->
+        equal (m.combine (m.identity ()) a) a && equal (m.combine a (m.identity ())) a)
+      samples
+  in
+  assoc_ok && identity_ok

@@ -1,0 +1,28 @@
+(** Algebraic monoids [(T, ⊗, e)].
+
+    A reducer hyperobject is defined semantically by a monoid: a carrier set
+    [T], an associative binary operation [⊗] and its identity [e] (paper §2).
+    This module holds the {e pure} representation used by the plain (non-DSL)
+    benchmark versions, the oracles, and tests; the runtime's instrumented
+    counterpart lives in [Rader_runtime.Rmonoid]. *)
+
+type 'a t = {
+  name : string;  (** for reports and debugging *)
+  identity : unit -> 'a;  (** [Create-Identity]: builds a fresh identity *)
+  combine : 'a -> 'a -> 'a;  (** [Reduce]: the associative ⊗ *)
+}
+
+(** [make ~name ~identity ~combine] is a monoid record. *)
+val make : name:string -> identity:(unit -> 'a) -> combine:('a -> 'a -> 'a) -> 'a t
+
+(** [fold m xs] is [e ⊗ x1 ⊗ ... ⊗ xn]. *)
+val fold : 'a t -> 'a list -> 'a
+
+(** [fold_tree m xs] combines [xs] as a balanced binary tree; by
+    associativity the result equals [fold m xs]. Used by tests to check
+    that user monoids really are associative under rebracketing. *)
+val fold_tree : 'a t -> 'a list -> 'a
+
+(** [is_associative ~equal m samples] checks [⊗] associativity and the
+    identity laws on every triple drawn from [samples]. O(n³); for tests. *)
+val is_associative : equal:('a -> 'a -> bool) -> 'a t -> 'a list -> bool

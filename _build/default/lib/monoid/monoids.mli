@@ -1,0 +1,78 @@
+(** Standard monoid instances, mirroring the reducer library shipped with
+    Cilk Plus plus the user-defined monoids of the paper's benchmarks
+    (Bag for pbfs, hypervector for collision, best-so-far for knapsack). *)
+
+(** [reducer_opadd]: integer addition, identity 0 (Cilk's [reducer_opadd]). *)
+val int_add : int Monoid.t
+
+(** Integer multiplication, identity 1. *)
+val int_mul : int Monoid.t
+
+(** Integer minimum, identity [max_int] (Cilk's [reducer_min]). *)
+val int_min : int Monoid.t
+
+(** Integer maximum, identity [min_int] (Cilk's [reducer_max]). *)
+val int_max : int Monoid.t
+
+(** Float addition, identity 0.0. *)
+val float_add : float Monoid.t
+
+(** Bitwise AND, identity all-ones (Cilk's [reducer_opand]). *)
+val int_land : int Monoid.t
+
+(** Bitwise OR, identity 0 (Cilk's [reducer_opor]). *)
+val int_lor : int Monoid.t
+
+(** Bitwise XOR, identity 0 (Cilk's [reducer_opxor]). *)
+val int_lxor : int Monoid.t
+
+(** Boolean conjunction, identity [true]. *)
+val bool_and : bool Monoid.t
+
+(** Boolean disjunction, identity [false]. *)
+val bool_or : bool Monoid.t
+
+(** [pair a b] is the product monoid: componentwise combine. *)
+val pair : 'a Monoid.t -> 'b Monoid.t -> ('a * 'b) Monoid.t
+
+(** [arg_max] combines [(key, payload) option]s keeping the largest key;
+    ties keep the earlier (left) element, preserving determinism. *)
+val arg_max : unit -> (int * 'a) option Monoid.t
+
+(** [counter ()] multiset of keys with per-key counts; ⊗ merges counts.
+    The classic word-count / histogram reducer. *)
+val counter : unit -> (string * int) list Monoid.t
+
+(** [counter_entries c] is the sorted (key, count) list. *)
+val counter_entries : (string * int) list -> (string * int) list
+
+(** [counter_of_list keys] builds a counter from occurrences. *)
+val counter_of_list : string list -> (string * int) list
+
+(** List concatenation, identity []. Order-preserving (non-commutative):
+    the canonical test that reducers only need associativity. *)
+val list_append : unit -> 'a list Monoid.t
+
+(** String concatenation, identity "". Models Cilk's [reducer_ostream]:
+    output fragments concatenated in serial order (non-commutative). *)
+val string_concat : string Monoid.t
+
+(** An unordered multiset ("Bag") with cheap union, as used by PBFS
+    [Leiserson & Schardl '10]. Represented as a list of chunks so that
+    union is O(1); [bag_elements] flattens. *)
+type 'a bag
+
+val bag : unit -> 'a bag Monoid.t
+val bag_singleton : 'a -> 'a bag
+val bag_of_list : 'a list -> 'a bag
+val bag_elements : 'a bag -> 'a list
+val bag_size : 'a bag -> int
+
+(** A "hypervector": an append-only growable vector with concatenation as
+    ⊗, as used by the collision benchmark. *)
+type 'a hypervector
+
+val hypervector : unit -> 'a hypervector Monoid.t
+val hv_push : 'a hypervector -> 'a -> 'a hypervector
+val hv_to_list : 'a hypervector -> 'a list
+val hv_length : 'a hypervector -> int

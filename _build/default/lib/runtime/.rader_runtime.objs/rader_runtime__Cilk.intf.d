@@ -1,0 +1,1 @@
+lib/runtime/cilk.mli: Engine Steal_spec Tool

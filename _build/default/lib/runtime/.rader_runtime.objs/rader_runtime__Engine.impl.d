@@ -1,0 +1,1 @@
+lib/runtime/engine.ml: List Printf Rader_dag Rader_memory Rader_support Steal_spec Tool

@@ -1,0 +1,1 @@
+lib/runtime/engine.mli: Rader_dag Rader_memory Steal_spec Tool

@@ -1,0 +1,1 @@
+lib/runtime/mylist.ml: Cell List Reducer

@@ -1,0 +1,1 @@
+lib/runtime/mylist.mli: Engine Reducer

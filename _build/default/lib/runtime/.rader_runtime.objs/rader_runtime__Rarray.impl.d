@@ -1,0 +1,1 @@
+lib/runtime/rarray.ml: Array Engine

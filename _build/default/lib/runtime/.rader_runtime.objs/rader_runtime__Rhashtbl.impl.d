@@ -1,0 +1,1 @@
+lib/runtime/rhashtbl.ml: Array Cell Hashtbl List Option Reducer

@@ -1,0 +1,1 @@
+lib/runtime/rhashtbl.mli: Engine Reducer

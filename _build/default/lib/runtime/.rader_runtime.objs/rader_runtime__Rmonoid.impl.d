@@ -1,0 +1,1 @@
+lib/runtime/rmonoid.ml: Buffer Cell Rader_monoid Reducer

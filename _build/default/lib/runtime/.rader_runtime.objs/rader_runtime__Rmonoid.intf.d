@@ -1,0 +1,1 @@
+lib/runtime/rmonoid.mli: Buffer Cell Engine Rader_monoid Reducer

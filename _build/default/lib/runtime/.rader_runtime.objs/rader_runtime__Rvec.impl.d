@@ -1,0 +1,1 @@
+lib/runtime/rvec.ml: Array Cell Engine List Printf Rader_support Reducer

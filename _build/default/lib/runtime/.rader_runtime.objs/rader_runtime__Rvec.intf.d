@@ -1,0 +1,1 @@
+lib/runtime/rvec.mli: Engine Reducer

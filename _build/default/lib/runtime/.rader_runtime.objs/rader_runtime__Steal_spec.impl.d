@@ -1,0 +1,1 @@
+lib/runtime/steal_spec.ml: Int Int64 List Printf Set String

@@ -1,0 +1,1 @@
+lib/runtime/steal_spec.mli:

@@ -1,0 +1,18 @@
+type 'a t = { loc : int; mutable v : 'a }
+
+let make eng ?(label = "cell") v =
+  { loc = Engine.alloc_locs eng ~label 1; v }
+
+let make_in ctx ?label v = make (Engine.engine ctx) ?label v
+
+let read ctx c =
+  Engine.emit_read ctx c.loc;
+  c.v
+
+let write ctx c v =
+  Engine.emit_write ctx c.loc;
+  c.v <- v
+
+let peek c = c.v
+let poke c v = c.v <- v
+let loc c = c.loc

@@ -1,0 +1,35 @@
+(** Instrumented mutable cells.
+
+    A ['a Cell.t] is a mutable box whose reads and writes are reported to
+    the installed tool — the moral equivalent of a shared variable compiled
+    with ThreadSanitizer instrumentation. All shared state that should be
+    visible to the determinacy-race detectors must live in cells or
+    {!Rarray}s. *)
+
+type 'a t
+
+(** [make eng ?label v] allocates a cell holding [v]. The initial write is
+    untracked (it happens before the computation, like initialized program
+    data). *)
+val make : Engine.t -> ?label:string -> 'a -> 'a t
+
+(** [make_in ctx ?label v] allocates from inside a computation; the
+    allocation itself is not an instrumented access (writing to freshly
+    allocated private memory cannot race). *)
+val make_in : Engine.ctx -> ?label:string -> 'a -> 'a t
+
+(** [read ctx c] is the contents; reported as an instrumented read. *)
+val read : Engine.ctx -> 'a t -> 'a
+
+(** [write ctx c v] stores [v]; reported as an instrumented write. *)
+val write : Engine.ctx -> 'a t -> 'a -> unit
+
+(** [peek c] reads without instrumentation — for inspecting results after
+    the run, never from inside the computation. *)
+val peek : 'a t -> 'a
+
+(** [poke c v] writes without instrumentation — for test setup only. *)
+val poke : 'a t -> 'a -> unit
+
+(** [loc c] is the cell's shadow-memory location id. *)
+val loc : 'a t -> int

@@ -1,0 +1,14 @@
+type ctx = Engine.ctx
+
+type 'a future = 'a Engine.future
+
+let spawn = Engine.spawn
+let get = Engine.get
+let sync = Engine.sync
+let call = Engine.call
+let parallel_for = Engine.parallel_for
+
+let exec ?tool ?spec ?record main =
+  let eng = Engine.create ?tool ?spec ?record () in
+  let v = Engine.run eng main in
+  (v, eng)

@@ -1,0 +1,32 @@
+(** Convenience facade over the runtime: everything a program needs in one
+    module. See {!Engine} for the execution model.
+
+    {[
+      open Rader_runtime
+
+      let sum, eng =
+        Cilk.exec (fun ctx ->
+            let r = Rmonoid.new_int_add ctx ~init:0 in
+            Cilk.parallel_for ctx ~lo:0 ~hi:100 (fun ctx i ->
+                Rmonoid.add ctx r i);
+            Rmonoid.int_cell_value ctx r)
+    ]} *)
+
+type ctx = Engine.ctx
+
+type 'a future = 'a Engine.future
+
+val spawn : ctx -> (ctx -> 'a) -> 'a future
+val get : ctx -> 'a future -> 'a
+val sync : ctx -> unit
+val call : ctx -> (ctx -> 'a) -> 'a
+val parallel_for : ?grain:int -> ctx -> lo:int -> hi:int -> (ctx -> int -> unit) -> unit
+
+(** [exec ?tool ?spec ?record main] creates an engine, runs [main], and
+    returns the result together with the engine for inspection. *)
+val exec :
+  ?tool:Tool.t ->
+  ?spec:Steal_spec.t ->
+  ?record:bool ->
+  (ctx -> 'a) ->
+  'a * Engine.t

@@ -1,0 +1,451 @@
+module Dynarr = Rader_support.Dynarr
+module Loc = Rader_memory.Loc
+module Dag = Rader_dag.Dag
+
+exception Cilk_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Cilk_error s)) fmt
+
+type access = {
+  a_loc : int;
+  a_strand : int;
+  a_frame : int;
+  a_is_write : bool;
+  a_view_aware : bool;
+}
+
+type merge_rec = { m_from : int; m_into : int; m_at : int }
+
+type stats = {
+  n_frames : int;
+  n_strands : int;
+  n_spawns : int;
+  n_syncs : int;
+  n_steals : int;
+  n_reduce_calls : int;
+  n_reads : int;
+  n_writes : int;
+}
+
+(* One open view region of a sync block. [tails] (recording only) are the
+   dag vertices whose completion the region's next reduce — or the sync —
+   depends on: the last strand of each completed child spawned in the
+   region, the last continuation strand of the region's segment, and the
+   region's latest reduce strand. *)
+type region_entry = { rid : int; mutable tails : int list }
+
+type frame = {
+  fid : int;
+  depth : int;
+  kind : Tool.frame_kind;
+  spawned : bool;
+  parent_fid : int;
+  mutable alive : bool;
+  mutable sync_block : int;
+  mutable local_cont_index : int; (* spawns since last sync *)
+  mutable steals_in_block : int;
+  regions : region_entry Dynarr.t; (* stack; bottom = entry region *)
+  mutable cur_node : int; (* strand id (= dag vertex when recording) *)
+}
+
+type state = Fresh | Running | Done
+
+type t = {
+  mutable tool : Tool.t;
+  spec : Steal_spec.t;
+  record : bool;
+  registry : Loc.registry;
+  mutable next_fid : int;
+  mutable next_rid : int;
+  mutable strand_counter : int;
+  mutable spawn_counter : int;
+  dag_store : Dag.t option;
+  accesses_log : access Dynarr.t;
+  merges_log : merge_rec Dynarr.t;
+  rreads_log : (int * int) Dynarr.t;
+  spawn_log : (int * int * int) Dynarr.t;
+  frames_log : (int * int * bool * Tool.frame_kind) Dynarr.t;
+  reducer_merges :
+    (ctx -> from_region:int -> into_region:int -> unit) Dynarr.t;
+  (* During a region merge: the dependency frontier feeding the next reduce
+     strand (recording only). *)
+  mutable pending_deps : int list;
+  mutable in_merge : bool;
+  mutable state : state;
+  (* counters *)
+  mutable c_frames : int;
+  mutable c_spawns : int;
+  mutable c_syncs : int;
+  mutable c_steals : int;
+  mutable c_reduce_calls : int;
+  mutable c_reads : int;
+  mutable c_writes : int;
+}
+
+and ctx = { eng : t; frame : frame }
+
+type 'a future = { mutable value : 'a option; owner : int; born_block : int }
+
+let create ?(tool = Tool.null) ?(spec = Steal_spec.none) ?(record = false) () =
+  {
+    tool;
+    spec;
+    record;
+    registry = Loc.registry ();
+    next_fid = 0;
+    next_rid = 1;
+    strand_counter = 0;
+    spawn_counter = 0;
+    dag_store = (if record then Some (Dag.create ()) else None);
+    accesses_log = Dynarr.create ();
+    merges_log = Dynarr.create ();
+    rreads_log = Dynarr.create ();
+    spawn_log = Dynarr.create ();
+    frames_log = Dynarr.create ();
+    reducer_merges = Dynarr.create ();
+    pending_deps = [];
+    in_merge = false;
+    state = Fresh;
+    c_frames = 0;
+    c_spawns = 0;
+    c_syncs = 0;
+    c_steals = 0;
+    c_reduce_calls = 0;
+    c_reads = 0;
+    c_writes = 0;
+  }
+
+let set_tool t tool =
+  if t.state <> Fresh then err "Engine.set_tool: engine already running";
+  t.tool <- tool
+
+let dag_kind_of_frame_kind = function
+  | Tool.User_fn -> Dag.User
+  | Tool.Update_fn -> Dag.Update
+  | Tool.Reduce_fn -> Dag.Reduce
+  | Tool.Identity_fn -> Dag.Identity
+
+(* Allocate the next strand id; add the dag vertex and its incoming edges
+   when recording. *)
+let new_strand t ~frame ~kind ~view ~label ~preds =
+  let id = t.strand_counter in
+  t.strand_counter <- id + 1;
+  (match t.dag_store with
+  | None -> ()
+  | Some dag ->
+      let did = Dag.add_strand dag ~frame ~kind ~view ~label in
+      assert (did = id);
+      List.iter (fun p -> Dag.add_edge dag p id) (List.sort_uniq compare preds));
+  id
+
+let top_region fr = Dynarr.top fr.regions
+
+let cur_region fr = (top_region fr).rid
+
+let check_alive fr =
+  if not fr.alive then err "Cilk context used outside its dynamic extent"
+
+let require_user fr what =
+  check_alive fr;
+  if fr.kind <> Tool.User_fn then
+    err "%s is not allowed inside view-aware (update/reduce/identity) code" what
+
+(* Merge the two most recently opened regions of [ctx]'s frame: emit the
+   reduce event (the SP+ P-bag pop/union point), then let every registered
+   reducer fold its dominated view into the surviving one. *)
+let merge_top_two ctx =
+  let fr = ctx.frame in
+  let t = ctx.eng in
+  assert (Dynarr.length fr.regions >= 2);
+  let from = Dynarr.pop fr.regions in
+  let into = top_region fr in
+  t.tool.on_reduce ~frame:fr.fid ~into_region:into.rid ~from_region:from.rid;
+  if t.record then
+    Dynarr.push t.merges_log
+      { m_from = from.rid; m_into = into.rid; m_at = t.strand_counter };
+  t.pending_deps <- List.rev_append from.tails into.tails;
+  t.in_merge <- true;
+  Dynarr.iter
+    (fun merge_fn -> merge_fn ctx ~from_region:from.rid ~into_region:into.rid)
+    t.reducer_merges;
+  t.in_merge <- false;
+  into.tails <- t.pending_deps;
+  t.pending_deps <- []
+
+let do_sync ctx =
+  let fr = ctx.frame in
+  let t = ctx.eng in
+  require_user fr "sync";
+  let top = top_region fr in
+  top.tails <- fr.cur_node :: top.tails;
+  while Dynarr.length fr.regions > 1 do
+    merge_top_two ctx
+  done;
+  t.tool.on_sync ~frame:fr.fid;
+  t.c_syncs <- t.c_syncs + 1;
+  fr.sync_block <- fr.sync_block + 1;
+  fr.local_cont_index <- 0;
+  fr.steals_in_block <- 0;
+  let base = top_region fr in
+  let preds = base.tails in
+  base.tails <- [];
+  fr.cur_node <-
+    new_strand t ~frame:fr.fid ~kind:Dag.User ~view:base.rid ~label:"sync" ~preds
+
+let sync ctx = do_sync ctx
+
+let fresh_frame t ~parent ~spawned ~kind ~entry_rid =
+  let fid = t.next_fid in
+  t.next_fid <- fid + 1;
+  t.c_frames <- t.c_frames + 1;
+  if t.record then
+    Dynarr.push t.frames_log
+      (fid, (match parent with Some p -> p.fid | None -> -1), spawned, kind);
+  let regions = Dynarr.create () in
+  Dynarr.push regions { rid = entry_rid; tails = [] };
+  {
+    fid;
+    depth = (match parent with Some p -> p.depth + 1 | None -> 0);
+    kind;
+    spawned;
+    parent_fid = (match parent with Some p -> p.fid | None -> -1);
+    alive = true;
+    sync_block = 0;
+    local_cont_index = 0;
+    steals_in_block = 0;
+    regions;
+    cur_node = -1;
+  }
+
+(* Run [f] as a child User_fn frame. Returns the child's result and the
+   strand id of the child's final strand. *)
+let run_child ctx ~spawned f =
+  let t = ctx.eng in
+  let pf = ctx.frame in
+  require_user pf (if spawned then "spawn" else "call");
+  let entry_rid = cur_region pf in
+  let fr = fresh_frame t ~parent:(Some pf) ~spawned ~kind:Tool.User_fn ~entry_rid in
+  t.tool.on_frame_enter ~frame:fr.fid ~parent:pf.fid ~spawned ~kind:Tool.User_fn;
+  fr.cur_node <-
+    new_strand t ~frame:fr.fid ~kind:Dag.User ~view:entry_rid ~label:"enter"
+      ~preds:[ pf.cur_node ];
+  let result = f { eng = t; frame = fr } in
+  (* Cilk functions implicitly sync before returning. *)
+  do_sync { eng = t; frame = fr };
+  fr.alive <- false;
+  t.tool.on_frame_return ~frame:fr.fid ~parent:pf.fid ~spawned ~kind:Tool.User_fn;
+  (result, fr.cur_node)
+
+let fr_continue t pf ~preds =
+  pf.cur_node <-
+    new_strand t ~frame:pf.fid ~kind:Dag.User ~view:(cur_region pf) ~label:"cont"
+      ~preds
+
+let call ctx f =
+  let t = ctx.eng in
+  let pf = ctx.frame in
+  let result, child_last = run_child ctx ~spawned:false f in
+  (* Continuation after a call is in series with the child. *)
+  fr_continue t pf ~preds:[ child_last ];
+  result
+
+let spawn ctx f =
+  let t = ctx.eng in
+  let pf = ctx.frame in
+  let spawn_strand = pf.cur_node in
+  let fut = { value = None; owner = pf.fid; born_block = pf.sync_block } in
+  let result, child_last = run_child ctx ~spawned:true f in
+  fut.value <- Some result;
+  (* The spawned child joins at the sync: its last strand feeds the tail
+     set of the region it ran in. *)
+  (top_region pf).tails <- child_last :: (top_region pf).tails;
+  t.c_spawns <- t.c_spawns + 1;
+  pf.local_cont_index <- pf.local_cont_index + 1;
+  let info =
+    {
+      Steal_spec.spawn_index = t.spawn_counter;
+      frame = pf.fid;
+      depth = pf.depth;
+      local_index = pf.local_cont_index;
+      sync_block = pf.sync_block;
+    }
+  in
+  t.spawn_counter <- t.spawn_counter + 1;
+  if t.spec.Steal_spec.steal info then begin
+    pf.steals_in_block <- pf.steals_in_block + 1;
+    (* The stolen continuation closes the current region's segment: the
+       spawn strand is the segment's last strand. *)
+    let top = top_region pf in
+    top.tails <- spawn_strand :: top.tails;
+    let n_open = Dynarr.length pf.regions in
+    let k =
+      Steal_spec.merges_before_steal t.spec ~steal_ordinal:pf.steals_in_block
+        ~n_open
+    in
+    for _ = 1 to k do
+      merge_top_two ctx
+    done;
+    let rid = t.next_rid in
+    t.next_rid <- rid + 1;
+    Dynarr.push pf.regions { rid; tails = [] };
+    t.tool.on_steal ~frame:pf.fid ~region:rid;
+    t.c_steals <- t.c_steals + 1
+  end;
+  (* Continuation after a spawn depends only on the spawn strand. *)
+  fr_continue t pf ~preds:[ spawn_strand ];
+  if t.record then
+    Dynarr.push t.spawn_log (info.Steal_spec.spawn_index, spawn_strand, pf.cur_node);
+  fut
+
+let get ctx fut =
+  let fr = ctx.frame in
+  check_alive fr;
+  if fr.fid <> fut.owner then
+    err "future read from a frame other than the spawning one";
+  if fr.sync_block <= fut.born_block then
+    err "future read before sync (the spawned child may still be running)";
+  match fut.value with Some v -> v | None -> err "future has no value"
+
+let parallel_for ?(grain = 1) ctx ~lo ~hi body =
+  if grain < 1 then invalid_arg "parallel_for: grain must be >= 1";
+  if hi > lo then begin
+    let rec go ctx lo0 hi0 =
+      let lo = ref lo0 in
+      while hi0 - !lo > grain do
+        let mid = (!lo + hi0) / 2 in
+        let l = !lo in
+        ignore (spawn ctx (fun ctx -> go ctx l mid));
+        lo := mid
+      done;
+      for i = !lo to hi0 - 1 do
+        body ctx i
+      done;
+      do_sync ctx
+    in
+    call ctx (fun ctx -> go ctx lo hi)
+  end
+
+let run t main =
+  (match t.state with
+  | Fresh -> ()
+  | Running | Done -> err "Engine.run: engine values are single-use");
+  t.state <- Running;
+  let root = fresh_frame t ~parent:None ~spawned:false ~kind:Tool.User_fn ~entry_rid:0 in
+  t.tool.on_frame_enter ~frame:root.fid ~parent:(-1) ~spawned:false
+    ~kind:Tool.User_fn;
+  root.cur_node <-
+    new_strand t ~frame:root.fid ~kind:Dag.User ~view:0 ~label:"main" ~preds:[];
+  let ctx = { eng = t; frame = root } in
+  let result = main ctx in
+  do_sync ctx;
+  root.alive <- false;
+  t.tool.on_frame_return ~frame:root.fid ~parent:(-1) ~spawned:false
+    ~kind:Tool.User_fn;
+  t.state <- Done;
+  result
+
+(* -------- introspection -------- *)
+
+let engine ctx = ctx.eng
+let current_frame ctx = ctx.frame.fid
+let current_strand t = t.strand_counter - 1
+let current_region ctx = cur_region ctx.frame
+
+let stats t =
+  {
+    n_frames = t.c_frames;
+    n_strands = t.strand_counter;
+    n_spawns = t.c_spawns;
+    n_syncs = t.c_syncs;
+    n_steals = t.c_steals;
+    n_reduce_calls = t.c_reduce_calls;
+    n_reads = t.c_reads;
+    n_writes = t.c_writes;
+  }
+
+let loc_registry t = t.registry
+let loc_label t loc = Loc.label t.registry loc
+let dag t = t.dag_store
+let accesses t = Dynarr.to_list t.accesses_log
+let merges t = Dynarr.to_list t.merges_log
+let reducer_reads t = Dynarr.to_list t.rreads_log
+let spawn_log t = Dynarr.to_list t.spawn_log
+let frames t = Dynarr.to_list t.frames_log
+
+(* -------- low-level hooks -------- *)
+
+let alloc_locs t ~label n = Loc.alloc_range t.registry ~label n
+
+let emit_read ctx loc =
+  let fr = ctx.frame in
+  let t = ctx.eng in
+  check_alive fr;
+  let view_aware = fr.kind <> Tool.User_fn in
+  t.tool.on_read ~frame:fr.fid ~loc ~view_aware;
+  t.c_reads <- t.c_reads + 1;
+  if t.record then
+    Dynarr.push t.accesses_log
+      {
+        a_loc = loc;
+        a_strand = fr.cur_node;
+        a_frame = fr.fid;
+        a_is_write = false;
+        a_view_aware = view_aware;
+      }
+
+let emit_write ctx loc =
+  let fr = ctx.frame in
+  let t = ctx.eng in
+  check_alive fr;
+  let view_aware = fr.kind <> Tool.User_fn in
+  t.tool.on_write ~frame:fr.fid ~loc ~view_aware;
+  t.c_writes <- t.c_writes + 1;
+  if t.record then
+    Dynarr.push t.accesses_log
+      {
+        a_loc = loc;
+        a_strand = fr.cur_node;
+        a_frame = fr.fid;
+        a_is_write = true;
+        a_view_aware = view_aware;
+      }
+
+let emit_reducer_read ctx reducer =
+  let fr = ctx.frame in
+  let t = ctx.eng in
+  require_user fr "reducer read (create/get/set)";
+  t.tool.on_reducer_read ~frame:fr.fid ~reducer;
+  if t.record then Dynarr.push t.rreads_log (reducer, fr.cur_node)
+
+let run_aux_frame ctx kind f =
+  let t = ctx.eng in
+  let pf = ctx.frame in
+  require_user pf "reducer operation";
+  (match kind with
+  | Tool.User_fn -> invalid_arg "run_aux_frame: kind must be view-aware"
+  | Tool.Update_fn | Tool.Reduce_fn | Tool.Identity_fn -> ());
+  let entry_rid = cur_region pf in
+  let fr = fresh_frame t ~parent:(Some pf) ~spawned:false ~kind ~entry_rid in
+  t.tool.on_frame_enter ~frame:fr.fid ~parent:pf.fid ~spawned:false ~kind;
+  let in_reduce = kind = Tool.Reduce_fn && t.in_merge in
+  let preds = if in_reduce then t.pending_deps else [ pf.cur_node ] in
+  fr.cur_node <-
+    new_strand t ~frame:fr.fid
+      ~kind:(dag_kind_of_frame_kind kind)
+      ~view:entry_rid
+      ~label:(Tool.frame_kind_name kind)
+      ~preds;
+  let result = f { eng = t; frame = fr } in
+  fr.alive <- false;
+  t.tool.on_frame_return ~frame:fr.fid ~parent:pf.fid ~spawned:false ~kind;
+  if in_reduce then begin
+    t.pending_deps <- [ fr.cur_node ];
+    t.c_reduce_calls <- t.c_reduce_calls + 1
+  end
+  else fr_continue t pf ~preds:[ fr.cur_node ];
+  result
+
+let register_reducer t ~merge =
+  let id = Dynarr.length t.reducer_merges in
+  Dynarr.push t.reducer_merges merge;
+  id

@@ -1,0 +1,166 @@
+(** The Cilk execution engine.
+
+    Executes a fork-join program written against the DSL ({!spawn}, {!sync},
+    {!call}, {!parallel_for}) {e serially in its depth-first serial order} —
+    exactly the execution the Peer-Set, SP-bags and SP+ algorithms analyze —
+    while:
+
+    - dispatching every parallel-control construct and instrumented memory
+      access to the installed {!Tool.t} (the detector);
+    - simulating the Cilk runtime's reducer-view management according to a
+      {!Steal_spec.t}: a fresh view {e region} is opened at every stolen
+      continuation, regions are merged by [Reduce] operations scheduled per
+      the spec's reduce policy, and all regions of a sync block are merged
+      back to the block's base region before the sync completes (view
+      invariants 1–3 of paper §5);
+    - optionally recording the full {e performance dag} (user strands plus
+      reduce strands and reduce-tree dependencies, paper §5) and the access
+      trace, for the testing oracles and for visualization.
+
+    An engine value is single-use: create, configure, {!run} once, then
+    query results.
+
+    {2 Strand accounting}
+
+    Strand ids count up from 0 (the root frame's first strand) in serial
+    execution order. A new strand begins: when a frame is entered; when a
+    frame returns (the parent's continuation strand); at every sync
+    (explicit or the implicit one before each frame return); and at each
+    runtime-invoked [Reduce] operation. When dag recording is on, strand
+    ids coincide with dag vertex ids. *)
+
+exception Cilk_error of string
+(** Raised on violations of Cilk discipline: spawning/syncing inside
+    view-aware code, reading a spawn's result before the sync, using a
+    context outside its dynamic extent, or re-running an engine. *)
+
+type t
+type ctx
+type 'a future
+
+(** {1 Setup} *)
+
+(** [create ()] makes a fresh engine.
+    @param tool the detector callbacks; default {!Tool.null}.
+    @param spec the steal specification; default [Steal_spec.none].
+    @param record if true (default false), record the performance dag,
+    access trace, merge log and reducer-read log for later inspection. *)
+val create : ?tool:Tool.t -> ?spec:Steal_spec.t -> ?record:bool -> unit -> t
+
+(** [set_tool t tool] replaces the tool; only allowed before [run]. *)
+val set_tool : t -> Tool.t -> unit
+
+(** {1 Running} *)
+
+(** [run t main] executes [main] as the root Cilk function and returns its
+    result. @raise Cilk_error if the engine was already run. *)
+val run : t -> (ctx -> 'a) -> 'a
+
+(** {1 The DSL} *)
+
+(** [spawn ctx f] spawns [f] as a child Cilk function: [f] may execute in
+    parallel with the continuation. Its result is available through the
+    future {e after the next sync}. *)
+val spawn : ctx -> (ctx -> 'a) -> 'a future
+
+(** [get ctx fut] is the spawned child's result.
+    @raise Cilk_error if called before a sync in the spawning frame, or
+    from a different frame. *)
+val get : ctx -> 'a future -> 'a
+
+(** [sync ctx] joins all children spawned by the current frame since its
+    last sync. *)
+val sync : ctx -> unit
+
+(** [call ctx f] invokes [f] as a called (non-spawned) Cilk function and
+    returns its result directly. *)
+val call : ctx -> (ctx -> 'a) -> 'a
+
+(** [parallel_for ctx ~lo ~hi body] runs [body i] for [lo <= i < hi] with
+    all iterations logically parallel (divide-and-conquer, like
+    [cilk_for]). [grain] (default 1) is the serial chunk size. *)
+val parallel_for : ?grain:int -> ctx -> lo:int -> hi:int -> (ctx -> int -> unit) -> unit
+
+(** {1 Introspection} *)
+
+type stats = {
+  n_frames : int;
+  n_strands : int;
+  n_spawns : int;
+  n_syncs : int;
+  n_steals : int;
+  n_reduce_calls : int;  (** user [Reduce] invocations actually run *)
+  n_reads : int;
+  n_writes : int;
+}
+
+val engine : ctx -> t
+val current_frame : ctx -> int
+val current_strand : t -> int
+
+(** [current_region ctx] is the view region the current strand operates on
+    (SP+'s view ID). *)
+val current_region : ctx -> int
+
+val stats : t -> stats
+val loc_registry : t -> Rader_memory.Loc.registry
+val loc_label : t -> int -> string
+
+(** {1 Recorded trace} (only when [~record:true]) *)
+
+type access = {
+  a_loc : int;
+  a_strand : int;
+  a_frame : int;
+  a_is_write : bool;
+  a_view_aware : bool;
+}
+
+type merge_rec = {
+  m_from : int;  (** region merged away (the dominated view) *)
+  m_into : int;  (** surviving region *)
+  m_at : int;  (** strand counter value when the merge happened *)
+}
+
+(** [dag t] is the recorded performance dag. [None] unless recording. *)
+val dag : t -> Rader_dag.Dag.t option
+
+(** [accesses t] is the instrumented access trace in serial order. *)
+val accesses : t -> access list
+
+(** [merges t] is the region-merge log in serial order. *)
+val merges : t -> merge_rec list
+
+(** [reducer_reads t] is the list of (reducer id, strand id) for every
+    reducer-read, in serial order. *)
+val reducer_reads : t -> (int * int) list
+
+(** [spawn_log t] is, for every spawn in serial order,
+    [(spawn_index, spawn_strand, continuation_strand)] — the coordinates
+    the work-stealing simulator needs to translate simulated steals back
+    into a {!Steal_spec.t}. *)
+val spawn_log : t -> (int * int * int) list
+
+(** [frames t] is, for every frame in creation order,
+    [(frame, parent, spawned, kind)] ([parent = -1] for the root). *)
+val frames : t -> (int * int * bool * Tool.frame_kind) list
+
+(** {1 Low-level hooks} — used by {!Cell}, {!Rarray} and {!Reducer}; not
+    intended for end users. *)
+
+val alloc_locs : t -> label:string -> int -> int
+val emit_read : ctx -> int -> unit
+val emit_write : ctx -> int -> unit
+val emit_reducer_read : ctx -> int -> unit
+
+(** [run_aux_frame ctx kind f] runs [f] as a view-aware auxiliary frame
+    ([Update_fn], [Identity_fn] or [Reduce_fn]) in the current context. *)
+val run_aux_frame : ctx -> Tool.frame_kind -> (ctx -> 'a) -> 'a
+
+(** [register_reducer t ~merge] registers a reducer's region-merge callback
+    and returns the reducer's dense id. [merge] is invoked for every region
+    merge with the surviving ([into_region]) and dying ([from_region])
+    region ids; it must fold the reducer's [from] view (if any) into its
+    [into] view, calling {!run_aux_frame} for any user code it runs. *)
+val register_reducer :
+  t -> merge:(ctx -> from_region:int -> into_region:int -> unit) -> int

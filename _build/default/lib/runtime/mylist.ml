@@ -1,0 +1,67 @@
+type 'a node = { value : 'a; next : 'a node option Cell.t }
+
+type 'a t = { head : 'a node option Cell.t; tail : 'a node option Cell.t }
+
+let empty ctx =
+  {
+    head = Cell.make_in ctx ~label:"mylist.head" None;
+    tail = Cell.make_in ctx ~label:"mylist.tail" None;
+  }
+
+let insert ctx l x =
+  let n = { value = x; next = Cell.make_in ctx ~label:"mylist.next" None } in
+  (match Cell.read ctx l.tail with
+  | None -> Cell.write ctx l.head (Some n)
+  | Some t -> Cell.write ctx t.next (Some n));
+  Cell.write ctx l.tail (Some n)
+
+let concat ctx l r =
+  (match Cell.read ctx r.head with
+  | None -> ()
+  | Some rh ->
+      (match Cell.read ctx l.tail with
+      | None -> Cell.write ctx l.head (Some rh)
+      | Some lt -> Cell.write ctx lt.next (Some rh));
+      Cell.write ctx l.tail (Cell.read ctx r.tail));
+  l
+
+let shallow_copy ctx l =
+  {
+    head = Cell.make_in ctx ~label:"mylist.head(copy)" (Cell.read ctx l.head);
+    tail = Cell.make_in ctx ~label:"mylist.tail(copy)" (Cell.read ctx l.tail);
+  }
+
+let deep_copy ctx l =
+  let copy = empty ctx in
+  let rec go = function
+    | None -> ()
+    | Some n ->
+        insert ctx copy n.value;
+        go (Cell.read ctx n.next)
+  in
+  go (Cell.read ctx l.head);
+  copy
+
+let scan ctx l =
+  let rec go acc = function
+    | None -> acc
+    | Some n -> go (acc + 1) (Cell.read ctx n.next)
+  in
+  go 0 (Cell.read ctx l.head)
+
+let to_list ctx l =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go (n.value :: acc) (Cell.read ctx n.next)
+  in
+  go [] (Cell.read ctx l.head)
+
+let peek_list l =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go (n.value :: acc) (Cell.peek n.next)
+  in
+  go [] (Cell.peek l.head)
+
+let monoid () =
+  { Reducer.name = "mylist"; identity = empty; reduce = concat }

@@ -1,0 +1,48 @@
+(** The paper's [MyList] (Fig. 1): a singly linked list with head and tail
+    pointers for O(1) append and concatenation, with every pointer stored in
+    an instrumented {!Cell}.
+
+    This is the canonical user-defined reducer view type: [monoid ()]
+    packages {!identity}-by-[empty] and {!concat}-as-[Reduce]. The
+    {!shallow_copy} operation reproduces the Figure-1 bug — the copy gets
+    fresh head/tail pointers but shares the underlying nodes, so a
+    view-oblivious {!scan} of the original races with the view-aware
+    next-pointer write performed by a [Reduce] that appends to the copy. *)
+
+type 'a node
+
+type 'a t
+
+(** [empty ctx] is a fresh empty list (cells allocated, untracked init). *)
+val empty : Engine.ctx -> 'a t
+
+(** [insert ctx l x] appends [x] (instrumented reads/writes of the tail and
+    next pointers). *)
+val insert : Engine.ctx -> 'a t -> 'a -> unit
+
+(** [concat ctx l r] destructively appends [r]'s nodes to [l] and returns
+    [l] — the list monoid's [Reduce]. Writes the last node's next pointer:
+    the write involved in the Figure-1 determinacy race. *)
+val concat : Engine.ctx -> 'a t -> 'a t -> 'a t
+
+(** [shallow_copy ctx l] is a new list descriptor sharing [l]'s nodes (the
+    buggy copy constructor of Figure 1). *)
+val shallow_copy : Engine.ctx -> 'a t -> 'a t
+
+(** [deep_copy ctx l] copies the nodes too — the correct version. *)
+val deep_copy : Engine.ctx -> 'a t -> 'a t
+
+(** [scan ctx l] walks the list via instrumented next-pointer reads until a
+    null next pointer, returning the number of nodes visited — Figure 1's
+    [scan_list]. *)
+val scan : Engine.ctx -> 'a t -> int
+
+(** [to_list ctx l] is the elements in order (instrumented walk). *)
+val to_list : Engine.ctx -> 'a t -> 'a list
+
+(** [peek_list l] is the elements in order, uninstrumented (post-run). *)
+val peek_list : 'a t -> 'a list
+
+(** [monoid ()] is the list reducer monoid ([identity] = [empty],
+    [reduce] = [concat]). *)
+val monoid : unit -> 'a t Reducer.monoid

@@ -1,0 +1,22 @@
+type 'a t = { base : int; data : 'a array }
+
+let make eng ?(label = "arr") n v =
+  { base = Engine.alloc_locs eng ~label n; data = Array.make n v }
+
+let init eng ?(label = "arr") n f =
+  { base = Engine.alloc_locs eng ~label n; data = Array.init n f }
+
+let length a = Array.length a.data
+
+let read ctx a i =
+  Engine.emit_read ctx (a.base + i);
+  a.data.(i)
+
+let write ctx a i v =
+  Engine.emit_write ctx (a.base + i);
+  a.data.(i) <- v
+
+let peek a i = a.data.(i)
+let poke a i v = a.data.(i) <- v
+let loc a i = a.base + i
+let to_array a = Array.copy a.data

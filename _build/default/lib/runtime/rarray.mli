@@ -1,0 +1,33 @@
+(** Instrumented arrays: one shadow location per slot. *)
+
+type 'a t
+
+(** [make eng ?label n v] allocates an [n]-slot array filled with [v];
+    initialization is untracked. *)
+val make : Engine.t -> ?label:string -> int -> 'a -> 'a t
+
+(** [init eng ?label n f] allocates and fills slot [i] with [f i],
+    untracked. *)
+val init : Engine.t -> ?label:string -> int -> (int -> 'a) -> 'a t
+
+(** [length a] is the slot count (no instrumentation: the length is
+    immutable). *)
+val length : 'a t -> int
+
+(** [read ctx a i] is slot [i]; instrumented. *)
+val read : Engine.ctx -> 'a t -> int -> 'a
+
+(** [write ctx a i v] stores [v] in slot [i]; instrumented. *)
+val write : Engine.ctx -> 'a t -> int -> 'a -> unit
+
+(** [peek a i] / [poke a i v]: uninstrumented access for setup and
+    post-run verification. *)
+val peek : 'a t -> int -> 'a
+
+val poke : 'a t -> int -> 'a -> unit
+
+(** [loc a i] is slot [i]'s shadow location id. *)
+val loc : 'a t -> int -> int
+
+(** [to_array a] is an uninstrumented snapshot. *)
+val to_array : 'a t -> 'a array

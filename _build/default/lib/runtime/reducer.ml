@@ -1,0 +1,67 @@
+type 'v monoid = {
+  name : string;
+  identity : Engine.ctx -> 'v;
+  reduce : Engine.ctx -> 'v -> 'v -> 'v;
+}
+
+type 'v t = {
+  rid : int;
+  monoid : 'v monoid;
+  views : (int, 'v) Hashtbl.t; (* region id -> view *)
+  creation_region : int;
+}
+
+let create ctx monoid ~init =
+  let eng = Engine.engine ctx in
+  let views : (int, 'v) Hashtbl.t = Hashtbl.create 8 in
+  let merge mctx ~from_region ~into_region =
+    match Hashtbl.find_opt views from_region with
+    | None -> ()
+    | Some v_from -> (
+        Hashtbl.remove views from_region;
+        match Hashtbl.find_opt views into_region with
+        | None ->
+            (* The surviving region never materialized a view: its lazy
+               identity absorbs [v_from] without running user code. *)
+            Hashtbl.replace views into_region v_from
+        | Some v_into ->
+            let combined =
+              Engine.run_aux_frame mctx Tool.Reduce_fn (fun c ->
+                  monoid.reduce c v_into v_from)
+            in
+            Hashtbl.replace views into_region combined)
+  in
+  let rid = Engine.register_reducer eng ~merge in
+  Engine.emit_reducer_read ctx rid;
+  let creation_region = Engine.current_region ctx in
+  Hashtbl.replace views creation_region init;
+  { rid; monoid; views; creation_region }
+
+(* The view of the current region, materializing an identity view on
+   demand (Cilk creates views lazily at the first access after a steal). *)
+let current_view ctx r =
+  let region = Engine.current_region ctx in
+  match Hashtbl.find_opt r.views region with
+  | Some v -> v
+  | None ->
+      let v = Engine.run_aux_frame ctx Tool.Identity_fn (fun c -> r.monoid.identity c) in
+      Hashtbl.replace r.views region v;
+      v
+
+let get_value ctx r =
+  Engine.emit_reducer_read ctx r.rid;
+  current_view ctx r
+
+let set_value ctx r v =
+  Engine.emit_reducer_read ctx r.rid;
+  Hashtbl.replace r.views (Engine.current_region ctx) v
+
+let update ctx r f =
+  let v = current_view ctx r in
+  let v' = Engine.run_aux_frame ctx Tool.Update_fn (fun c -> f c v) in
+  Hashtbl.replace r.views (Engine.current_region ctx) v'
+
+let id r = r.rid
+let name r = r.monoid.name
+let peek r = Hashtbl.find_opt r.views r.creation_region
+let n_views r = Hashtbl.length r.views

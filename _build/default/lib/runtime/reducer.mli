@@ -1,0 +1,63 @@
+(** Reducer hyperobjects (paper §2).
+
+    A reducer is declared over a monoid [(T, ⊗, e)] given as an
+    {!monoid} record whose operations run {e instrumented}: [identity]
+    implements [Create-Identity] and [reduce] implements [Reduce], and both
+    receive a context so that any memory they touch goes through {!Cell} /
+    {!Rarray} and is visible to the detectors. Updates are applied through
+    {!update}, which runs as a view-aware [Update] frame.
+
+    View management follows the Cilk runtime (paper §5): each strand sees
+    the view of its current region; the first update (or value access) in a
+    freshly stolen region materializes an identity view via a
+    [Create-Identity] frame; when the engine merges two adjacent regions,
+    the reducer's dominated view is folded into the surviving one by a
+    [Reduce] frame (or simply transferred when the surviving region never
+    materialized a view, mirroring lazy view creation).
+
+    {!create}, {!get_value} and {!set_value} are {e reducer-reads} in the
+    sense of the Peer-Set algorithm (paper §3) and are reported to the tool
+    as such; [update] is not. *)
+
+type 'v monoid = {
+  name : string;
+  identity : Engine.ctx -> 'v;  (** [Create-Identity] *)
+  reduce : Engine.ctx -> 'v -> 'v -> 'v;
+      (** [reduce c left right] folds [right] (the dominated, serially later
+          view) into [left] and returns the surviving view; it may mutate
+          [left] in place. Must be semantically associative. *)
+}
+
+type 'v t
+
+(** [create ctx m ~init] declares a reducer with initial (leftmost) view
+    [init]. A reducer-read. *)
+val create : Engine.ctx -> 'v monoid -> init:'v -> 'v t
+
+(** [get_value ctx r] is the current view's value (materializing an
+    identity view if the current region has none, like Cilk's [view()]).
+    A reducer-read. *)
+val get_value : Engine.ctx -> 'v t -> 'v
+
+(** [set_value ctx r v] replaces the current view's value. A
+    reducer-read. *)
+val set_value : Engine.ctx -> 'v t -> 'v -> unit
+
+(** [update ctx r f] applies [f] to the current view inside an [Update]
+    frame and stores the result. [f] must be serial Cilk code (no spawn /
+    sync / reducer-reads) whose shared accesses go through cells. *)
+val update : Engine.ctx -> 'v t -> (Engine.ctx -> 'v -> 'v) -> unit
+
+(** [id r] is the reducer's dense id (as reported in tool events). *)
+val id : 'v t -> int
+
+(** [name r] is the monoid name. *)
+val name : 'v t -> string
+
+(** [peek r] is the value of the view living in the reducer's creation
+    region, uninstrumented — for post-run verification in tests only. *)
+val peek : 'v t -> 'v option
+
+(** [n_views r] is the number of views currently materialized —
+    1 after all regions of the creating sync block are merged. *)
+val n_views : 'v t -> int

@@ -1,0 +1,53 @@
+(** Instrumented monoids for common reducers.
+
+    These mirror the Cilk Plus reducer library ([reducer_opadd],
+    [reducer_max], [reducer_ostream], …) with views whose state lives in
+    instrumented {!Cell}s, so that update and reduce operations perform
+    real shadow-memory traffic — exactly what the SP+ algorithm must check.
+    [of_pure] wraps a pure {!Rader_monoid.Monoid.t} for reducers whose
+    views are immutable values (no instrumented internal state). *)
+
+(** [of_pure m] lifts a pure monoid; its operations touch no instrumented
+    memory (but still run as view-aware frames). *)
+val of_pure : 'a Rader_monoid.Monoid.t -> 'a Reducer.monoid
+
+(** Integer addition over a cell-backed view ([reducer_opadd]). *)
+val int_add_cell : int Cell.t Reducer.monoid
+
+(** Integer maximum over a cell-backed view ([reducer_max]). *)
+val int_max_cell : int Cell.t Reducer.monoid
+
+(** Integer minimum over a cell-backed view ([reducer_min]). *)
+val int_min_cell : int Cell.t Reducer.monoid
+
+(** Ordered output stream ([reducer_ostream]): views are cell-backed string
+    accumulators concatenated in serial order. *)
+val ostream : Buffer.t Cell.t Reducer.monoid
+
+(** [ostream_emit ctx r s] appends [s] to an ostream reducer [r] through an
+    [Update] frame. *)
+val ostream_emit : Engine.ctx -> Buffer.t Cell.t Reducer.t -> string -> unit
+
+(** [ostream_contents r] is the final output (post-run, uninstrumented).
+    @raise Invalid_argument if the reducer has no view in its creation
+    region. *)
+val ostream_contents : Buffer.t Cell.t Reducer.t -> string
+
+(** Convenience constructors for cell-backed int reducers. *)
+
+(** [new_int_add ctx ~init] declares a [reducer_opadd] with initial
+    value [init]. *)
+val new_int_add : Engine.ctx -> init:int -> int Cell.t Reducer.t
+
+(** [add ctx r k] adds [k] to an [int_add_cell] reducer. *)
+val add : Engine.ctx -> int Cell.t Reducer.t -> int -> unit
+
+(** [new_int_max ctx ~init] declares a max-reducer. *)
+val new_int_max : Engine.ctx -> init:int -> int Cell.t Reducer.t
+
+(** [maximize ctx r k] folds [k] into a max-reducer. *)
+val maximize : Engine.ctx -> int Cell.t Reducer.t -> int -> unit
+
+(** [int_cell_value ctx r] reads the current int view (a reducer-read plus
+    an instrumented cell read). *)
+val int_cell_value : Engine.ctx -> int Cell.t Reducer.t -> int

@@ -1,0 +1,89 @@
+module Dynarr = Rader_support.Dynarr
+
+type 'a t = {
+  len : int Cell.t;
+  mutable data : 'a option array;
+  locs : int Dynarr.t; (* shadow location per slot, allocated on growth *)
+}
+
+let create ctx () =
+  {
+    len = Cell.make_in ctx ~label:"rvec.len" 0;
+    data = Array.make 8 None;
+    locs = Dynarr.create ();
+  }
+
+let length ctx v = Cell.read ctx v.len
+
+let ensure_capacity ctx v n =
+  let eng = Engine.engine ctx in
+  if n > Array.length v.data then begin
+    let cap = max n (2 * Array.length v.data) in
+    let data = Array.make cap None in
+    Array.blit v.data 0 data 0 (Array.length v.data);
+    v.data <- data
+  end;
+  while Dynarr.length v.locs < n do
+    (* allocate shadow ids in chunks to keep allocation cheap *)
+    let chunk = max 8 (Dynarr.length v.locs) in
+    let base = Engine.alloc_locs eng ~label:"rvec.slot" chunk in
+    for k = 0 to chunk - 1 do
+      Dynarr.push v.locs (base + k)
+    done
+  done
+
+let check v i n =
+  if i < 0 || i >= n then
+    invalid_arg (Printf.sprintf "Rvec: index %d out of bounds [0,%d)" i n);
+  ignore v
+
+let unsafe_read ctx v i =
+  Engine.emit_read ctx (Dynarr.get v.locs i);
+  match v.data.(i) with Some x -> x | None -> assert false
+
+let unsafe_write ctx v i x =
+  Engine.emit_write ctx (Dynarr.get v.locs i);
+  v.data.(i) <- Some x
+
+let push ctx v x =
+  let n = Cell.read ctx v.len in
+  ensure_capacity ctx v (n + 1);
+  unsafe_write ctx v n x;
+  Cell.write ctx v.len (n + 1)
+
+let get ctx v i =
+  let n = Cell.read ctx v.len in
+  check v i n;
+  unsafe_read ctx v i
+
+let set ctx v i x =
+  let n = Cell.read ctx v.len in
+  check v i n;
+  unsafe_write ctx v i x
+
+let append_into ctx ~dst ~src =
+  let n_src = Cell.read ctx src.len in
+  let n_dst = Cell.read ctx dst.len in
+  ensure_capacity ctx dst (n_dst + n_src);
+  for i = 0 to n_src - 1 do
+    unsafe_write ctx dst (n_dst + i) (unsafe_read ctx src i)
+  done;
+  Cell.write ctx dst.len (n_dst + n_src)
+
+let to_list ctx v =
+  let n = Cell.read ctx v.len in
+  List.init n (fun i -> unsafe_read ctx v i)
+
+let peek_list v =
+  let n = Cell.peek v.len in
+  List.init n (fun i -> match v.data.(i) with Some x -> x | None -> assert false)
+
+let monoid () =
+  {
+    Reducer.name = "rvec";
+    identity = (fun c -> create c ());
+    reduce =
+      (fun c l r ->
+        append_into c ~dst:l ~src:r;
+        l);
+  }

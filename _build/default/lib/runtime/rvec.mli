@@ -1,0 +1,44 @@
+(** Instrumented growable vectors.
+
+    The memory-level twin of the pure hypervector monoid: every slot and
+    the length word are shadow-tracked locations, so updates and reduces
+    over vector views generate the same kind of shadow traffic as the
+    paper's C++ "hypervector" views. Concatenation ({!append_into}) reads
+    every source slot and writes every destination slot — O(|src|) work
+    in the Reduce, which is what makes reduce cost τ visible to the
+    SP+ cost model. *)
+
+type 'a t
+
+(** [create ctx ()] is an empty vector (allocation untracked). *)
+val create : Engine.ctx -> unit -> 'a t
+
+(** [length ctx v] reads the length (instrumented). *)
+val length : Engine.ctx -> 'a t -> int
+
+(** [push ctx v x] appends [x]: reads the length, writes the slot and the
+    length. *)
+val push : Engine.ctx -> 'a t -> 'a -> unit
+
+(** [get ctx v i] reads slot [i]. @raise Invalid_argument if out of
+    bounds. *)
+val get : Engine.ctx -> 'a t -> int -> 'a
+
+(** [set ctx v i x] writes slot [i]. @raise Invalid_argument if out of
+    bounds. *)
+val set : Engine.ctx -> 'a t -> int -> 'a -> unit
+
+(** [append_into ctx ~dst ~src] appends all of [src]'s elements to [dst]
+    (reads each source slot, writes each destination slot) — the
+    hypervector Reduce. [src] is left unchanged. *)
+val append_into : Engine.ctx -> dst:'a t -> src:'a t -> unit
+
+(** [to_list ctx v] reads out the contents in order (instrumented). *)
+val to_list : Engine.ctx -> 'a t -> 'a list
+
+(** [peek_list v] is the contents without instrumentation (post-run). *)
+val peek_list : 'a t -> 'a list
+
+(** [monoid ()] is the reducer monoid: identity = fresh empty vector,
+    reduce = [append_into] left. *)
+val monoid : unit -> 'a t Reducer.monoid

@@ -1,0 +1,73 @@
+type cont_info = {
+  spawn_index : int;
+  frame : int;
+  depth : int;
+  local_index : int;
+  sync_block : int;
+}
+
+type reduce_policy =
+  | Reduce_at_sync
+  | Reduce_eagerly
+  | Reduce_schedule of (int -> int)
+
+type t = {
+  name : string;
+  steal : cont_info -> bool;
+  policy : reduce_policy;
+}
+
+let none = { name = "none"; steal = (fun _ -> false); policy = Reduce_at_sync }
+
+let all ?(policy = Reduce_eagerly) () =
+  { name = "all"; steal = (fun _ -> true); policy }
+
+(* Stateless hash so that the same (seed, spawn_index) always decides the
+   same way, independent of evaluation order. splitmix64 finalizer. *)
+let hash64 seed x =
+  let open Int64 in
+  let z = add (of_int seed) (mul (of_int (x + 1)) 0x9E3779B97F4A7C15L) in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let random ?(policy = Reduce_eagerly) ~seed ~density () =
+  if density < 0.0 || density > 1.0 then invalid_arg "Steal_spec.random: density";
+  let steal info =
+    let h = hash64 seed info.spawn_index in
+    let u = Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.0 in
+    u < density
+  in
+  { name = Printf.sprintf "random(seed=%d,p=%.2f)" seed density; steal; policy }
+
+let at_local_indices ?(policy = Reduce_at_sync) idxs =
+  let steal info = List.mem info.local_index idxs in
+  {
+    name =
+      Printf.sprintf "local{%s}" (String.concat "," (List.map string_of_int idxs));
+    steal;
+    policy;
+  }
+
+let at_depth ?(policy = Reduce_eagerly) d =
+  { name = Printf.sprintf "depth=%d" d; steal = (fun info -> info.depth = d); policy }
+
+let by_spawn_index ?(policy = Reduce_at_sync) ?name idxs =
+  let module IS = Set.Make (Int) in
+  let set = IS.of_list idxs in
+  let name =
+    match name with
+    | Some n -> n
+    | None ->
+        Printf.sprintf "spawns{%s}" (String.concat "," (List.map string_of_int idxs))
+  in
+  { name; steal = (fun info -> IS.mem info.spawn_index set); policy }
+
+let with_name t name = { t with name }
+
+let merges_before_steal t ~steal_ordinal ~n_open =
+  let max_merges = max 0 (n_open - 1) in
+  match t.policy with
+  | Reduce_at_sync -> 0
+  | Reduce_eagerly -> max_merges
+  | Reduce_schedule f -> min (max 0 (f steal_ordinal)) max_merges

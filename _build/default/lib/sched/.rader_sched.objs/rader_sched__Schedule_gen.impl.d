@@ -1,0 +1,1 @@
+lib/sched/schedule_gen.ml: List Rader_runtime Wsim

@@ -1,0 +1,1 @@
+lib/sched/schedule_gen.mli: Rader_runtime

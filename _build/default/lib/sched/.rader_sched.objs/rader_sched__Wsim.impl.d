@@ -1,0 +1,1 @@
+lib/sched/wsim.ml: Array List Printf Rader_dag Rader_runtime Rader_support

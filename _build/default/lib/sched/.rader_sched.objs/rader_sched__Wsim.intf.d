@@ -1,0 +1,1 @@
+lib/sched/wsim.mli: Rader_runtime

@@ -1,0 +1,24 @@
+module Engine = Rader_runtime.Engine
+module Steal_spec = Rader_runtime.Steal_spec
+
+let derive_specs program ~workers ~seeds =
+  let eng = Engine.create ~record:true () in
+  let _ = Engine.run eng program in
+  List.map (fun seed -> Wsim.steal_spec (Wsim.simulate ~workers ~seed eng)) seeds
+
+let fuzz program ~workers ~seeds =
+  let specs = derive_specs program ~workers ~seeds in
+  let serial =
+    let eng = Engine.create () in
+    ("serial", Engine.run eng program)
+  in
+  serial
+  :: List.map
+       (fun spec ->
+         let eng = Engine.create ~spec () in
+         (spec.Steal_spec.name, Engine.run eng program))
+       specs
+
+let deterministic ~equal = function
+  | [] -> true
+  | (_, first) :: rest -> List.for_all (fun (_, r) -> equal first r) rest

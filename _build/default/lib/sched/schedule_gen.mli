@@ -1,0 +1,29 @@
+(** Schedule fuzzing: run a program under many realistic work-stealing
+    schedules and collect the results.
+
+    In a correct (ostensibly deterministic) reducer program, the result is
+    identical under every schedule; a view-read race typically shows up as
+    schedule-dependent output — the observable symptom the paper's §1–§2
+    examples describe. *)
+
+(** [derive_specs program ~workers ~seeds] records one serial run of
+    [program], then simulates work stealing on its dag once per seed and
+    returns the corresponding steal specifications. *)
+val derive_specs :
+  (Rader_runtime.Engine.ctx -> 'a) ->
+  workers:int ->
+  seeds:int list ->
+  Rader_runtime.Steal_spec.t list
+
+(** [fuzz program ~workers ~seeds] executes [program] under each derived
+    schedule and returns [(spec_name, result)] per run, serial run
+    included first. *)
+val fuzz :
+  (Rader_runtime.Engine.ctx -> 'a) ->
+  workers:int ->
+  seeds:int list ->
+  (string * 'a) list
+
+(** [deterministic ~equal results] is true iff all fuzzed results are
+    [equal] to the first. *)
+val deterministic : equal:('a -> 'a -> bool) -> (string * 'a) list -> bool

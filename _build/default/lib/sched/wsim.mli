@@ -1,0 +1,37 @@
+(** Discrete-event randomized work-stealing simulator.
+
+    Replays a recorded computation dag on [p] virtual workers under the
+    classic Cilk discipline [Blumofe & Leiserson '99]: each worker owns a
+    deque, executes strands depth-first in serial order (newly enabled
+    successors are pushed so that the serially-first one is taken next),
+    and an idle worker steals the {e oldest} ready strand from a uniformly
+    random victim. Strand costs are one time unit.
+
+    The simulator serves two purposes:
+
+    - it derives {e realistic steal sets}: a continuation counts as stolen
+      iff the simulation executes it on a different worker than its spawn
+      strand — {!steal_spec} turns that into a [Steal_spec.t], so SP+ can
+      be pointed at schedules an actual work-stealing runtime would
+      produce, and the schedule-fuzzing example can demonstrate the
+      nondeterministic outputs of racy programs;
+    - it measures the simulated makespan [T_p], from which speedup and
+      steal-frequency experiments are built. *)
+
+type result = {
+  makespan : int;  (** simulated parallel time, unit-cost strands *)
+  work : int;  (** number of strands executed (= T₁) *)
+  n_steals : int;  (** successful steals during the simulation *)
+  stolen_continuations : int list;  (** spawn indices whose continuation ran on another worker *)
+}
+
+(** [simulate ~workers ~seed eng] simulates the recorded dag of [eng]
+    (which must have been run with [~record:true]).
+    @raise Invalid_argument if nothing was recorded or [workers < 1]. *)
+val simulate : workers:int -> seed:int -> Rader_runtime.Engine.t -> result
+
+(** [steal_spec ?policy res] is the steal specification naming exactly the
+    continuations the simulation stole (default policy
+    [Reduce_eagerly], matching how a real runtime reduces opportunistically). *)
+val steal_spec :
+  ?policy:Rader_runtime.Steal_spec.reduce_policy -> result -> Rader_runtime.Steal_spec.t

@@ -1,0 +1,1 @@
+lib/support/deque.ml: Array

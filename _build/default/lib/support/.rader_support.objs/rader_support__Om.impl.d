@@ -1,0 +1,1 @@
+lib/support/om.ml: Dynarr List

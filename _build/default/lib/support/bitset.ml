@@ -1,0 +1,82 @@
+type t = { words : Bytes.t; n : int }
+
+(* We store the bits in Bytes interpreted as 64-bit words via get/set_int64
+   to keep the representation flat and copyable. *)
+
+let words_for n = (n + 63) / 64
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create";
+  { words = Bytes.make (8 * words_for n) '\000'; n }
+
+let capacity t = t.n
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitset: index out of range"
+
+let word t w = Bytes.get_int64_le t.words (8 * w)
+let set_word t w v = Bytes.set_int64_le t.words (8 * w) v
+
+let add t i =
+  check t i;
+  let w = i lsr 6 and b = i land 63 in
+  set_word t w (Int64.logor (word t w) (Int64.shift_left 1L b))
+
+let remove t i =
+  check t i;
+  let w = i lsr 6 and b = i land 63 in
+  set_word t w (Int64.logand (word t w) (Int64.lognot (Int64.shift_left 1L b)))
+
+let mem t i =
+  check t i;
+  let w = i lsr 6 and b = i land 63 in
+  Int64.logand (word t w) (Int64.shift_left 1L b) <> 0L
+
+let same_capacity a b =
+  if a.n <> b.n then invalid_arg "Bitset: capacity mismatch"
+
+let union_into dst src =
+  same_capacity dst src;
+  for w = 0 to words_for dst.n - 1 do
+    set_word dst w (Int64.logor (word dst w) (word src w))
+  done
+
+let equal a b =
+  same_capacity a b;
+  Bytes.equal a.words b.words
+
+let copy t = { words = Bytes.copy t.words; n = t.n }
+
+let popcount64 x =
+  let open Int64 in
+  let x = sub x (logand (shift_right_logical x 1) 0x5555555555555555L) in
+  let x = add (logand x 0x3333333333333333L) (logand (shift_right_logical x 2) 0x3333333333333333L) in
+  let x = logand (add x (shift_right_logical x 4)) 0x0F0F0F0F0F0F0F0FL in
+  to_int (shift_right_logical (mul x 0x0101010101010101L) 56)
+
+let cardinal t =
+  let c = ref 0 in
+  for w = 0 to words_for t.n - 1 do
+    c := !c + popcount64 (word t w)
+  done;
+  !c
+
+let iter f t =
+  for i = 0 to t.n - 1 do
+    if mem t i then f i
+  done
+
+let to_list t =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    if mem t i then acc := i :: !acc
+  done;
+  !acc
+
+let inter_nonempty a b =
+  same_capacity a b;
+  let rec go w =
+    w < words_for a.n
+    && (Int64.logand (word a w) (word b w) <> 0L || go (w + 1))
+  in
+  go 0

@@ -1,0 +1,43 @@
+(** Fixed-capacity dense bitsets.
+
+    Used by the dag oracles to compute strand reachability and peer sets:
+    for the program sizes exercised by tests (a few thousand strands), an
+    [n × n/64] bit-matrix sweep is both simple and fast. *)
+
+type t
+
+(** [create n] is an empty set over universe [\[0, n)]. *)
+val create : int -> t
+
+(** [capacity t] is the universe size [n] given at creation. *)
+val capacity : t -> int
+
+(** [add t i] inserts [i]. @raise Invalid_argument if out of range. *)
+val add : t -> int -> unit
+
+(** [remove t i] deletes [i]. *)
+val remove : t -> int -> unit
+
+(** [mem t i] is true iff [i] is in the set. *)
+val mem : t -> int -> bool
+
+(** [union_into dst src] sets [dst := dst ∪ src]. Capacities must match. *)
+val union_into : t -> t -> unit
+
+(** [equal a b] is set equality. Capacities must match. *)
+val equal : t -> t -> bool
+
+(** [copy t] is an independent copy. *)
+val copy : t -> t
+
+(** [cardinal t] is the number of elements (popcount sweep). *)
+val cardinal : t -> int
+
+(** [iter f t] applies [f] to each member in increasing order. *)
+val iter : (int -> unit) -> t -> unit
+
+(** [to_list t] is the members in increasing order. *)
+val to_list : t -> int list
+
+(** [inter_nonempty a b] is true iff [a ∩ b ≠ ∅]. *)
+val inter_nonempty : t -> t -> bool

@@ -1,0 +1,51 @@
+type 'a t = {
+  mutable data : 'a option array;
+  mutable head : int; (* index of the top (oldest) element *)
+  mutable len : int;
+}
+
+let create () = { data = Array.make 8 None; head = 0; len = 0 }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let grow t =
+  let cap = Array.length t.data in
+  let data' = Array.make (cap * 2) None in
+  for i = 0 to t.len - 1 do
+    data'.(i) <- t.data.((t.head + i) mod cap)
+  done;
+  t.data <- data';
+  t.head <- 0
+
+let push_bottom t x =
+  if t.len = Array.length t.data then grow t;
+  let cap = Array.length t.data in
+  t.data.((t.head + t.len) mod cap) <- Some x;
+  t.len <- t.len + 1
+
+let take t idx =
+  match t.data.(idx) with
+  | Some x ->
+      t.data.(idx) <- None;
+      x
+  | None -> assert false
+
+let pop_bottom t =
+  if t.len = 0 then invalid_arg "Deque.pop_bottom: empty";
+  let cap = Array.length t.data in
+  t.len <- t.len - 1;
+  take t ((t.head + t.len) mod cap)
+
+let steal_top t =
+  if t.len = 0 then invalid_arg "Deque.steal_top: empty";
+  let x = take t t.head in
+  t.head <- (t.head + 1) mod Array.length t.data;
+  t.len <- t.len - 1;
+  x
+
+let clear t =
+  Array.fill t.data 0 (Array.length t.data) None;
+  t.head <- 0;
+  t.len <- 0

@@ -1,0 +1,25 @@
+(** Double-ended queue over a growable ring buffer.
+
+    Used as the work deque in the work-stealing simulator: the owner pushes
+    and pops at the {e bottom} (LIFO), thieves take from the {e top}
+    (FIFO), the classic THE/Chase-Lev discipline — here without the
+    concurrency, since the simulator is a discrete-event model. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** [push_bottom t x] adds [x] at the owner's end. *)
+val push_bottom : 'a t -> 'a -> unit
+
+(** [pop_bottom t] removes the most recently pushed element.
+    @raise Invalid_argument if empty. *)
+val pop_bottom : 'a t -> 'a
+
+(** [steal_top t] removes the oldest element.
+    @raise Invalid_argument if empty. *)
+val steal_top : 'a t -> 'a
+
+val clear : 'a t -> unit

@@ -1,0 +1,48 @@
+type t = {
+  name : string;
+  mutable lines : string list; (* reversed *)
+}
+
+let create name = { name; lines = [] }
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let attrs_str label attrs =
+  let parts =
+    Printf.sprintf "label=\"%s\"" (escape label)
+    :: List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) attrs
+  in
+  String.concat ", " parts
+
+let node t id ~label ~attrs =
+  t.lines <- Printf.sprintf "  %s [%s];" id (attrs_str label attrs) :: t.lines
+
+let edge t a b ~attrs =
+  let suffix =
+    match attrs with
+    | [] -> ""
+    | attrs ->
+        " ["
+        ^ String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) attrs)
+        ^ "]"
+  in
+  t.lines <- Printf.sprintf "  %s -> %s%s;" a b suffix :: t.lines
+
+let subgraph_cluster t name ~label ids =
+  let body = String.concat "; " ids in
+  t.lines <-
+    Printf.sprintf "  subgraph cluster_%s { label=\"%s\"; %s; }" name (escape label) body
+    :: t.lines
+
+let render t =
+  Printf.sprintf "digraph %s {\n%s\n}\n" t.name
+    (String.concat "\n" (List.rev t.lines))

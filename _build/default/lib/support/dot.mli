@@ -1,0 +1,22 @@
+(** Minimal Graphviz (dot) emission, used to visualize computation dags and
+    SP parse trees (paper Figures 2, 4, 5). *)
+
+type t
+
+(** [create name] starts a digraph called [name]. *)
+val create : string -> t
+
+(** [node t id ~label ~attrs] declares a node. [attrs] are raw dot
+    [key=value] strings (values are quoted by the caller if needed). *)
+val node : t -> string -> label:string -> attrs:(string * string) list -> unit
+
+(** [edge t a b ~attrs] declares an edge [a -> b]. *)
+val edge : t -> string -> string -> attrs:(string * string) list -> unit
+
+(** [subgraph_cluster t name ~label ids] wraps the given node ids in a
+    cluster (used to box function instantiations like the paper's light
+    rectangles). *)
+val subgraph_cluster : t -> string -> label:string -> string list -> unit
+
+(** [render t] is the dot source. *)
+val render : t -> string

@@ -1,0 +1,96 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+}
+
+let create () = { data = [||]; len = 0 }
+
+let make n x = { data = Array.make (max n 1) x; len = n }
+
+let length t = t.len
+
+let check t i =
+  if i < 0 || i >= t.len then
+    invalid_arg (Printf.sprintf "Dynarr: index %d out of bounds [0,%d)" i t.len)
+
+let get t i = check t i; Array.unsafe_get t.data i
+
+let set t i x = check t i; Array.unsafe_set t.data i x
+
+let grow t x =
+  let cap = Array.length t.data in
+  let cap' = if cap = 0 then 8 else cap * 2 in
+  let data' = Array.make cap' x in
+  Array.blit t.data 0 data' 0 t.len;
+  t.data <- data'
+
+let push t x =
+  if t.len = Array.length t.data then grow t x;
+  Array.unsafe_set t.data t.len x;
+  t.len <- t.len + 1
+
+let pop t =
+  if t.len = 0 then invalid_arg "Dynarr.pop: empty";
+  t.len <- t.len - 1;
+  Array.unsafe_get t.data t.len
+
+let top t =
+  if t.len = 0 then invalid_arg "Dynarr.top: empty";
+  Array.unsafe_get t.data (t.len - 1)
+
+let is_empty t = t.len = 0
+
+let clear t = t.len <- 0
+
+let ensure t n x =
+  if n > t.len then begin
+    if n > Array.length t.data then begin
+      let cap' = max n (2 * Array.length t.data) in
+      let data' = Array.make cap' x in
+      Array.blit t.data 0 data' 0 t.len;
+      t.data <- data'
+    end;
+    Array.fill t.data t.len (n - t.len) x;
+    t.len <- n
+  end
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f (Array.unsafe_get t.data i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i (Array.unsafe_get t.data i)
+  done
+
+let fold_left f acc t =
+  let acc = ref acc in
+  for i = 0 to t.len - 1 do
+    acc := f !acc (Array.unsafe_get t.data i)
+  done;
+  !acc
+
+let to_list t =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (get t i :: acc) in
+  go (t.len - 1) []
+
+let to_array t = Array.sub t.data 0 t.len
+
+let of_list xs =
+  let t = create () in
+  List.iter (push t) xs;
+  t
+
+let exists p t =
+  let rec go i = i < t.len && (p (Array.unsafe_get t.data i) || go (i + 1)) in
+  go 0
+
+let find_opt p t =
+  let rec go i =
+    if i >= t.len then None
+    else
+      let x = Array.unsafe_get t.data i in
+      if p x then Some x else go (i + 1)
+  in
+  go 0

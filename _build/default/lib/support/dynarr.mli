@@ -1,0 +1,69 @@
+(** Growable arrays.
+
+    OCaml 5.1 does not ship [Dynarray]; this is a small, allocation-conscious
+    replacement used throughout the runtime (shadow spaces, traces, dag
+    construction). Elements live in a flat [array] that doubles on demand.
+    All operations are O(1) amortized unless stated otherwise. *)
+
+type 'a t
+
+(** [create ()] is an empty dynamic array. *)
+val create : unit -> 'a t
+
+(** [make n x] is a dynamic array of length [n] filled with [x]. *)
+val make : int -> 'a -> 'a t
+
+(** [length t] is the number of elements currently stored. *)
+val length : 'a t -> int
+
+(** [get t i] is element [i]. @raise Invalid_argument if out of bounds. *)
+val get : 'a t -> int -> 'a
+
+(** [set t i x] replaces element [i]. @raise Invalid_argument if out of
+    bounds. *)
+val set : 'a t -> int -> 'a -> unit
+
+(** [push t x] appends [x] at the end. *)
+val push : 'a t -> 'a -> unit
+
+(** [pop t] removes and returns the last element.
+    @raise Invalid_argument if [t] is empty. *)
+val pop : 'a t -> 'a
+
+(** [top t] is the last element without removing it.
+    @raise Invalid_argument if [t] is empty. *)
+val top : 'a t -> 'a
+
+(** [is_empty t] is [length t = 0]. *)
+val is_empty : 'a t -> bool
+
+(** [clear t] removes all elements (keeps the backing store). *)
+val clear : 'a t -> unit
+
+(** [ensure t n x] grows [t] to length at least [n], filling new slots with
+    [x]. Does nothing if [length t >= n]. *)
+val ensure : 'a t -> int -> 'a -> unit
+
+(** [iter f t] applies [f] to every element in index order. *)
+val iter : ('a -> unit) -> 'a t -> unit
+
+(** [iteri f t] applies [f i x] to every element in index order. *)
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+(** [fold_left f acc t] folds over elements in index order. *)
+val fold_left : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+
+(** [to_list t] is the elements in index order (O(n)). *)
+val to_list : 'a t -> 'a list
+
+(** [to_array t] is a fresh array of the elements (O(n)). *)
+val to_array : 'a t -> 'a array
+
+(** [of_list xs] is a dynamic array holding [xs] in order. *)
+val of_list : 'a list -> 'a t
+
+(** [exists p t] is true iff some element satisfies [p]. *)
+val exists : ('a -> bool) -> 'a t -> bool
+
+(** [find_opt p t] is the first element satisfying [p], if any. *)
+val find_opt : ('a -> bool) -> 'a t -> 'a option

@@ -1,0 +1,115 @@
+type elt = int
+
+type t = {
+  tag : int Dynarr.t;
+  prev : int Dynarr.t; (* -1 at the head *)
+  next : int Dynarr.t; (* -1 at the tail *)
+  mutable relabels : int;
+}
+
+(* OCaml ints are 63-bit; keep tags in [0, 2^60) so midpoints and range
+   arithmetic never overflow. *)
+let tag_space_bits = 60
+let tag_limit = 1 lsl tag_space_bits (* exclusive upper bound on tags *)
+let end_gap = 1 lsl 32 (* preferred gap when appending at the tail *)
+
+let create () =
+  let t =
+    { tag = Dynarr.create (); prev = Dynarr.create (); next = Dynarr.create (); relabels = 0 }
+  in
+  Dynarr.push t.tag (tag_limit / 2);
+  Dynarr.push t.prev (-1);
+  Dynarr.push t.next (-1);
+  t
+
+let base _ = 0
+
+let length t = Dynarr.length t.tag
+
+let check t x =
+  if x < 0 || x >= length t then invalid_arg "Om: unknown element"
+
+let precedes t a b =
+  check t a;
+  check t b;
+  Dynarr.get t.tag a < Dynarr.get t.tag b
+
+let to_list t =
+  (* find head, then walk *)
+  let rec head x = if Dynarr.get t.prev x = -1 then x else head (Dynarr.get t.prev x) in
+  let rec walk x acc = if x = -1 then List.rev acc else walk (Dynarr.get t.next x) (x :: acc) in
+  walk (head 0) []
+
+let relabel_count t = t.relabels
+
+(* Spread the elements whose tags lie in the aligned range [l, l + w)
+   around [x] evenly across that range. Returns unit; tags end up strictly
+   increasing with gaps >= 2 provided w >= 4·count². *)
+let relabel_range t x ~l ~w =
+  (* find leftmost member of the range *)
+  let in_range e = e <> -1 && Dynarr.get t.tag e >= l && Dynarr.get t.tag e < l + w in
+  let leftmost = ref x in
+  while in_range (Dynarr.get t.prev !leftmost) do
+    leftmost := Dynarr.get t.prev !leftmost
+  done;
+  (* collect members in order *)
+  let members = ref [] in
+  let cursor = ref !leftmost in
+  while in_range !cursor do
+    members := !cursor :: !members;
+    cursor := Dynarr.get t.next !cursor
+  done;
+  let members = List.rev !members in
+  let count = List.length members in
+  let stride = w / (count + 1) in
+  List.iteri
+    (fun k e ->
+      Dynarr.set t.tag e (l + ((k + 1) * stride));
+      t.relabels <- t.relabels + 1)
+    members
+
+(* Ensure there is tag room immediately after [x]; relabel if needed. *)
+let make_room t x =
+  let next = Dynarr.get t.next x in
+  let next_tag = if next = -1 then tag_limit else Dynarr.get t.tag next in
+  if next_tag - Dynarr.get t.tag x >= 2 then ()
+  else begin
+    (* grow aligned ranges around x's tag until sparse enough *)
+    let rec grow i =
+      if i > tag_space_bits then failwith "Om: tag space exhausted";
+      let w = 1 lsl i in
+      let l = Dynarr.get t.tag x land lnot (w - 1) in
+      (* count members in [l, l+w) by walking both ways *)
+      let in_range e = e <> -1 && Dynarr.get t.tag e >= l && Dynarr.get t.tag e < l + w in
+      let count = ref 1 in
+      let c = ref (Dynarr.get t.prev x) in
+      while in_range !c do
+        incr count;
+        c := Dynarr.get t.prev !c
+      done;
+      c := Dynarr.get t.next x;
+      while in_range !c do
+        incr count;
+        c := Dynarr.get t.next !c
+      done;
+      if w >= 4 * !count * !count && w >= 4 then relabel_range t x ~l ~w
+      else grow (i + 1)
+    in
+    grow 2
+  end
+
+let insert_after t x =
+  check t x;
+  make_room t x;
+  let next = Dynarr.get t.next x in
+  let next_tag = if next = -1 then tag_limit else Dynarr.get t.tag next in
+  let xtag = Dynarr.get t.tag x in
+  let gap = next_tag - xtag in
+  let newtag = if next = -1 then xtag + min (gap / 2) end_gap else xtag + (gap / 2) in
+  let y = length t in
+  Dynarr.push t.tag newtag;
+  Dynarr.push t.prev x;
+  Dynarr.push t.next next;
+  Dynarr.set t.next x y;
+  if next <> -1 then Dynarr.set t.prev next y;
+  y

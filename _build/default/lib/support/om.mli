@@ -1,0 +1,42 @@
+(** Order-maintenance lists.
+
+    Maintains a total order under [insert_after] with O(1) order queries —
+    the data structure at the heart of the SP-order race-detection
+    algorithm [Bender, Fineman, Gilbert & Leiserson, SPAA'04], which the
+    paper cites as having no published implementation.
+
+    Implementation: every element carries an integer tag in [0, 2^60);
+    comparisons compare tags. An insertion with no tag gap triggers a
+    relabel of the smallest aligned tag range [l, l + 2^i) around the
+    insertion point satisfying [2^i >= 4·count²], whose elements are then
+    spread evenly (leaving gaps >= 2). This is the "simplified
+    algorithm" flavour of Bender et al.: amortized polylogarithmic
+    relabeling cost, supporting up to ~2^30 elements. *)
+
+type t
+
+(** Element handles are dense ints, assigned consecutively from 0. *)
+type elt = int
+
+(** [create ()] is a list containing a single base element (handle 0). *)
+val create : unit -> t
+
+(** [base t] is the first element ever created (handle 0). *)
+val base : t -> elt
+
+(** [insert_after t x] inserts a fresh element immediately after [x] and
+    returns its handle. O(1) amortized-ish (see module doc). *)
+val insert_after : t -> elt -> elt
+
+(** [precedes t a b] is true iff [a] is strictly before [b]. O(1). *)
+val precedes : t -> elt -> elt -> bool
+
+(** [length t] is the number of elements. *)
+val length : t -> int
+
+(** [to_list t] is all elements in list order (O(n); for tests). *)
+val to_list : t -> elt list
+
+(** [relabel_count t] is the total number of element relabelings performed
+    so far (for performance tests). *)
+val relabel_count : t -> int

@@ -1,0 +1,52 @@
+type row = Cells of string list | Rule
+
+type t = { headers : string list; mutable rows : row list (* reversed *) }
+
+let create headers = { headers; rows = [] }
+
+let add_row t cells =
+  let n = List.length t.headers in
+  let k = List.length cells in
+  if k > n then invalid_arg "Tablefmt.add_row: too many cells";
+  let cells = cells @ List.init (n - k) (fun _ -> "") in
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let measure cells =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  measure t.headers;
+  List.iter (function Cells c -> measure c | Rule -> ()) rows;
+  let buf = Buffer.create 1024 in
+  let emit_cells cells =
+    let last = ncols - 1 in
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf " | ";
+        Buffer.add_string buf c;
+        (* no trailing spaces after the last column *)
+        if i < last then
+          Buffer.add_string buf (String.make (widths.(i) - String.length c) ' '))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  let emit_rule () =
+    for i = 0 to ncols - 1 do
+      if i > 0 then Buffer.add_string buf "-+-";
+      Buffer.add_string buf (String.make widths.(i) '-')
+    done;
+    Buffer.add_char buf '\n'
+  in
+  emit_cells t.headers;
+  emit_rule ();
+  List.iter (function Cells c -> emit_cells c | Rule -> emit_rule ()) rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let cell_f v = Printf.sprintf "%.2f" v

@@ -1,0 +1,26 @@
+(** ASCII table rendering for the benchmark harness.
+
+    Produces aligned, pipe-separated tables in the style of the paper's
+    Figures 7 and 8 so that `bench/main.exe` output can be compared to the
+    paper side by side. *)
+
+type t
+
+(** [create headers] starts a table with the given column headers. *)
+val create : string list -> t
+
+(** [add_row t cells] appends a row. Rows shorter than the header are padded
+    with empty cells; longer rows raise [Invalid_argument]. *)
+val add_row : t -> string list -> unit
+
+(** [add_rule t] appends a horizontal separator line. *)
+val add_rule : t -> unit
+
+(** [render t] is the finished table as a string (trailing newline). *)
+val render : t -> string
+
+(** [print t] writes [render t] to stdout. *)
+val print : t -> unit
+
+(** [cell_f v] formats a float with 2 decimals, the paper's table style. *)
+val cell_f : float -> string

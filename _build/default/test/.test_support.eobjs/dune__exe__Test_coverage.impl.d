@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Cell Cilk Coverage Engine List Option Printf Rader_core Rader_dag Rader_runtime Reducer Rmonoid Sp_plus Steal_spec

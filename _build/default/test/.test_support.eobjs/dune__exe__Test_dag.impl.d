@@ -1,0 +1,1 @@
+test/test_dag.ml: Alcotest Array Dag Fun List Peers Printf QCheck2 QCheck_alcotest Rader_dag Rader_support Reach Sp_tree String

@@ -1,0 +1,1 @@
+test/test_detectors.ml: Alcotest Cell Cilk Engine List Mylist Offset_span Oracle Peer_set Printf Rader_core Rader_runtime Reducer Report Rmonoid Sp_bags Sp_order Sp_plus Steal_spec String

@@ -1,0 +1,1 @@
+test/test_dsets.ml: Alcotest Array Bag Dset Fun List Printf QCheck2 QCheck_alcotest Rader_dsets

@@ -1,0 +1,1 @@
+test/test_injection.ml: Alcotest Cell Cilk Coverage Engine List Peer_set Rader_benchsuite Rader_core Rader_runtime Reducer Report Rmonoid Sp_bags Sp_order Sp_plus

@@ -1,0 +1,1 @@
+test/test_monoid.ml: Alcotest Float List QCheck2 QCheck_alcotest Rader_monoid

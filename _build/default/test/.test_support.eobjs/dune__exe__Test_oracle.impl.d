@@ -1,0 +1,1 @@
+test/test_oracle.ml: Alcotest Cell Cilk Engine List Oracle Rader_core Rader_runtime Reducer Rmonoid Sp_plus Steal_spec

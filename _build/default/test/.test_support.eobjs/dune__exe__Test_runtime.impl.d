@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Buffer Cell Cilk Engine Fun Hashtbl List Mylist Option Printf Rader_dag Rader_runtime Rarray Reducer Rhashtbl Rmonoid Rvec Steal_spec

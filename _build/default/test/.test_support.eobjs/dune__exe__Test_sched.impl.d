@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Cilk Engine List Option Printf Rader_dag Rader_runtime Rader_sched Rmonoid Schedule_gen Steal_spec Wsim

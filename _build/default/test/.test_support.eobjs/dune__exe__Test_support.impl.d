@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Array Bitset Deque Dot Dynarr Fun Int List Om QCheck2 QCheck_alcotest Rader_support Rng Set Stats String Tablefmt

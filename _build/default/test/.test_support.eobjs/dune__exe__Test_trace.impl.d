@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Cell Cilk Engine Filename Fun List Mylist Oracle Rader_core Rader_dag Rader_runtime Reducer Steal_spec Sys Trace

@@ -1,0 +1,171 @@
+(* Tests for §7 coverage: spec-family sizes, profiling, and the guarantee
+   that the enumeration elicits schedule-dependent races that single runs
+   miss. *)
+
+open Rader_runtime
+open Rader_core
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let test_profile () =
+  let program ctx =
+    (* root sync block: 3 spawns; child blocks smaller; depth 2 *)
+    ignore (Cilk.spawn ctx (fun ctx -> ignore (Cilk.spawn ctx (fun _ -> ()))));
+    ignore (Cilk.spawn ctx (fun _ -> ()));
+    ignore (Cilk.spawn ctx (fun _ -> ()));
+    Cilk.sync ctx;
+    ignore (Cilk.spawn ctx (fun _ -> ()));
+    Cilk.sync ctx
+  in
+  let p = Coverage.profile program in
+  check "k = max continuations per block" 3 p.Coverage.k;
+  check "d = max spawn depth" 2 p.Coverage.d;
+  check "total spawns" 5 p.Coverage.n_spawns
+
+let test_profile_parallel_for () =
+  let p = Coverage.profile (fun ctx -> Cilk.parallel_for ctx ~lo:0 ~hi:64 (fun _ _ -> ())) in
+  checkb "k small (spawn chain per block)" true (p.Coverage.k >= 1);
+  check "spawns = segments - 1" 63 p.Coverage.n_spawns
+
+let count_triples k = k * (k - 1) * (k - 2) / 6
+
+let test_spec_family_sizes () =
+  List.iter
+    (fun k ->
+      let n = List.length (Coverage.specs_for_reductions ~k) in
+      (* singles + 2·pairs + triples *)
+      let expected = k + (k * (k - 1)) + count_triples k in
+      check (Printf.sprintf "reduction specs for k=%d" k) expected n)
+    [ 1; 2; 3; 5; 8; 16 ];
+  List.iter
+    (fun (k, d) ->
+      check
+        (Printf.sprintf "update specs k=%d d=%d" k d)
+        (k + d + 1)
+        (List.length (Coverage.specs_for_updates ~k ~d)))
+    [ (1, 0); (3, 2); (8, 4) ]
+
+let test_spec_family_cubic_growth () =
+  (* Theorem 7: the reduce-eliciting family grows as Θ(k³). *)
+  let n k = List.length (Coverage.specs_for_reductions ~k) in
+  let n8 = n 8 and n16 = n 16 in
+  let ratio = float_of_int n16 /. float_of_int n8 in
+  checkb "≈8x from k=8 to k=16" true (ratio > 5.0 && ratio < 9.0)
+
+(* A program with a race that only a specific reduce elicits: the reducer's
+   Reduce writes a shared cell read in parallel; with no steals there is no
+   reduce at all. *)
+let planted_reduce_race ctx =
+  let shared = Cell.make_in ctx ~label:"witness" 0 in
+  let monoid =
+    {
+      Reducer.name = "touchy";
+      identity = (fun c -> Cell.make_in c 0);
+      reduce =
+        (fun c l r ->
+          Cell.write c shared 1;
+          Cell.write c l (Cell.read c l + Cell.read c r);
+          l);
+    }
+  in
+  let red = Reducer.create ctx monoid ~init:(Cell.make_in ctx 0) in
+  let reader = Cilk.spawn ctx (fun ctx -> Cell.read ctx shared) in
+  Cilk.call ctx (fun ctx ->
+      Cilk.parallel_for ctx ~lo:0 ~hi:6 (fun ctx _ ->
+          Reducer.update ctx red (fun c v ->
+              Cell.write c v (Cell.read c v + 1);
+              v)));
+  Cilk.sync ctx;
+  ignore (Cilk.get ctx reader)
+
+let test_no_steal_run_misses_planted_race () =
+  let eng = Engine.create () in
+  let d = Sp_plus.attach eng in
+  ignore (Engine.run eng planted_reduce_race);
+  checkb "single serial run misses it" false (Sp_plus.found d)
+
+let test_exhaustive_check_finds_planted_race () =
+  let res = Coverage.exhaustive_check planted_reduce_race in
+  checkb "coverage finds it" true (List.length res.Coverage.racy_locs > 0);
+  checkb "spec family nonempty" true (res.Coverage.n_specs > 1);
+  (* some specs found it, the no-steal spec did not *)
+  let none_found =
+    List.find_map
+      (fun ((spec : Steal_spec.t), locs) ->
+        if spec.Steal_spec.name = "none" then Some locs else None)
+      res.Coverage.per_spec
+    |> Option.value ~default:[]
+  in
+  check "no-steal spec finds nothing" 0 (List.length none_found);
+  checkb "some spec finds it" true
+    (List.exists (fun (_, locs) -> locs <> []) res.Coverage.per_spec);
+  (* the witness spec reproduces the race in a single targeted run *)
+  match res.Coverage.racy_locs with
+  | loc :: _ -> (
+      match Coverage.witness_spec res loc with
+      | None -> Alcotest.fail "no witness spec"
+      | Some spec ->
+          let eng = Engine.create ~spec () in
+          let d = Sp_plus.attach eng in
+          ignore (Engine.run eng planted_reduce_race);
+          checkb "witness reproduces" true (List.mem loc (Sp_plus.racy_locs d)))
+  | [] -> Alcotest.fail "expected a racy loc"
+
+let test_exhaustive_check_clean_program () =
+  let clean ctx =
+    let r = Rmonoid.new_int_add ctx ~init:0 in
+    Cilk.parallel_for ctx ~lo:0 ~hi:8 (fun ctx i -> Rmonoid.add ctx r i);
+    Cilk.sync ctx;
+    ignore (Rmonoid.int_cell_value ctx r)
+  in
+  let res = Coverage.exhaustive_check clean in
+  check "no races anywhere" 0 (List.length res.Coverage.racy_locs)
+
+let test_update_depth_specs_elicit_identities () =
+  (* stealing at each continuation position makes updates run on fresh
+     views at each position at least once *)
+  let program ctx =
+    let r = Rmonoid.new_int_add ctx ~init:0 in
+    Cilk.parallel_for ctx ~lo:0 ~hi:8 (fun ctx _ -> Rmonoid.add ctx r 1);
+    Cilk.sync ctx;
+    ignore (Rmonoid.int_cell_value ctx r)
+  in
+  let prof = Coverage.profile program in
+  let specs = Coverage.specs_for_updates ~k:prof.Coverage.k ~d:prof.Coverage.d in
+  let identity_seen = ref false in
+  List.iter
+    (fun spec ->
+      let eng = Engine.create ~spec ~record:true () in
+      ignore (Engine.run eng program);
+      let dag = Option.get (Engine.dag eng) in
+      for i = 0 to Rader_dag.Dag.n_strands dag - 1 do
+        if (Rader_dag.Dag.strand dag i).Rader_dag.Dag.kind = Rader_dag.Dag.Identity then
+          identity_seen := true
+      done)
+    specs;
+  checkb "identity strands elicited" true !identity_seen
+
+let () =
+  Alcotest.run "coverage"
+    [
+      ( "profile",
+        [
+          Alcotest.test_case "counts" `Quick test_profile;
+          Alcotest.test_case "parallel_for" `Quick test_profile_parallel_for;
+        ] );
+      ( "spec families",
+        [
+          Alcotest.test_case "sizes" `Quick test_spec_family_sizes;
+          Alcotest.test_case "cubic growth" `Quick test_spec_family_cubic_growth;
+        ] );
+      ( "exhaustive check",
+        [
+          Alcotest.test_case "serial run misses" `Quick test_no_steal_run_misses_planted_race;
+          Alcotest.test_case "coverage finds planted race" `Quick
+            test_exhaustive_check_finds_planted_race;
+          Alcotest.test_case "clean program" `Quick test_exhaustive_check_clean_program;
+          Alcotest.test_case "update specs elicit identities" `Quick
+            test_update_depth_specs_elicit_identities;
+        ] );
+    ]

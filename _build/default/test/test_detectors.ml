@@ -1,0 +1,554 @@
+(* Unit tests for the three detectors on hand-crafted programs, including
+   the paper's Figure 1 and the peer-set examples of §3–§4. *)
+
+open Rader_runtime
+open Rader_core
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let run_peer_set program =
+  let eng = Engine.create () in
+  let d = Peer_set.attach eng in
+  ignore (Engine.run eng program);
+  Peer_set.races d
+
+let run_sp_bags ?spec program =
+  let eng = Engine.create ?spec () in
+  let d = Sp_bags.attach eng in
+  ignore (Engine.run eng program);
+  Sp_bags.races d
+
+let run_sp_plus ?spec program =
+  let eng = Engine.create ?spec () in
+  let d = Sp_plus.attach eng in
+  ignore (Engine.run eng program);
+  d
+
+(* ---------- Peer-Set ---------- *)
+
+let test_ps_clean_usage () =
+  let races =
+    run_peer_set (fun ctx ->
+        let r = Rmonoid.new_int_add ctx ~init:0 in
+        Cilk.parallel_for ctx ~lo:0 ~hi:10 (fun ctx i -> Rmonoid.add ctx r i);
+        Cilk.sync ctx;
+        ignore (Rmonoid.int_cell_value ctx r))
+  in
+  check "no races" 0 (List.length races)
+
+let test_ps_get_before_sync () =
+  let races =
+    run_peer_set (fun ctx ->
+        let r = Rmonoid.new_int_add ctx ~init:0 in
+        ignore (Cilk.spawn ctx (fun ctx -> Rmonoid.add ctx r 1));
+        (* reading the reducer here can observe a scheduling-dependent view *)
+        ignore (Rmonoid.int_cell_value ctx r);
+        Cilk.sync ctx)
+  in
+  check "one race" 1 (List.length races);
+  (match races with
+  | [ r ] -> checkb "is view-read" true (r.Report.kind = Report.View_read_race)
+  | _ -> ())
+
+let test_ps_set_after_spawn () =
+  (* The paper's §3 example: moving set_value after the cilk_spawn creates
+     a view-read race even if it happens to be benign. *)
+  let races =
+    run_peer_set (fun ctx ->
+        let r = Rmonoid.new_int_add ctx ~init:0 in
+        ignore (Cilk.spawn ctx (fun _ -> ()));
+        Reducer.set_value ctx r (Cell.make_in ctx 0);
+        Cilk.sync ctx)
+  in
+  check "benign but reported" 1 (List.length races)
+
+let test_ps_reads_in_sibling_spawns () =
+  let races =
+    run_peer_set (fun ctx ->
+        let r = Rmonoid.new_int_add ctx ~init:0 in
+        ignore (Cilk.spawn ctx (fun ctx -> ignore (Rmonoid.int_cell_value ctx r)));
+        ignore (Cilk.spawn ctx (fun ctx -> ignore (Rmonoid.int_cell_value ctx r)));
+        Cilk.sync ctx)
+  in
+  check "siblings race" 1 (List.length races)
+
+let test_ps_reads_in_called_children_ok () =
+  let races =
+    run_peer_set (fun ctx ->
+        let r = Rmonoid.new_int_add ctx ~init:0 in
+        Cilk.call ctx (fun ctx -> ignore (Rmonoid.int_cell_value ctx r));
+        Cilk.call ctx (fun ctx -> ignore (Rmonoid.int_cell_value ctx r));
+        ignore (Rmonoid.int_cell_value ctx r))
+  in
+  check "same peers everywhere" 0 (List.length races)
+
+let test_ps_read_before_and_after_synced_spawn () =
+  (* spawn…sync between two reads leaves the peer sets equal *)
+  let races =
+    run_peer_set (fun ctx ->
+        let r = Rmonoid.new_int_add ctx ~init:0 in
+        ignore (Rmonoid.int_cell_value ctx r);
+        ignore (Cilk.spawn ctx (fun ctx -> Rmonoid.add ctx r 1));
+        Cilk.sync ctx;
+        ignore (Rmonoid.int_cell_value ctx r))
+  in
+  check "no race across synced spawn" 0 (List.length races)
+
+let test_ps_read_straddling_unsynced_spawn () =
+  (* two reads in the same frame with a spawn between them: the spawn
+     count differs, so the peer sets differ *)
+  let races =
+    run_peer_set (fun ctx ->
+        let r = Rmonoid.new_int_add ctx ~init:0 in
+        ignore (Rmonoid.int_cell_value ctx r);
+        ignore (Cilk.spawn ctx (fun _ -> ()));
+        ignore (Rmonoid.int_cell_value ctx r);
+        Cilk.sync ctx)
+  in
+  check "race across unsynced spawn" 1 (List.length races)
+
+(* Reducer ids are dense in creation order, so the first reducer is 0. *)
+let test_ps_two_reducers_independent () =
+  let races =
+    run_peer_set (fun ctx ->
+        let r1 = Rmonoid.new_int_add ctx ~init:0 in
+        let r2 = Rmonoid.new_int_add ctx ~init:0 in
+        ignore (Cilk.spawn ctx (fun _ -> ()));
+        (* r1's read straddles the unsynced spawn: races with its creation
+           read; r2 is only re-read after the sync, same peer set. *)
+        ignore (Rmonoid.int_cell_value ctx r1);
+        Cilk.sync ctx;
+        ignore (Rmonoid.int_cell_value ctx r2))
+  in
+  match races with
+  | [ r ] ->
+      check "subject is reducer 0" 0 r.Report.subject
+  | l -> Alcotest.failf "expected exactly 1 race, got %d" (List.length l)
+
+let test_ps_agrees_with_oracle_on_fixture () =
+  let program ctx =
+    let r = Rmonoid.new_int_add ctx ~init:0 in
+    ignore (Cilk.spawn ctx (fun ctx -> Rmonoid.add ctx r 1));
+    ignore (Rmonoid.int_cell_value ctx r);
+    Cilk.sync ctx;
+    ignore (Rmonoid.int_cell_value ctx r)
+  in
+  let eng = Engine.create ~record:true () in
+  let d = Peer_set.attach eng in
+  ignore (Engine.run eng program);
+  Alcotest.(check (list int))
+    "same racy reducers"
+    (Oracle.view_read_races eng)
+    (List.sort_uniq compare (List.map (fun r -> r.Report.subject) (Peer_set.races d)))
+
+(* ---------- SP-bags ---------- *)
+
+let racy_ww ctx =
+  let c = Cell.make_in ctx 0 in
+  ignore (Cilk.spawn ctx (fun ctx -> Cell.write ctx c 1));
+  Cell.write ctx c 2;
+  Cilk.sync ctx
+
+let racy_rw ctx =
+  let c = Cell.make_in ctx 0 in
+  ignore (Cilk.spawn ctx (fun ctx -> ignore (Cell.read ctx c)));
+  Cell.write ctx c 2;
+  Cilk.sync ctx
+
+let racy_wr ctx =
+  let c = Cell.make_in ctx 0 in
+  ignore (Cilk.spawn ctx (fun ctx -> Cell.write ctx c 1));
+  ignore (Cell.read ctx c);
+  Cilk.sync ctx
+
+let clean_synced ctx =
+  let c = Cell.make_in ctx 0 in
+  ignore (Cilk.spawn ctx (fun ctx -> Cell.write ctx c 1));
+  Cilk.sync ctx;
+  Cell.write ctx c 2
+
+let clean_series ctx =
+  let c = Cell.make_in ctx 0 in
+  Cilk.call ctx (fun ctx -> Cell.write ctx c 1);
+  ignore (Cell.read ctx c)
+
+let clean_parallel_reads ctx =
+  let c = Cell.make_in ctx 7 in
+  ignore (Cilk.spawn ctx (fun ctx -> ignore (Cell.read ctx c)));
+  ignore (Cell.read ctx c);
+  Cilk.sync ctx
+
+let test_spbags_cases () =
+  check "write-write race" 1 (List.length (run_sp_bags racy_ww));
+  check "read-write race" 1 (List.length (run_sp_bags racy_rw));
+  check "write-read race" 1 (List.length (run_sp_bags racy_wr));
+  check "synced clean" 0 (List.length (run_sp_bags clean_synced));
+  check "series clean" 0 (List.length (run_sp_bags clean_series));
+  check "parallel reads clean" 0 (List.length (run_sp_bags clean_parallel_reads))
+
+let test_spbags_pseudotransitivity () =
+  (* Reader shadow keeps the first parallel reader; a later writer must
+     still race even though a second parallel read happened in between. *)
+  let races =
+    run_sp_bags (fun ctx ->
+        let c = Cell.make_in ctx 0 in
+        ignore (Cilk.spawn ctx (fun ctx -> ignore (Cell.read ctx c)));
+        ignore (Cilk.spawn ctx (fun ctx -> ignore (Cell.read ctx c)));
+        ignore (Cilk.spawn ctx (fun ctx -> Cell.write ctx c 1));
+        Cilk.sync ctx)
+  in
+  check "writer races with a reader" 1 (List.length races)
+
+let test_spbags_dedupes_per_location () =
+  let races =
+    run_sp_bags (fun ctx ->
+        let c = Cell.make_in ctx 0 in
+        ignore (Cilk.spawn ctx (fun ctx -> Cell.write ctx c 1));
+        Cell.write ctx c 2;
+        Cell.write ctx c 3;
+        Cell.write ctx c 4;
+        Cilk.sync ctx)
+  in
+  check "one report per location" 1 (List.length races)
+
+(* ---------- SP+ ---------- *)
+
+let test_spplus_degenerates_to_spbags () =
+  List.iter
+    (fun program ->
+      let expected = List.length (run_sp_bags program) in
+      let d = run_sp_plus program in
+      check "same verdict as SP-bags" expected (List.length (Sp_plus.races d)))
+    [ racy_ww; racy_rw; racy_wr; clean_synced; clean_series; clean_parallel_reads ]
+
+(* The paper's Figure 1. *)
+let update_list ctx n list =
+  Cilk.call ctx (fun ctx ->
+      let red = Reducer.create ctx (Mylist.monoid ()) ~init:(Mylist.empty ctx) in
+      Reducer.set_value ctx red list;
+      let _ = Cilk.spawn ctx (fun ctx -> ignore ctx) in
+      Cilk.parallel_for ctx ~lo:0 ~hi:n (fun ctx i ->
+          Reducer.update ctx red (fun c l ->
+              Mylist.insert c l i;
+              l));
+      Cilk.sync ctx;
+      Reducer.get_value ctx red)
+
+let fig1 ~buggy ctx =
+  let list = Mylist.empty ctx in
+  Mylist.insert ctx list 100;
+  Mylist.insert ctx list 200;
+  let copy = (if buggy then Mylist.shallow_copy else Mylist.deep_copy) ctx list in
+  let len = Cilk.spawn ctx (fun ctx -> Mylist.scan ctx list) in
+  let _ = update_list ctx 6 copy in
+  Cilk.sync ctx;
+  Cilk.get ctx len
+
+let steal_specs =
+  [
+    Steal_spec.all ();
+    Steal_spec.all ~policy:Steal_spec.Reduce_at_sync ();
+    Steal_spec.at_local_indices ~policy:Steal_spec.Reduce_eagerly [ 1; 2; 3 ];
+    Steal_spec.random ~seed:1 ~density:0.7 ();
+  ]
+
+let test_spplus_fig1_buggy_detected () =
+  List.iter
+    (fun spec ->
+      let d = run_sp_plus ~spec (fig1 ~buggy:true) in
+      checkb
+        (Printf.sprintf "race found under %s" spec.Steal_spec.name)
+        true (Sp_plus.found d);
+      (* the racing write is the Reduce's append through a next pointer *)
+      let someone_view_aware =
+        List.exists (fun r -> r.Report.second_view_aware) (Sp_plus.races d)
+      in
+      checkb "involves a view-aware strand" true someone_view_aware)
+    steal_specs
+
+let test_spplus_fig1_fixed_clean () =
+  List.iter
+    (fun spec ->
+      let d = run_sp_plus ~spec (fig1 ~buggy:false) in
+      checkb
+        (Printf.sprintf "clean under %s" spec.Steal_spec.name)
+        false (Sp_plus.found d))
+    steal_specs
+
+let test_spplus_fig1_needs_steals () =
+  (* Under the no-steal schedule the Reduce never executes, so the race is
+     not elicited — the paper's motivation for steal specifications. *)
+  let d = run_sp_plus ~spec:Steal_spec.none (fig1 ~buggy:true) in
+  checkb "not elicited serially" false (Sp_plus.found d)
+
+let test_spbags_unreliable_on_reducers () =
+  (* SP-bags is not reducer-aware: on the CORRECT (deep-copy) program under
+     a schedule with steals it reports false positives — it takes the
+     reduce strands' accesses, which are serialized with the views they
+     merge, to be ordinary parallel accesses. SP+ stays silent. This is
+     the coverage/soundness gap that motivates SP+ (paper §1, §5). *)
+  let spec = Steal_spec.all () in
+  let spbags = run_sp_bags ~spec (fig1 ~buggy:false) in
+  checkb "SP-bags false positives" true (List.length spbags > 0);
+  let d = run_sp_plus ~spec (fig1 ~buggy:false) in
+  checkb "SP+ correct" false (Sp_plus.found d)
+
+let test_spplus_update_vs_oblivious () =
+  (* an Update's view-aware write to shared memory races with a parallel
+     view-oblivious read even without any steal *)
+  let program ctx =
+    let shared = Cell.make_in ctx 0 in
+    let r =
+      Reducer.create ctx
+        {
+          Reducer.name = "touchy";
+          identity = (fun c -> Cell.make_in c 0);
+          reduce =
+            (fun c l r ->
+              Cell.write c l (Cell.read c l + Cell.read c r);
+              l);
+        }
+        ~init:(Cell.make_in ctx 0)
+    in
+    ignore
+      (Cilk.spawn ctx (fun ctx ->
+           Reducer.update ctx r (fun c v ->
+               Cell.write c shared 1;
+               v)));
+    ignore (Cell.read ctx shared);
+    Cilk.sync ctx
+  in
+  let d = run_sp_plus program in
+  check "race detected" 1 (List.length (Sp_plus.races d))
+
+let test_spplus_parallel_updates_clean () =
+  (* Two parallel updates of the same reducer are exactly what reducers
+     make safe: no race, with or without steals. *)
+  let program ctx =
+    let r = Rmonoid.new_int_add ctx ~init:0 in
+    ignore (Cilk.spawn ctx (fun ctx -> Rmonoid.add ctx r 1));
+    Rmonoid.add ctx r 2;
+    Cilk.sync ctx;
+    ignore (Rmonoid.int_cell_value ctx r)
+  in
+  List.iter
+    (fun spec ->
+      let d = run_sp_plus ~spec program in
+      checkb
+        (Printf.sprintf "clean under %s" spec.Steal_spec.name)
+        false (Sp_plus.found d))
+    (Steal_spec.none :: steal_specs)
+
+let test_spplus_matches_oracle_on_fig1 () =
+  List.iter
+    (fun spec ->
+      List.iter
+        (fun buggy ->
+          let eng = Engine.create ~spec ~record:true () in
+          let d = Sp_plus.attach eng in
+          ignore (Engine.run eng (fig1 ~buggy));
+          Alcotest.(check (list int))
+            (Printf.sprintf "oracle agreement (%s, buggy=%b)" spec.Steal_spec.name buggy)
+            (Oracle.determinacy_races eng)
+            (Sp_plus.racy_locs d))
+        [ true; false ])
+    (Steal_spec.none :: steal_specs)
+
+(* ---------- SP-order and offset-span baselines ---------- *)
+
+let run_sp_order program =
+  let eng = Engine.create () in
+  let d = Sp_order.attach eng in
+  ignore (Engine.run eng program);
+  Sp_order.races d
+
+let run_offset_span program =
+  let eng = Engine.create () in
+  let d = Offset_span.attach eng in
+  ignore (Engine.run eng program);
+  Offset_span.races d
+
+let test_baselines_agree_with_spbags () =
+  List.iter
+    (fun program ->
+      let expected = List.length (run_sp_bags program) in
+      Alcotest.(check int) "sp-order verdict" expected (List.length (run_sp_order program));
+      Alcotest.(check int) "offset-span verdict" expected
+        (List.length (run_offset_span program)))
+    [ racy_ww; racy_rw; racy_wr; clean_synced; clean_series; clean_parallel_reads ]
+
+let test_sp_order_nested_blocks () =
+  (* multiple sync blocks with nested spawns: the Hebrew frontier must
+     track the first spawned child per block *)
+  let program ctx =
+    let c = Cell.make_in ctx 0 in
+    ignore (Cilk.spawn ctx (fun ctx -> Cell.write ctx c 1));
+    ignore (Cilk.spawn ctx (fun ctx -> ignore (Cell.read ctx c)));
+    Cilk.sync ctx;
+    (* after the sync everything is serial again *)
+    Cell.write ctx c 2;
+    ignore (Cilk.spawn ctx (fun ctx -> Cell.write ctx c 3));
+    Cilk.sync ctx;
+    ignore (Cell.read ctx c)
+  in
+  (* the only race is write(child1) vs read(child2) in block 1 *)
+  Alcotest.(check int) "one race" 1 (List.length (run_sp_order program));
+  Alcotest.(check int) "offset-span agrees" 1 (List.length (run_offset_span program))
+
+let test_sp_order_deep_series () =
+  let rec chain ctx c n =
+    if n = 0 then Cell.write ctx c 1
+    else Cilk.call ctx (fun ctx -> chain ctx c (n - 1))
+  in
+  let program ctx =
+    let c = Cell.make_in ctx 0 in
+    chain ctx c 20;
+    ignore (Cell.read ctx c)
+  in
+  Alcotest.(check int) "series clean (sp-order)" 0 (List.length (run_sp_order program));
+  Alcotest.(check int) "series clean (offset-span)" 0
+    (List.length (run_offset_span program))
+
+let test_offset_span_label_rules () =
+  let module L = Offset_span.Label in
+  let base = [| (1, 1) |] in
+  let child = [| (1, 1); (1, 2) |] in
+  let cont = [| (1, 1); (2, 2) |] in
+  let nested = [| (1, 1); (2, 2); (1, 2) |] in
+  let post_sync = [| (2, 1) |] in
+  Alcotest.(check bool) "reflexive serial" true (L.precedes base base);
+  Alcotest.(check bool) "prefix serial" true (L.precedes base child);
+  Alcotest.(check bool) "child || cont" false (L.precedes child cont);
+  Alcotest.(check bool) "cont || child" false (L.precedes cont child);
+  Alcotest.(check bool) "child || nested" false (L.precedes child nested);
+  Alcotest.(check bool) "cont before nested" true (L.precedes cont nested);
+  Alcotest.(check bool) "child before post-sync" true (L.precedes child post_sync);
+  Alcotest.(check bool) "nested before post-sync" true (L.precedes nested post_sync);
+  Alcotest.(check bool) "post-sync not before child" false (L.precedes post_sync child)
+
+let test_sp_order_caught_by_oracle_fixture () =
+  (* both baselines against the oracle on a mixed fixture *)
+  let program ctx =
+    let a = Cell.make_in ctx 0 in
+    let b = Cell.make_in ctx 0 in
+    ignore
+      (Cilk.spawn ctx (fun ctx ->
+           Cell.write ctx a 1;
+           Cilk.call ctx (fun ctx -> ignore (Cell.read ctx b))));
+    ignore (Cell.read ctx a);
+    Cilk.sync ctx;
+    Cell.write ctx b 2
+  in
+  let eng = Engine.create ~record:true () in
+  let d = Sp_order.attach eng in
+  ignore (Engine.run eng program);
+  let truth = Oracle.determinacy_races eng in
+  Alcotest.(check (list int))
+    "sp-order = oracle" truth
+    (List.sort_uniq compare (List.map (fun r -> r.Report.subject) (Sp_order.races d)))
+
+(* ---------- Report ---------- *)
+
+let test_report_collector_dedup () =
+  let c = Report.collector () in
+  let mk subject kind =
+    {
+      Report.kind;
+      subject;
+      subject_label = "x";
+      first_frame = 0;
+      first_access = Report.Write;
+      second_frame = 1;
+      second_access = Report.Read;
+      second_strand = 5;
+      second_view_aware = false;
+      detail = "";
+    }
+  in
+  Report.report c (mk 1 Report.Determinacy_race);
+  Report.report c (mk 1 Report.Determinacy_race);
+  Report.report c (mk 2 Report.Determinacy_race);
+  Report.report c (mk 1 Report.View_read_race);
+  check "three distinct" 3 (Report.count c);
+  Alcotest.(check (list int)) "subjects" [ 1; 2 ] (Report.racy_subjects c)
+
+let test_report_to_string () =
+  let r =
+    {
+      Report.kind = Report.Determinacy_race;
+      subject = 3;
+      subject_label = "mylist.next";
+      first_frame = 4;
+      first_access = Report.Read;
+      second_frame = 9;
+      second_access = Report.Write;
+      second_strand = 17;
+      second_view_aware = true;
+      detail = "parallel views 1 vs 2";
+    }
+  in
+  let s = Report.to_string r in
+  checkb "mentions label" true
+    (let rec contains i =
+       i + 11 <= String.length s && (String.sub s i 11 = "mylist.next" || contains (i + 1))
+     in
+     contains 0);
+  checkb "mentions view-aware" true
+    (let rec contains i =
+       i + 12 <= String.length s && (String.sub s i 12 = "[view-aware]" || contains (i + 1))
+     in
+     contains 0)
+
+let () =
+  Alcotest.run "detectors"
+    [
+      ( "peer-set",
+        [
+          Alcotest.test_case "clean usage" `Quick test_ps_clean_usage;
+          Alcotest.test_case "get before sync" `Quick test_ps_get_before_sync;
+          Alcotest.test_case "set after spawn (benign)" `Quick test_ps_set_after_spawn;
+          Alcotest.test_case "sibling spawns" `Quick test_ps_reads_in_sibling_spawns;
+          Alcotest.test_case "called children ok" `Quick test_ps_reads_in_called_children_ok;
+          Alcotest.test_case "synced spawn ok" `Quick
+            test_ps_read_before_and_after_synced_spawn;
+          Alcotest.test_case "unsynced spawn races" `Quick
+            test_ps_read_straddling_unsynced_spawn;
+          Alcotest.test_case "reducers independent" `Quick test_ps_two_reducers_independent;
+          Alcotest.test_case "oracle agreement" `Quick test_ps_agrees_with_oracle_on_fixture;
+        ] );
+      ( "sp-bags",
+        [
+          Alcotest.test_case "core cases" `Quick test_spbags_cases;
+          Alcotest.test_case "pseudotransitivity" `Quick test_spbags_pseudotransitivity;
+          Alcotest.test_case "dedup per location" `Quick test_spbags_dedupes_per_location;
+        ] );
+      ( "sp+",
+        [
+          Alcotest.test_case "degenerates to SP-bags" `Quick test_spplus_degenerates_to_spbags;
+          Alcotest.test_case "fig1 buggy detected" `Quick test_spplus_fig1_buggy_detected;
+          Alcotest.test_case "fig1 fixed clean" `Quick test_spplus_fig1_fixed_clean;
+          Alcotest.test_case "fig1 needs steals" `Quick test_spplus_fig1_needs_steals;
+          Alcotest.test_case "sp-bags unreliable on reducers" `Quick
+            test_spbags_unreliable_on_reducers;
+          Alcotest.test_case "update vs oblivious" `Quick test_spplus_update_vs_oblivious;
+          Alcotest.test_case "parallel updates clean" `Quick
+            test_spplus_parallel_updates_clean;
+          Alcotest.test_case "oracle agreement on fig1" `Quick
+            test_spplus_matches_oracle_on_fig1;
+        ] );
+      ( "baselines",
+        [
+          Alcotest.test_case "agree with SP-bags" `Quick test_baselines_agree_with_spbags;
+          Alcotest.test_case "nested blocks" `Quick test_sp_order_nested_blocks;
+          Alcotest.test_case "deep series" `Quick test_sp_order_deep_series;
+          Alcotest.test_case "offset-span label rules" `Quick test_offset_span_label_rules;
+          Alcotest.test_case "sp-order = oracle fixture" `Quick
+            test_sp_order_caught_by_oracle_fixture;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "collector dedup" `Quick test_report_collector_dedup;
+          Alcotest.test_case "to_string" `Quick test_report_to_string;
+        ] );
+    ]

@@ -1,0 +1,194 @@
+(* Unit and property tests for the disjoint-set forests and SP-style bags. *)
+
+open Rader_dsets
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* ---------- Dset ---------- *)
+
+let test_dset_basic () =
+  let t = Dset.create () in
+  List.iter (Dset.add t) [ 0; 1; 2; 3; 4 ];
+  check "cardinal" 5 (Dset.cardinal t);
+  checkb "singletons distinct" false (Dset.same_set t 0 1);
+  ignore (Dset.union t 0 1);
+  checkb "united" true (Dset.same_set t 0 1);
+  ignore (Dset.union t 2 3);
+  ignore (Dset.union t 1 2);
+  checkb "transitive" true (Dset.same_set t 0 3);
+  checkb "separate" false (Dset.same_set t 0 4)
+
+let test_dset_errors () =
+  let t = Dset.create () in
+  Dset.add t 3;
+  Alcotest.check_raises "double add" (Invalid_argument "Dset.add: element already present")
+    (fun () -> Dset.add t 3);
+  Alcotest.check_raises "negative" (Invalid_argument "Dset.add: negative element")
+    (fun () -> Dset.add t (-1));
+  Alcotest.check_raises "unknown find" (Invalid_argument "Dset.find: unknown element")
+    (fun () -> ignore (Dset.find t 99))
+
+let test_dset_sparse_ids () =
+  let t = Dset.create () in
+  Dset.add t 100;
+  Dset.add t 5;
+  checkb "mem 100" true (Dset.mem t 100);
+  checkb "not mem 50" false (Dset.mem t 50);
+  ignore (Dset.union t 100 5);
+  checkb "united sparse" true (Dset.same_set t 5 100)
+
+let prop_dset_matches_model =
+  (* union-find vs naive partition refinement *)
+  QCheck2.Test.make ~name:"dset matches naive partition" ~count:200
+    QCheck2.Gen.(list (pair (int_bound 19) (int_bound 19)))
+    (fun unions ->
+      let t = Dset.create () in
+      for i = 0 to 19 do
+        Dset.add t i
+      done;
+      let label = Array.init 20 Fun.id in
+      let relabel a b =
+        let la = label.(a) and lb = label.(b) in
+        if la <> lb then
+          Array.iteri (fun i l -> if l = lb then label.(i) <- la) label
+      in
+      List.iter
+        (fun (a, b) ->
+          ignore (Dset.union t a b);
+          relabel a b)
+        unions;
+      let ok = ref true in
+      for a = 0 to 19 do
+        for b = 0 to 19 do
+          if Dset.same_set t a b <> (label.(a) = label.(b)) then ok := false
+        done
+      done;
+      !ok)
+
+(* ---------- Bag ---------- *)
+
+let test_bag_make_find () =
+  let store = Bag.create_store () in
+  let b1 = Bag.make store "one" [ 1; 2 ] in
+  let b2 = Bag.make store "two" [ 3 ] in
+  let empty = Bag.make store "empty" [] in
+  checkb "empty is empty" true (Bag.is_empty empty);
+  checkb "b1 not empty" false (Bag.is_empty b1);
+  Alcotest.(check string) "payload" "one" (Bag.payload b1);
+  (match Bag.find store 2 with
+  | Some b -> checkb "find 2 -> b1" true (Bag.same_bag b b1)
+  | None -> Alcotest.fail "2 not found");
+  (match Bag.find store 3 with
+  | Some b -> checkb "find 3 -> b2" true (Bag.same_bag b b2)
+  | None -> Alcotest.fail "3 not found");
+  Alcotest.(check bool) "unknown" true (Bag.find store 42 = None)
+
+let test_bag_union_preserves_dst_payload () =
+  (* The SP+ invariant: union preserves the destination's payload (vid). *)
+  let store = Bag.create_store () in
+  let dst = Bag.make store 10 [ 1 ] in
+  let src = Bag.make store 20 [ 2; 3 ] in
+  Bag.union_into store ~dst ~src;
+  Alcotest.(check int) "payload kept" 10 (Bag.payload dst);
+  checkb "src emptied" true (Bag.is_empty src);
+  List.iter
+    (fun x ->
+      match Bag.find store x with
+      | Some b -> checkb (Printf.sprintf "%d in dst" x) true (Bag.same_bag b dst)
+      | None -> Alcotest.fail "lost element")
+    [ 1; 2; 3 ]
+
+let test_bag_union_into_empty_dst () =
+  let store = Bag.create_store () in
+  let dst = Bag.make store "d" [] in
+  let src = Bag.make store "s" [ 7 ] in
+  Bag.union_into store ~dst ~src;
+  checkb "dst has 7" true (Bag.mem store dst 7);
+  checkb "src empty" true (Bag.is_empty src);
+  Alcotest.(check string) "payload kept" "d" (Bag.payload dst)
+
+let test_bag_union_empty_src_noop () =
+  let store = Bag.create_store () in
+  let dst = Bag.make store "d" [ 1 ] in
+  let src = Bag.make store "s" [] in
+  Bag.union_into store ~dst ~src;
+  checkb "dst unchanged" true (Bag.mem store dst 1);
+  checkb "still empty" true (Bag.is_empty src)
+
+let test_bag_reuse_after_empty () =
+  (* SP pseudocode constantly does "A ∪= B; B = ∅" then refills B. *)
+  let store = Bag.create_store () in
+  let a = Bag.make store "a" [ 1 ] in
+  let b = Bag.make store "b" [ 2 ] in
+  Bag.union_into store ~dst:a ~src:b;
+  Bag.add store b 3;
+  checkb "b reusable" true (Bag.mem store b 3);
+  checkb "3 not in a" false (Bag.mem store a 3);
+  checkb "2 in a" true (Bag.mem store a 2)
+
+let test_bag_same_bag_identity () =
+  let store = Bag.create_store () in
+  let a = Bag.make store 0 [ 1 ] in
+  let b = Bag.make store 0 [ 2 ] in
+  checkb "same" true (Bag.same_bag a a);
+  checkb "different despite equal payload" false (Bag.same_bag a b);
+  Alcotest.check_raises "self union" (Invalid_argument "Bag.union_into: dst and src are the same bag")
+    (fun () -> Bag.union_into store ~dst:a ~src:a)
+
+let test_bag_set_payload () =
+  let store = Bag.create_store () in
+  let a = Bag.make store 1 [ 5 ] in
+  Bag.set_payload a 9;
+  check "updated" 9 (Bag.payload a);
+  ignore store
+
+let prop_bag_find_total =
+  (* After arbitrary unions, every added element is found in exactly the
+     bag it was last moved into, and payloads follow destinations. *)
+  QCheck2.Test.make ~name:"bag find total and consistent" ~count:200
+    QCheck2.Gen.(list (pair (int_bound 9) (int_bound 9)))
+    (fun unions ->
+      let store = Bag.create_store () in
+      let bags = Array.init 10 (fun i -> Bag.make store i [ i * 2; (i * 2) + 1 ]) in
+      (* model: element -> bag index *)
+      let owner = Array.init 20 (fun e -> e / 2) in
+      List.iter
+        (fun (d, s) ->
+          if d <> s then begin
+            Bag.union_into store ~dst:bags.(d) ~src:bags.(s);
+            Array.iteri (fun e o -> if o = s then owner.(e) <- d) owner
+          end)
+        unions;
+      let ok = ref true in
+      for e = 0 to 19 do
+        match Bag.find store e with
+        | Some b -> if not (Bag.same_bag b bags.(owner.(e))) then ok := false
+        | None -> ok := false
+      done;
+      !ok)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "dsets"
+    [
+      ( "dset",
+        [
+          Alcotest.test_case "basic" `Quick test_dset_basic;
+          Alcotest.test_case "errors" `Quick test_dset_errors;
+          Alcotest.test_case "sparse ids" `Quick test_dset_sparse_ids;
+        ] );
+      ( "bag",
+        [
+          Alcotest.test_case "make/find" `Quick test_bag_make_find;
+          Alcotest.test_case "union keeps dst payload" `Quick
+            test_bag_union_preserves_dst_payload;
+          Alcotest.test_case "union into empty" `Quick test_bag_union_into_empty_dst;
+          Alcotest.test_case "union empty src" `Quick test_bag_union_empty_src_noop;
+          Alcotest.test_case "reuse after empty" `Quick test_bag_reuse_after_empty;
+          Alcotest.test_case "identity" `Quick test_bag_same_bag_identity;
+          Alcotest.test_case "set payload" `Quick test_bag_set_payload;
+        ] );
+      qsuite "properties" [ prop_dset_matches_model; prop_bag_find_total ];
+    ]

@@ -1,0 +1,134 @@
+(* Monoid laws for every monoid shipped in the library — reducers are only
+   correct when the user-supplied ⊗ is associative with identity (paper
+   §2), so the library instances had better satisfy the laws. *)
+
+module Monoid = Rader_monoid.Monoid
+module Monoids = Rader_monoid.Monoids
+
+let checkb = Alcotest.(check bool)
+
+let law_test name m samples ~equal () =
+  checkb (name ^ " laws") true (Monoid.is_associative ~equal m samples)
+
+let int_samples = [ -7; -1; 0; 1; 2; 3; 42; 1000; max_int / 4 ]
+
+let test_int_monoid_laws () =
+  List.iter
+    (fun (name, m) -> law_test name m int_samples ~equal:( = ) ())
+    [
+      ("int_add", Monoids.int_add);
+      ("int_mul", Monoids.int_mul);
+      ("int_min", Monoids.int_min);
+      ("int_max", Monoids.int_max);
+      ("int_land", Monoids.int_land);
+      ("int_lor", Monoids.int_lor);
+      ("int_lxor", Monoids.int_lxor);
+    ]
+
+let test_bool_float_laws () =
+  law_test "bool_and" Monoids.bool_and [ true; false ] ~equal:( = ) ();
+  law_test "bool_or" Monoids.bool_or [ true; false ] ~equal:( = ) ();
+  law_test "float_add" Monoids.float_add [ 0.0; 1.0; 2.5; -3.0 ]
+    ~equal:(fun a b -> Float.abs (a -. b) < 1e-9)
+    ()
+
+let test_list_string_laws () =
+  law_test "list_append" (Monoids.list_append ())
+    [ []; [ 1 ]; [ 2; 3 ]; [ 4; 5; 6 ] ]
+    ~equal:( = ) ();
+  law_test "string_concat" Monoids.string_concat [ ""; "a"; "bc"; "def" ]
+    ~equal:( = ) ()
+
+let test_pair_law () =
+  let m = Monoids.pair Monoids.int_add Monoids.int_max in
+  law_test "pair" m [ (0, min_int); (1, 3); (2, -5); (7, 7) ] ~equal:( = ) ()
+
+let test_arg_max () =
+  let m = Monoids.arg_max () in
+  law_test "arg_max" m
+    [ None; Some (1, "a"); Some (2, "b"); Some (2, "c"); Some (5, "d") ]
+    ~equal:( = ) ();
+  let combined = Monoid.fold m [ Some (2, "b"); Some (5, "d"); Some (2, "c") ] in
+  Alcotest.(check bool) "max wins" true (combined = Some (5, "d"));
+  (* ties keep the earlier element *)
+  let tied = Monoid.fold m [ Some (2, "first"); Some (2, "second") ] in
+  Alcotest.(check bool) "tie keeps left" true (tied = Some (2, "first"))
+
+let test_counter () =
+  let m = Monoids.counter () in
+  let c1 = Monoids.counter_of_list [ "a"; "b"; "a" ] in
+  let c2 = Monoids.counter_of_list [ "b"; "c" ] in
+  Alcotest.(check (list (pair string int)))
+    "merge" [ ("a", 2); ("b", 2); ("c", 1) ]
+    (Monoids.counter_entries (m.Monoid.combine c1 c2));
+  law_test "counter" m [ []; c1; c2; Monoids.counter_of_list [ "z" ] ] ~equal:( = ) ()
+
+let test_bag_semantics () =
+  let m = Monoids.bag () in
+  let b =
+    m.Monoid.combine
+      (Monoids.bag_of_list [ 1; 2 ])
+      (m.Monoid.combine (Monoids.bag_singleton 3) (m.Monoid.identity ()))
+  in
+  Alcotest.(check int) "size" 3 (Monoids.bag_size b);
+  Alcotest.(check (list int)) "elements (multiset)" [ 1; 2; 3 ]
+    (List.sort compare (Monoids.bag_elements b))
+
+let test_hypervector_order () =
+  let m = Monoids.hypervector () in
+  let hv =
+    m.Monoid.combine
+      (Monoids.hv_push (Monoids.hv_push (m.Monoid.identity ()) 1) 2)
+      (Monoids.hv_push (m.Monoid.identity ()) 3)
+  in
+  Alcotest.(check (list int)) "order preserved" [ 1; 2; 3 ] (Monoids.hv_to_list hv);
+  Alcotest.(check int) "length" 3 (Monoids.hv_length hv)
+
+let test_fold_tree_matches_fold () =
+  let xs = List.init 37 (fun i -> [ i ]) in
+  let m = Monoids.list_append () in
+  Alcotest.(check bool) "rebracketing irrelevant" true
+    (Monoid.fold m xs = Monoid.fold_tree m xs);
+  Alcotest.(check (list int)) "empty fold" [] (Monoid.fold_tree m [])
+
+let prop_counter_merge_is_multiset_union =
+  QCheck2.Test.make ~name:"counter merge = multiset union" ~count:300
+    QCheck2.Gen.(pair (list (string_size (int_range 1 3))) (list (string_size (int_range 1 3))))
+    (fun (a, b) ->
+      let m = Monoids.counter () in
+      let merged =
+        Monoids.counter_entries
+          (m.Monoid.combine (Monoids.counter_of_list a) (Monoids.counter_of_list b))
+      in
+      merged = Monoids.counter_of_list (a @ b))
+
+let prop_hv_concat_preserves_order =
+  QCheck2.Test.make ~name:"hypervector concat = list append" ~count:300
+    QCheck2.Gen.(pair (list small_int) (list small_int))
+    (fun (a, b) ->
+      let m = Monoids.hypervector () in
+      let of_list xs = List.fold_left Monoids.hv_push (m.Rader_monoid.Monoid.identity ()) xs in
+      Monoids.hv_to_list (m.Rader_monoid.Monoid.combine (of_list a) (of_list b)) = a @ b)
+
+let () =
+  Alcotest.run "monoid"
+    [
+      ( "laws",
+        [
+          Alcotest.test_case "int monoids" `Quick test_int_monoid_laws;
+          Alcotest.test_case "bool/float" `Quick test_bool_float_laws;
+          Alcotest.test_case "list/string" `Quick test_list_string_laws;
+          Alcotest.test_case "pair" `Quick test_pair_law;
+          Alcotest.test_case "arg_max" `Quick test_arg_max;
+          Alcotest.test_case "counter" `Quick test_counter;
+        ] );
+      ( "structures",
+        [
+          Alcotest.test_case "bag" `Quick test_bag_semantics;
+          Alcotest.test_case "hypervector" `Quick test_hypervector_order;
+          Alcotest.test_case "fold_tree" `Quick test_fold_tree_matches_fold;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_counter_merge_is_multiset_union; prop_hv_concat_preserves_order ] );
+    ]

@@ -1,0 +1,440 @@
+(* Unit and property tests for the support substrates. *)
+
+open Rader_support
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* ---------- Dynarr ---------- *)
+
+let test_dynarr_basic () =
+  let t = Dynarr.create () in
+  checkb "fresh empty" true (Dynarr.is_empty t);
+  for i = 0 to 99 do
+    Dynarr.push t (i * i)
+  done;
+  check "length" 100 (Dynarr.length t);
+  check "get 7" 49 (Dynarr.get t 7);
+  Dynarr.set t 7 (-1);
+  check "set/get" (-1) (Dynarr.get t 7);
+  check "top" (99 * 99) (Dynarr.top t);
+  check "pop" (99 * 99) (Dynarr.pop t);
+  check "length after pop" 99 (Dynarr.length t)
+
+let test_dynarr_bounds () =
+  let t = Dynarr.of_list [ 1; 2; 3 ] in
+  Alcotest.check_raises "get oob" (Invalid_argument "Dynarr: index 3 out of bounds [0,3)")
+    (fun () -> ignore (Dynarr.get t 3));
+  Alcotest.check_raises "pop empty" (Invalid_argument "Dynarr.pop: empty") (fun () ->
+      ignore (Dynarr.pop (Dynarr.create ())))
+
+let test_dynarr_ensure () =
+  let t = Dynarr.of_list [ 5 ] in
+  Dynarr.ensure t 4 0;
+  check "grown" 4 (Dynarr.length t);
+  check "old kept" 5 (Dynarr.get t 0);
+  check "fill" 0 (Dynarr.get t 3);
+  Dynarr.ensure t 2 9;
+  check "no shrink" 4 (Dynarr.length t)
+
+let test_dynarr_iterators () =
+  let t = Dynarr.of_list [ 1; 2; 3; 4 ] in
+  check "fold" 10 (Dynarr.fold_left ( + ) 0 t);
+  let acc = ref [] in
+  Dynarr.iteri (fun i x -> acc := (i, x) :: !acc) t;
+  Alcotest.(check (list (pair int int)))
+    "iteri" [ (0, 1); (1, 2); (2, 3); (3, 4) ] (List.rev !acc);
+  checkb "exists" true (Dynarr.exists (fun x -> x = 3) t);
+  checkb "not exists" false (Dynarr.exists (fun x -> x = 7) t);
+  Alcotest.(check (option int)) "find" (Some 2) (Dynarr.find_opt (fun x -> x mod 2 = 0) t);
+  Alcotest.(check (list int)) "to_list" [ 1; 2; 3; 4 ] (Dynarr.to_list t)
+
+let prop_dynarr_model =
+  (* compare against a list model under a random op sequence *)
+  QCheck2.Test.make ~name:"dynarr matches list model" ~count:300
+    QCheck2.Gen.(list (pair (int_bound 2) small_int))
+    (fun ops ->
+      let t = Dynarr.create () in
+      let model = ref [] in
+      List.iter
+        (fun (op, v) ->
+          match op with
+          | 0 ->
+              Dynarr.push t v;
+              model := !model @ [ v ]
+          | 1 ->
+              if !model <> [] then begin
+                let x = Dynarr.pop t in
+                let rec split_last acc = function
+                  | [ y ] -> (List.rev acc, y)
+                  | y :: tl -> split_last (y :: acc) tl
+                  | [] -> assert false
+                in
+                let rest, y = split_last [] !model in
+                model := rest;
+                if x <> y then failwith "pop mismatch"
+              end
+          | _ ->
+              if !model <> [] && Dynarr.top t <> List.nth !model (List.length !model - 1)
+              then failwith "top mismatch")
+        ops;
+      Dynarr.to_list t = !model)
+
+(* ---------- Rng ---------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int rng 17 in
+    checkb "in range" true (x >= 0 && x < 17)
+  done;
+  for _ = 1 to 1_000 do
+    let x = Rng.int_in rng (-5) 5 in
+    checkb "int_in range" true (x >= -5 && x <= 5);
+    let f = Rng.float rng 2.5 in
+    checkb "float range" true (f >= 0.0 && f < 2.5)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 1 in
+  let b = Rng.split a in
+  let xs = List.init 20 (fun _ -> Rng.bits64 a) in
+  let ys = List.init 20 (fun _ -> Rng.bits64 b) in
+  checkb "streams differ" true (xs <> ys)
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create 5 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_rng_bernoulli_fair () =
+  let rng = Rng.create 11 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng 0.25 then incr hits
+  done;
+  let p = float_of_int !hits /. float_of_int n in
+  checkb "bernoulli ~0.25" true (p > 0.22 && p < 0.28)
+
+(* ---------- Bitset ---------- *)
+
+let test_bitset_basic () =
+  let s = Bitset.create 200 in
+  Bitset.add s 0;
+  Bitset.add s 63;
+  Bitset.add s 64;
+  Bitset.add s 199;
+  checkb "mem 0" true (Bitset.mem s 0);
+  checkb "mem 63" true (Bitset.mem s 63);
+  checkb "mem 64" true (Bitset.mem s 64);
+  checkb "not mem 100" false (Bitset.mem s 100);
+  check "cardinal" 4 (Bitset.cardinal s);
+  Bitset.remove s 63;
+  checkb "removed" false (Bitset.mem s 63);
+  Alcotest.(check (list int)) "to_list" [ 0; 64; 199 ] (Bitset.to_list s)
+
+let test_bitset_union_equal () =
+  let a = Bitset.create 100 and b = Bitset.create 100 in
+  List.iter (Bitset.add a) [ 1; 2; 3 ];
+  List.iter (Bitset.add b) [ 3; 4 ];
+  Bitset.union_into a b;
+  Alcotest.(check (list int)) "union" [ 1; 2; 3; 4 ] (Bitset.to_list a);
+  let c = Bitset.copy a in
+  checkb "copy equal" true (Bitset.equal a c);
+  Bitset.remove c 4;
+  checkb "copy independent" false (Bitset.equal a c);
+  checkb "inter nonempty" true (Bitset.inter_nonempty a b);
+  let d = Bitset.create 100 in
+  Bitset.add d 99;
+  checkb "inter empty" false (Bitset.inter_nonempty a d)
+
+let prop_bitset_model =
+  QCheck2.Test.make ~name:"bitset matches IntSet model" ~count:300
+    QCheck2.Gen.(list (pair bool (int_bound 99)))
+    (fun ops ->
+      let module S = Set.Make (Int) in
+      let s = Bitset.create 100 in
+      let model = ref S.empty in
+      List.iter
+        (fun (add, i) ->
+          if add then begin
+            Bitset.add s i;
+            model := S.add i !model
+          end
+          else begin
+            Bitset.remove s i;
+            model := S.remove i !model
+          end)
+        ops;
+      Bitset.to_list s = S.elements !model
+      && Bitset.cardinal s = S.cardinal !model)
+
+(* ---------- Deque ---------- *)
+
+let test_deque_lifo_fifo () =
+  let d = Deque.create () in
+  List.iter (Deque.push_bottom d) [ 1; 2; 3; 4 ];
+  check "pop bottom = LIFO" 4 (Deque.pop_bottom d);
+  check "steal top = FIFO" 1 (Deque.steal_top d);
+  check "len" 2 (Deque.length d);
+  check "pop" 3 (Deque.pop_bottom d);
+  check "steal" 2 (Deque.steal_top d);
+  checkb "empty" true (Deque.is_empty d)
+
+let test_deque_growth_wraparound () =
+  let d = Deque.create () in
+  (* force head to move, then growth with wrapped contents *)
+  for i = 0 to 5 do
+    Deque.push_bottom d i
+  done;
+  for _ = 0 to 3 do
+    ignore (Deque.steal_top d)
+  done;
+  for i = 6 to 30 do
+    Deque.push_bottom d i
+  done;
+  let out = ref [] in
+  while not (Deque.is_empty d) do
+    out := Deque.steal_top d :: !out
+  done;
+  Alcotest.(check (list int)) "order preserved" (List.init 27 (fun i -> i + 4))
+    (List.rev !out)
+
+let prop_deque_model =
+  QCheck2.Test.make ~name:"deque matches list model" ~count:300
+    QCheck2.Gen.(list (pair (int_bound 2) small_int))
+    (fun ops ->
+      let d = Deque.create () in
+      let model = ref [] in
+      (* model: list with head = top, tail end = bottom *)
+      let ok = ref true in
+      List.iter
+        (fun (op, v) ->
+          match op with
+          | 0 ->
+              Deque.push_bottom d v;
+              model := !model @ [ v ]
+          | 1 -> (
+              match !model with
+              | [] -> ()
+              | _ ->
+                  let x = Deque.pop_bottom d in
+                  let rec last acc = function
+                    | [ y ] -> (List.rev acc, y)
+                    | y :: tl -> last (y :: acc) tl
+                    | [] -> assert false
+                  in
+                  let rest, y = last [] !model in
+                  model := rest;
+                  if x <> y then ok := false)
+          | _ -> (
+              match !model with
+              | [] -> ()
+              | y :: rest ->
+                  let x = Deque.steal_top d in
+                  model := rest;
+                  if x <> y then ok := false))
+        ops;
+      !ok && Deque.length d = List.length !model)
+
+(* ---------- Om (order maintenance) ---------- *)
+
+let test_om_basic () =
+  let l = Om.create () in
+  let b = Om.base l in
+  let x = Om.insert_after l b in
+  let y = Om.insert_after l b in
+  (* order: b, y, x *)
+  checkb "b < y" true (Om.precedes l b y);
+  checkb "y < x" true (Om.precedes l y x);
+  checkb "b < x" true (Om.precedes l b x);
+  checkb "not x < y" false (Om.precedes l x y);
+  checkb "irreflexive" false (Om.precedes l x x);
+  check "length" 3 (Om.length l);
+  Alcotest.(check (list int)) "list order" [ b; y; x ] (Om.to_list l)
+
+let test_om_dense_insertions_trigger_relabel () =
+  (* hammer one insertion point so tags run out of gaps *)
+  let l = Om.create () in
+  let b = Om.base l in
+  let elems = ref [ b ] in
+  for _ = 1 to 2000 do
+    elems := Om.insert_after l b :: !elems
+  done;
+  checkb "relabeled at least once" true (Om.relabel_count l > 0);
+  (* order must equal: b, then insertions in reverse creation order *)
+  let expected = b :: List.filter (fun e -> e <> b) !elems in
+  Alcotest.(check (list int)) "order preserved" expected (Om.to_list l)
+
+let test_om_append_chain () =
+  let l = Om.create () in
+  let cur = ref (Om.base l) in
+  let chain = ref [ !cur ] in
+  for _ = 1 to 5000 do
+    cur := Om.insert_after l !cur;
+    chain := !cur :: !chain
+  done;
+  let chain = List.rev !chain in
+  Alcotest.(check (list int)) "chain order" chain (Om.to_list l);
+  checkb "first < last" true (Om.precedes l (List.hd chain) !cur)
+
+let prop_om_matches_list_model =
+  QCheck2.Test.make ~name:"om matches list model" ~count:200
+    QCheck2.Gen.(list (int_bound 1000))
+    (fun picks ->
+      let l = Om.create () in
+      let model = ref [ Om.base l ] in
+      List.iter
+        (fun k ->
+          let pos = k mod List.length !model in
+          let x = List.nth !model pos in
+          let y = Om.insert_after l x in
+          let rec ins = function
+            | [] -> assert false
+            | z :: tl when z = x -> z :: y :: tl
+            | z :: tl -> z :: ins tl
+          in
+          model := ins !model)
+        picks;
+      Om.to_list l = !model
+      &&
+      let arr = Array.of_list !model in
+      let n = Array.length arr in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if Om.precedes l arr.(i) arr.(j) <> (i < j) then ok := false
+        done
+      done;
+      !ok)
+
+(* ---------- Stats ---------- *)
+
+let test_stats_geomean () =
+  Alcotest.(check (float 1e-9)) "geomean" 2.0 (Stats.geomean [ 1.0; 2.0; 4.0 ]);
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "median odd" 2.0 (Stats.median [ 3.0; 1.0; 2.0 ]);
+  Alcotest.(check (float 1e-9)) "median even" 2.5 (Stats.median [ 4.0; 1.0; 2.0; 3.0 ]);
+  let lo, hi = Stats.min_max [ 3.0; 1.0; 2.0 ] in
+  Alcotest.(check (float 0.0)) "min" 1.0 lo;
+  Alcotest.(check (float 0.0)) "max" 3.0 hi
+
+let test_stats_errors () =
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats: empty list") (fun () ->
+      ignore (Stats.mean []));
+  Alcotest.check_raises "geomean nonpositive"
+    (Invalid_argument "Stats.geomean: nonpositive") (fun () ->
+      ignore (Stats.geomean [ 1.0; 0.0 ]))
+
+let test_stats_time () =
+  let r, dt = Stats.time_it (fun () -> 42) in
+  check "result" 42 r;
+  checkb "time nonnegative" true (dt >= 0.0);
+  let r, dt = Stats.best_of 3 (fun () -> 7) in
+  check "best_of result" 7 r;
+  checkb "best_of time" true (dt >= 0.0)
+
+(* ---------- Tablefmt ---------- *)
+
+let test_table_render () =
+  let t = Tablefmt.create [ "name"; "value" ] in
+  Tablefmt.add_row t [ "alpha"; "1.00" ];
+  Tablefmt.add_rule t;
+  Tablefmt.add_row t [ "b" ];
+  let s = Tablefmt.render t in
+  checkb "has header" true (String.length s > 0);
+  (* header, automatic header rule, row, explicit rule, padded row *)
+  let lines = String.split_on_char '\n' (String.trim s) in
+  check "line count" 5 (List.length lines);
+  (* the column separator sits at the same offset in every cell row *)
+  let pipe_pos l = String.index_opt l '|' in
+  let cell_rows = List.filter (fun l -> pipe_pos l <> None) lines in
+  check "cell rows" 3 (List.length cell_rows);
+  let positions = List.map pipe_pos cell_rows in
+  checkb "aligned" true (List.for_all (fun p -> p = List.hd positions) positions)
+
+let test_table_too_many_cells () =
+  let t = Tablefmt.create [ "a" ] in
+  Alcotest.check_raises "too many" (Invalid_argument "Tablefmt.add_row: too many cells")
+    (fun () -> Tablefmt.add_row t [ "x"; "y" ])
+
+(* ---------- Dot ---------- *)
+
+let test_dot_render () =
+  let g = Dot.create "g" in
+  Dot.node g "a" ~label:"A \"x\"" ~attrs:[ ("shape", "box") ];
+  Dot.node g "b" ~label:"B" ~attrs:[];
+  Dot.edge g "a" "b" ~attrs:[ ("style", "dashed") ];
+  Dot.subgraph_cluster g "c0" ~label:"F" [ "a"; "b" ];
+  let s = Dot.render g in
+  checkb "digraph" true (String.length s > 0);
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "escaped quote" true (contains s "\\\"x\\\"");
+  checkb "cluster" true (contains s "subgraph cluster_c0");
+  checkb "edge" true (contains s "a -> b")
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "support"
+    [
+      ( "dynarr",
+        [
+          Alcotest.test_case "basic" `Quick test_dynarr_basic;
+          Alcotest.test_case "bounds" `Quick test_dynarr_bounds;
+          Alcotest.test_case "ensure" `Quick test_dynarr_ensure;
+          Alcotest.test_case "iterators" `Quick test_dynarr_iterators;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutes;
+          Alcotest.test_case "bernoulli" `Quick test_rng_bernoulli_fair;
+        ] );
+      ( "bitset",
+        [
+          Alcotest.test_case "basic" `Quick test_bitset_basic;
+          Alcotest.test_case "union/equal" `Quick test_bitset_union_equal;
+        ] );
+      ( "deque",
+        [
+          Alcotest.test_case "lifo/fifo" `Quick test_deque_lifo_fifo;
+          Alcotest.test_case "growth+wraparound" `Quick test_deque_growth_wraparound;
+        ] );
+      ( "om",
+        [
+          Alcotest.test_case "basic" `Quick test_om_basic;
+          Alcotest.test_case "dense insertions" `Quick test_om_dense_insertions_trigger_relabel;
+          Alcotest.test_case "append chain" `Quick test_om_append_chain;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "aggregates" `Quick test_stats_geomean;
+          Alcotest.test_case "errors" `Quick test_stats_errors;
+          Alcotest.test_case "timing" `Quick test_stats_time;
+        ] );
+      ( "tablefmt",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "overflow" `Quick test_table_too_many_cells;
+        ] );
+      ("dot", [ Alcotest.test_case "render" `Quick test_dot_render ]);
+      qsuite "properties"
+        [ prop_dynarr_model; prop_bitset_model; prop_deque_model; prop_om_matches_list_model ];
+    ]

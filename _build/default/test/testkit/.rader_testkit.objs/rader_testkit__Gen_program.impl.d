@@ -1,0 +1,1 @@
+test/testkit/gen_program.ml: Array Buffer Cell Cilk List Printf QCheck2 Rader_runtime Reducer

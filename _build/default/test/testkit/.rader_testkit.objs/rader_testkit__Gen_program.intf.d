@@ -1,0 +1,1 @@
+test/testkit/gen_program.mli: QCheck2 Rader_runtime
