@@ -3,9 +3,20 @@
    Subcommands:
      rader check    run a benchmark or demo under a detector + steal spec
      rader coverage run the §7 exhaustive steal-specification enumeration
+     rader chaos    run the fault-containment battery against a program
      rader fuzz     run under simulated work-stealing schedules
      rader sim      work-stealing simulator speedup table
-     rader dag      dump the (performance) dag of a program as Graphviz dot *)
+     rader dag      dump the (performance) dag of a program as Graphviz dot
+
+   Exit codes (check / coverage / chaos):
+     0  clean — analysis complete, no races
+     1  races found
+     2  usage error
+     3  contained failure / partial coverage: the program under test
+        crashed, a monoid contract or steal spec was invalid, or a budget
+        ran out — the printed results cover only the completed prefix.
+   When both apply, 3 wins over 1: an incomplete analysis is flagged as
+   such, and any races found are still printed. *)
 
 open Cmdliner
 open Rader_runtime
@@ -125,10 +136,33 @@ let detector_arg =
 
 (* ---------- check ---------- *)
 
-let do_check program scale seed spec_str density detector =
+let max_events_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-events" ] ~docv:"N"
+        ~doc:
+          "Abort a run (exit 3) after N engine events (strand starts + \
+           instrumented accesses); results cover the completed prefix.")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline-s" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock budget in seconds; on expiry the run is contained \
+           (exit 3) and results cover the completed prefix.")
+
+let print_races races =
+  Printf.printf "%d race(s):\n" (List.length races);
+  List.iter (fun r -> Printf.printf "  %s\n" (Report.to_string r)) races
+
+let do_check program scale seed spec_str density detector max_events deadline_s =
   let spec = parse_spec ~seed ~density spec_str in
   let prog = resolve_program ~scale program in
-  let eng = Engine.create ~spec () in
+  let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) deadline_s in
+  let eng = Engine.create ~spec ?max_events ?deadline () in
   let races =
     match detector with
     | `Peerset ->
@@ -147,22 +181,26 @@ let do_check program scale seed spec_str density detector =
         let d = Sp_plus.attach eng in
         fun () -> Sp_plus.races d
   in
-  let value = Engine.run eng prog in
+  let verdict = Engine.run_result eng prog in
   let stats = Engine.stats eng in
-  Printf.printf
-    "program %s finished (result %d)\n\
-     %d frames, %d spawns, %d steals, %d reduce ops, %d accesses\n"
-    program value stats.Engine.n_frames stats.Engine.n_spawns stats.Engine.n_steals
+  (match verdict with
+  | Ok value -> Printf.printf "program %s finished (result %d)\n" program value
+  | Error _ -> Printf.printf "program %s did not finish\n" program);
+  Printf.printf "%d frames, %d spawns, %d steals, %d reduce ops, %d accesses\n"
+    stats.Engine.n_frames stats.Engine.n_spawns stats.Engine.n_steals
     stats.Engine.n_reduce_calls
     (stats.Engine.n_reads + stats.Engine.n_writes);
-  match races () with
-  | [] ->
-      print_endline "no races detected";
-      0
-  | races ->
-      Printf.printf "%d race(s):\n" (List.length races);
-      List.iter (fun r -> Printf.printf "  %s\n" (Report.to_string r)) races;
-      1
+  let races = races () in
+  (match races with
+  | [] -> print_endline "no races detected"
+  | races -> print_races races);
+  match verdict with
+  | Ok _ -> if races = [] then 0 else 1
+  | Error f ->
+      Printf.printf "contained failure: %s\n" (Diag.to_string f);
+      if races <> [] then
+        print_endline "(the races above cover the completed prefix only)";
+      3
 
 let check_cmd =
   let doc = "Run a program under a detector and steal specification." in
@@ -170,16 +208,16 @@ let check_cmd =
     (Cmd.info "check" ~doc)
     Term.(
       const do_check $ program_arg $ scale_arg $ seed_arg $ spec_arg $ density_arg
-      $ detector_arg)
+      $ detector_arg $ max_events_arg $ deadline_arg)
 
 (* ---------- coverage ---------- *)
 
-let do_coverage program scale verbose =
+let do_coverage program scale verbose max_specs max_events deadline_s =
   let prog = resolve_program ~scale program in
-  let res = Coverage.exhaustive_check prog in
-  Printf.printf "profile: K=%d D=%d spawns=%d; %d steal specifications\n"
+  let res = Coverage.exhaustive_check ?max_specs ?max_events ?deadline:deadline_s prog in
+  Printf.printf "profile: K=%d D=%d spawns=%d; %d steal specifications (%d run)\n"
     res.Coverage.prof.Coverage.k res.Coverage.prof.Coverage.d
-    res.Coverage.prof.Coverage.n_spawns res.Coverage.n_specs;
+    res.Coverage.prof.Coverage.n_spawns res.Coverage.n_specs res.Coverage.n_run;
   if verbose then
     List.iter
       (fun ((spec : Steal_spec.t), locs) ->
@@ -187,28 +225,87 @@ let do_coverage program scale verbose =
           Printf.printf "  %s -> %d racy location(s)\n" spec.Steal_spec.name
             (List.length locs))
       res.Coverage.per_spec;
-  match res.Coverage.reports with
-  | [] ->
-      print_endline "no determinacy races under any specification";
-      0
-  | reports ->
-      Printf.printf "%d racy location(s):\n" (List.length reports);
-      List.iter
-        (fun r ->
-          Printf.printf "  %s\n" (Report.to_string r);
-          match Coverage.witness_spec res r.Report.subject with
-          | Some spec ->
-              Printf.printf "    reproduce with: --steal %s\n" spec.Steal_spec.name
-          | None -> ())
-        reports;
-      1
+  let race_code =
+    match res.Coverage.reports with
+    | [] ->
+        print_endline "no determinacy races under any specification that ran";
+        0
+    | reports ->
+        Printf.printf "%d racy location(s):\n" (List.length reports);
+        List.iter
+          (fun r ->
+            Printf.printf "  %s\n" (Report.to_string r);
+            match Coverage.witness_spec res r.Report.subject with
+            | Some spec ->
+                Printf.printf "    reproduce with: --steal %s\n" spec.Steal_spec.name
+            | None -> ())
+          reports;
+        1
+  in
+  if res.Coverage.complete then race_code
+  else begin
+    Printf.printf
+      "PARTIAL COVERAGE: %d specification(s) incomplete — the §7 guarantee \
+       does not hold for this sweep\n"
+      (List.length res.Coverage.incomplete);
+    List.iter
+      (fun (name, f) -> Printf.printf "  %s: %s\n" name (Diag.to_string f))
+      (let rec firstn n = function
+         | x :: rest when n > 0 -> x :: firstn (n - 1) rest
+         | _ -> []
+       in
+       firstn 10 res.Coverage.incomplete);
+    (let n = List.length res.Coverage.incomplete in
+     if n > 10 then Printf.printf "  ... and %d more\n" (n - 10));
+    3
+  end
 
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print per-specification results.")
 
+let max_specs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-specs" ] ~docv:"N"
+        ~doc:
+          "Attempt at most N steal specifications; the rest are reported \
+           as incomplete (exit 3).")
+
 let coverage_cmd =
   let doc = "Exhaustively check every possible view-aware strand (paper §7)." in
-  Cmd.v (Cmd.info "coverage" ~doc) Term.(const do_coverage $ program_arg $ scale_arg $ verbose_arg)
+  Cmd.v
+    (Cmd.info "coverage" ~doc)
+    Term.(
+      const do_coverage $ program_arg $ scale_arg $ verbose_arg $ max_specs_arg
+      $ max_events_arg $ deadline_arg)
+
+(* ---------- chaos ---------- *)
+
+let do_chaos program scale =
+  let prog = resolve_program ~scale program in
+  let outcomes = Rader_chaos.Chaos.run_all prog in
+  List.iter
+    (fun o -> print_endline (Rader_chaos.Chaos.outcome_to_string o))
+    outcomes;
+  let bad = List.filter (fun o -> not (Rader_chaos.Chaos.ok o)) outcomes in
+  if bad = [] then begin
+    Printf.printf "all %d perturbations contained\n" (List.length outcomes);
+    0
+  end
+  else begin
+    Printf.printf "%d of %d perturbations NOT contained\n" (List.length bad)
+      (List.length outcomes);
+    3
+  end
+
+let chaos_cmd =
+  let doc =
+    "Perturb a program with every fault class (raising strands, raising \
+     reduce/identity, non-associative monoid, invalid spec, budget \
+     blowouts) and verify the pipeline contains each one."
+  in
+  Cmd.v (Cmd.info "chaos" ~doc) Term.(const do_chaos $ program_arg $ scale_arg)
 
 (* ---------- fuzz ---------- *)
 
@@ -374,16 +471,21 @@ let oracle_cmd =
 let () =
   let doc = "race detection for Cilk-style programs that use reducer hyperobjects" in
   let info = Cmd.info "rader" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval'
-       (Cmd.group info
-          [
-            check_cmd;
-            coverage_cmd;
-            fuzz_cmd;
-            sim_cmd;
-            dag_cmd;
-            tree_cmd;
-            record_cmd;
-            oracle_cmd;
-          ]))
+  let code =
+    Cmd.eval'
+      (Cmd.group info
+         [
+           check_cmd;
+           coverage_cmd;
+           chaos_cmd;
+           fuzz_cmd;
+           sim_cmd;
+           dag_cmd;
+           tree_cmd;
+           record_cmd;
+           oracle_cmd;
+         ])
+  in
+  (* cmdliner's 124/125 for CLI and internal errors fold into the
+     documented usage-error code *)
+  exit (if code = Cmd.Exit.cli_error || code = Cmd.Exit.internal_error then 2 else code)

@@ -4,10 +4,12 @@ module Steal_spec = Rader_runtime.Steal_spec
 
 type profile = { k : int; d : int; n_spawns : int }
 
-let profile program =
-  (* Count continuations per sync block and spawn depth with a tiny tool:
-     each spawned-child return in a frame is one continuation; sync resets
-     the frame's count. *)
+(* Count continuations per sync block and spawn depth with a tiny tool:
+   each spawned-child return in a frame is one continuation; sync resets
+   the frame's count. Contained: if the program crashes mid-profile, the
+   maxima observed over the completed prefix are returned together with
+   the diagnostic. *)
+let profile_with_failure program =
   let max_k = ref 0 in
   let max_d = ref 0 in
   let conts = Hashtbl.create 64 in (* frame -> conts in current block *)
@@ -17,7 +19,16 @@ let profile program =
       Tool.null with
       Tool.on_frame_enter =
         (fun ~frame ~parent ~spawned:_ ~kind:_ ->
-          let d = if parent < 0 then 0 else Hashtbl.find depth parent + 1 in
+          let d =
+            if parent < 0 then 0
+            else
+              (* an unexpected parent (e.g. after a contained crash left a
+                 gap in the enter/return pairing) profiles as depth 0
+                 rather than raising Not_found mid-profile *)
+              match Hashtbl.find_opt depth parent with
+              | Some pd -> pd + 1
+              | None -> 0
+          in
           Hashtbl.replace depth frame d;
           if d > !max_d then max_d := d;
           Hashtbl.replace conts frame 0);
@@ -26,7 +37,10 @@ let profile program =
           Hashtbl.remove conts frame;
           Hashtbl.remove depth frame;
           if spawned && parent >= 0 then begin
-            let c = Hashtbl.find conts parent + 1 in
+            let c =
+              (match Hashtbl.find_opt conts parent with Some c -> c | None -> 0)
+              + 1
+            in
             Hashtbl.replace conts parent c;
             if c > !max_k then max_k := c
           end);
@@ -34,9 +48,13 @@ let profile program =
     }
   in
   let eng = Engine.create ~tool () in
-  let _ = Engine.run eng program in
+  let failure =
+    match Engine.run_result eng program with Ok _ -> None | Error f -> Some f
+  in
   let stats = Engine.stats eng in
-  { k = !max_k; d = !max_d; n_spawns = stats.Engine.n_spawns }
+  ({ k = !max_k; d = !max_d; n_spawns = stats.Engine.n_spawns }, failure)
+
+let profile program = fst (profile_with_failure program)
 
 let specs_for_updates ~k ~d =
   let by_position =
@@ -76,38 +94,88 @@ let all_specs ~k ~d =
 type result = {
   prof : profile;
   n_specs : int;
+  n_run : int;
   racy_locs : int list;
   reports : Report.t list;
   per_spec : (Steal_spec.t * int list) list;
+  incomplete : (string * Diag.failure) list;
+  complete : bool;
 }
 
-let exhaustive_check program =
-  let prof = profile program in
+let take n xs =
+  let rec go n acc = function
+    | x :: rest when n > 0 -> go (n - 1) (x :: acc) rest
+    | rest -> (List.rev acc, rest)
+  in
+  go n [] xs
+
+let exhaustive_check ?max_specs ?max_events ?deadline program =
+  let abs_deadline = Option.map (fun s -> Unix.gettimeofday () +. s) deadline in
+  let past_deadline () =
+    match abs_deadline with
+    | Some dl -> Unix.gettimeofday () > dl
+    | None -> false
+  in
+  let prof, prof_failure = profile_with_failure program in
   let specs = all_specs ~k:prof.k ~d:prof.d in
+  let n_specs = List.length specs in
+  let specs, dropped =
+    match max_specs with
+    | Some m when m < n_specs -> take m specs
+    | _ -> (specs, [])
+  in
   let seen = Hashtbl.create 32 in
   let reports = ref [] in
   let per_spec = ref [] in
+  let incomplete =
+    ref (match prof_failure with Some f -> [ ("profile", f) ] | None -> [])
+  in
+  let n_run = ref 0 in
   List.iter
-    (fun spec ->
-      let eng = Engine.create ~spec () in
-      let detector = Sp_plus.attach eng in
-      let _ = Engine.run eng program in
-      let locs = Sp_plus.racy_locs detector in
-      per_spec := (spec, locs) :: !per_spec;
-      List.iter
-        (fun r ->
-          if not (Hashtbl.mem seen r.Report.subject) then begin
-            Hashtbl.replace seen r.Report.subject ();
-            reports := r :: !reports
-          end)
-        (Sp_plus.races detector))
+    (fun (spec : Steal_spec.t) ->
+      if past_deadline () then
+        (* out of time: charge the remaining specs to the deadline without
+           running them, so the caller sees exactly what was not covered *)
+        incomplete :=
+          (spec.Steal_spec.name,
+           Diag.Budget_exceeded (Diag.Deadline (Option.get abs_deadline)))
+          :: !incomplete
+      else begin
+        incr n_run;
+        let eng = Engine.create ~spec ?max_events ?deadline:abs_deadline () in
+        let detector = Sp_plus.attach eng in
+        (match Engine.run_result eng program with
+        | Ok _ -> ()
+        | Error f -> incomplete := (spec.Steal_spec.name, f) :: !incomplete);
+        (* the detector's verdicts over the completed prefix still count *)
+        let locs = Sp_plus.racy_locs detector in
+        per_spec := (spec, locs) :: !per_spec;
+        List.iter
+          (fun r ->
+            if not (Hashtbl.mem seen r.Report.subject) then begin
+              Hashtbl.replace seen r.Report.subject ();
+              reports := r :: !reports
+            end)
+          (Sp_plus.races detector)
+      end)
     specs;
+  let m = Option.value max_specs ~default:0 in
+  List.iter
+    (fun (spec : Steal_spec.t) ->
+      incomplete :=
+        (spec.Steal_spec.name, Diag.Budget_exceeded (Diag.Max_specs m))
+        :: !incomplete)
+    dropped;
+  let incomplete = List.rev !incomplete in
   {
     prof;
-    n_specs = List.length specs;
+    n_specs;
+    n_run = !n_run;
     racy_locs = List.sort_uniq compare (Hashtbl.fold (fun k () acc -> k :: acc) seen []);
     reports = List.rev !reports;
     per_spec = List.rev !per_spec;
+    incomplete;
+    complete = incomplete = [];
   }
 
 let witness_spec res loc =

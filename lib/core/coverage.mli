@@ -29,8 +29,15 @@ type profile = {
 }
 
 (** [profile program] measures [k], [d] and the spawn count by running
-    [program] once, uninstrumented, under [Steal_spec.none]. *)
+    [program] once, uninstrumented, under [Steal_spec.none]. Total: if the
+    program crashes, the maxima observed over the completed prefix are
+    returned (use {!profile_with_failure} to also see the diagnostic). *)
 val profile : (Rader_runtime.Engine.ctx -> 'a) -> profile
+
+(** [profile_with_failure program] is {!profile} plus the contained
+    failure, if the profiling run crashed. *)
+val profile_with_failure :
+  (Rader_runtime.Engine.ctx -> 'a) -> profile * Diag.failure option
 
 (** [specs_for_updates ~k ~d] is the update-eliciting family. *)
 val specs_for_updates : k:int -> d:int -> Rader_runtime.Steal_spec.t list
@@ -46,16 +53,39 @@ val all_specs : k:int -> d:int -> Rader_runtime.Steal_spec.t list
 
 type result = {
   prof : profile;
-  n_specs : int;
+  n_specs : int;  (** size of the full spec family for this profile *)
+  n_run : int;  (** specs actually attempted (≤ [n_specs] under budgets) *)
   racy_locs : int list;  (** union over all runs, sorted *)
   reports : Report.t list;  (** deduplicated by location *)
   per_spec : (Rader_runtime.Steal_spec.t * int list) list;
-      (** each spec together with the racy locations it elicited *)
+      (** each attempted spec together with the racy locations it elicited
+          (crashed runs report the prefix observed before the failure) *)
+  incomplete : (string * Diag.failure) list;
+      (** every spec whose run crashed or blew a budget — and every spec
+          the sweep never reached — with its diagnostic; [("profile", f)]
+          if the profiling run itself crashed *)
+  complete : bool;  (** [incomplete = []]: the §7 guarantee holds; when
+      false the sweep is explicitly partial — "no races" only covers what
+      actually ran *)
 }
 
 (** [exhaustive_check program] runs SP+ on [program] under every spec in
-    [all_specs] and aggregates. *)
-val exhaustive_check : (Rader_runtime.Engine.ctx -> 'a) -> result
+    [all_specs] and aggregates. Total: a spec run that crashes or blows
+    its budget is recorded in [incomplete] while the sweep continues, and
+    the races it proved before failing still count.
+
+    @param max_specs attempt at most this many specs; the rest are
+    recorded in [incomplete] as [Budget_exceeded (Max_specs _)].
+    @param max_events per-run event budget (see [Engine.create]).
+    @param deadline wall-clock budget in seconds for the whole sweep
+    (shared with each run's engine); once exhausted, remaining specs are
+    recorded as [Budget_exceeded (Deadline _)] without running. *)
+val exhaustive_check :
+  ?max_specs:int ->
+  ?max_events:int ->
+  ?deadline:float ->
+  (Rader_runtime.Engine.ctx -> 'a) ->
+  result
 
 (** [witness_spec res loc] is a steal specification that elicits a race on
     [loc] (if one was found) — Rader's "repeat the run for regression

@@ -1,0 +1,1 @@
+include Rader_runtime.Fault

@@ -1,0 +1,25 @@
+(** Structured diagnostics for the detection pipeline (core-layer name).
+
+    The failure taxonomy is defined in [Rader_runtime.Fault] — the engine
+    must be able to produce these values, and the runtime layer sits below
+    core — and re-exported here, with type equalities, under the name the
+    core layer and the CLI use. A [Diag.failure] {e is} a
+    [Rader_runtime.Fault.failure]; constructors, accessors and renderers
+    can be used through either path.
+
+    The taxonomy:
+    - [User_program_exn] — an exception escaped the program under test
+      (user strand or update/reduce/identity callback);
+    - [Monoid_contract] — a sampled reducer self-check found a monoid law
+      violated;
+    - [Invalid_steal_spec] — the steal specification cannot fire on this
+      program (continuation indices beyond K, depth beyond D, …);
+    - [Budget_exceeded] — a spec/event/deadline budget ran out;
+    - [Engine_invariant] — a Cilk-discipline violation.
+
+    Each failure carries frame / strand / spec context ({!origin}) and has
+    a human-readable rendering ({!to_string}). *)
+
+include module type of struct
+  include Rader_runtime.Fault
+end

@@ -72,6 +72,14 @@ type t = {
   mutable pending_deps : int list;
   mutable in_merge : bool;
   mutable state : state;
+  (* fault containment *)
+  mutable active_frames : frame list; (* innermost first; live only *)
+  mutable contract_log : Fault.contract_violation list; (* newest first *)
+  mutable max_local_seen : int; (* largest sync-block continuation index *)
+  mutable max_depth_seen : int; (* deepest frame entered *)
+  mutable event_count : int;
+  max_events : int option;
+  deadline : float option; (* absolute Unix time *)
   (* counters *)
   mutable c_frames : int;
   mutable c_spawns : int;
@@ -86,7 +94,8 @@ and ctx = { eng : t; frame : frame }
 
 type 'a future = { mutable value : 'a option; owner : int; born_block : int }
 
-let create ?(tool = Tool.null) ?(spec = Steal_spec.none) ?(record = false) () =
+let create ?(tool = Tool.null) ?(spec = Steal_spec.none) ?(record = false)
+    ?max_events ?deadline () =
   {
     tool;
     spec;
@@ -106,6 +115,13 @@ let create ?(tool = Tool.null) ?(spec = Steal_spec.none) ?(record = false) () =
     pending_deps = [];
     in_merge = false;
     state = Fresh;
+    active_frames = [];
+    contract_log = [];
+    max_local_seen = 0;
+    max_depth_seen = 0;
+    event_count = 0;
+    max_events;
+    deadline;
     c_frames = 0;
     c_spawns = 0;
     c_syncs = 0;
@@ -125,9 +141,22 @@ let dag_kind_of_frame_kind = function
   | Tool.Reduce_fn -> Dag.Reduce
   | Tool.Identity_fn -> Dag.Identity
 
+(* Budget accounting: one event per strand start and per instrumented
+   access. The wall clock is only consulted every 256 events. *)
+let bump_event t =
+  t.event_count <- t.event_count + 1;
+  (match t.max_events with
+  | Some m when t.event_count > m -> raise (Fault.Stop (Fault.Max_events m))
+  | _ -> ());
+  match t.deadline with
+  | Some dl when t.event_count land 0xff = 0 && Unix.gettimeofday () > dl ->
+      raise (Fault.Stop (Fault.Deadline dl))
+  | _ -> ()
+
 (* Allocate the next strand id; add the dag vertex and its incoming edges
    when recording. *)
 let new_strand t ~frame ~kind ~view ~label ~preds =
+  bump_event t;
   let id = t.strand_counter in
   t.strand_counter <- id + 1;
   (match t.dag_store with
@@ -203,9 +232,11 @@ let fresh_frame t ~parent ~spawned ~kind ~entry_rid =
       (fid, (match parent with Some p -> p.fid | None -> -1), spawned, kind);
   let regions = Dynarr.create () in
   Dynarr.push regions { rid = entry_rid; tails = [] };
+  let depth = match parent with Some p -> p.depth + 1 | None -> 0 in
+  if depth > t.max_depth_seen then t.max_depth_seen <- depth;
   {
     fid;
-    depth = (match parent with Some p -> p.depth + 1 | None -> 0);
+    depth;
     kind;
     spawned;
     parent_fid = (match parent with Some p -> p.fid | None -> -1);
@@ -225,6 +256,7 @@ let run_child ctx ~spawned f =
   require_user pf (if spawned then "spawn" else "call");
   let entry_rid = cur_region pf in
   let fr = fresh_frame t ~parent:(Some pf) ~spawned ~kind:Tool.User_fn ~entry_rid in
+  t.active_frames <- fr :: t.active_frames;
   t.tool.on_frame_enter ~frame:fr.fid ~parent:pf.fid ~spawned ~kind:Tool.User_fn;
   fr.cur_node <-
     new_strand t ~frame:fr.fid ~kind:Dag.User ~view:entry_rid ~label:"enter"
@@ -233,6 +265,7 @@ let run_child ctx ~spawned f =
   (* Cilk functions implicitly sync before returning. *)
   do_sync { eng = t; frame = fr };
   fr.alive <- false;
+  t.active_frames <- List.tl t.active_frames;
   t.tool.on_frame_return ~frame:fr.fid ~parent:pf.fid ~spawned ~kind:Tool.User_fn;
   (result, fr.cur_node)
 
@@ -261,6 +294,8 @@ let spawn ctx f =
   (top_region pf).tails <- child_last :: (top_region pf).tails;
   t.c_spawns <- t.c_spawns + 1;
   pf.local_cont_index <- pf.local_cont_index + 1;
+  if pf.local_cont_index > t.max_local_seen then
+    t.max_local_seen <- pf.local_cont_index;
   let info =
     {
       Steal_spec.spawn_index = t.spawn_counter;
@@ -331,6 +366,7 @@ let run t main =
   | Running | Done -> err "Engine.run: engine values are single-use");
   t.state <- Running;
   let root = fresh_frame t ~parent:None ~spawned:false ~kind:Tool.User_fn ~entry_rid:0 in
+  t.active_frames <- [ root ];
   t.tool.on_frame_enter ~frame:root.fid ~parent:(-1) ~spawned:false
     ~kind:Tool.User_fn;
   root.cur_node <-
@@ -339,10 +375,91 @@ let run t main =
   let result = main ctx in
   do_sync ctx;
   root.alive <- false;
+  t.active_frames <- [];
   t.tool.on_frame_return ~frame:root.fid ~parent:(-1) ~spawned:false
     ~kind:Tool.User_fn;
   t.state <- Done;
   result
+
+(* -------- fault containment -------- *)
+
+let failure_origin t =
+  let o_frame, o_kind, o_depth =
+    match t.active_frames with
+    | [] -> (-1, Tool.User_fn, 0)
+    | fr :: _ -> (fr.fid, fr.kind, fr.depth)
+  in
+  {
+    Fault.o_frame;
+    o_kind;
+    o_depth;
+    o_strand = t.strand_counter - 1;
+    o_spec = t.spec.Steal_spec.name;
+  }
+
+(* Unwind after a contained failure: kill every frame still on the stack
+   (so a captured ctx cannot be used post-mortem), drop merge state, and
+   retire the engine. Tool callbacks are NOT invoked during unwinding —
+   attached detectors simply stop receiving events, leaving them holding
+   their verdicts over the completed prefix. *)
+let unwind t =
+  List.iter (fun fr -> fr.alive <- false) t.active_frames;
+  t.active_frames <- [];
+  t.in_merge <- false;
+  t.pending_deps <- [];
+  t.state <- Done
+
+let report_contract_violation t cv = t.contract_log <- cv :: t.contract_log
+let contract_violations t = List.rev t.contract_log
+
+(* Post-run spec check: if the spec never fired and its shape names
+   coordinates the program cannot reach, the caller got a silently serial
+   run — surface that as a diagnostic rather than an empty report. *)
+let spec_mismatch t =
+  if t.c_steals > 0 then None
+  else
+    match
+      Steal_spec.validate t.spec ~k:t.max_local_seen ~d:t.max_depth_seen
+        ~n_spawns:t.spawn_counter
+    with
+    | Ok () -> None
+    | Error reason -> Some reason
+
+let run_result t main =
+  match t.state with
+  | Running | Done ->
+      Error
+        (Fault.Engine_invariant
+           {
+             what = "Engine.run_result: engine values are single-use";
+             origin = failure_origin t;
+           })
+  | Fresh -> (
+      match run t main with
+      | result -> (
+          match List.rev t.contract_log with
+          | cv :: _ -> Error (Fault.Monoid_contract cv)
+          | [] -> (
+              match spec_mismatch t with
+              | Some reason ->
+                  Error
+                    (Fault.Invalid_steal_spec
+                       { spec = t.spec.Steal_spec.name; reason })
+              | None -> Ok result))
+      | exception Fault.Stop kind ->
+          unwind t;
+          Error (Fault.Budget_exceeded kind)
+      | exception Cilk_error what ->
+          let origin = failure_origin t in
+          unwind t;
+          Error (Fault.Engine_invariant { what; origin })
+      | exception e ->
+          let backtrace = Printexc.get_backtrace () in
+          let origin = failure_origin t in
+          unwind t;
+          Error
+            (Fault.User_program_exn
+               { exn = Printexc.to_string e; backtrace; origin }))
 
 (* -------- introspection -------- *)
 
@@ -380,6 +497,7 @@ let emit_read ctx loc =
   let fr = ctx.frame in
   let t = ctx.eng in
   check_alive fr;
+  bump_event t;
   let view_aware = fr.kind <> Tool.User_fn in
   t.tool.on_read ~frame:fr.fid ~loc ~view_aware;
   t.c_reads <- t.c_reads + 1;
@@ -397,6 +515,7 @@ let emit_write ctx loc =
   let fr = ctx.frame in
   let t = ctx.eng in
   check_alive fr;
+  bump_event t;
   let view_aware = fr.kind <> Tool.User_fn in
   t.tool.on_write ~frame:fr.fid ~loc ~view_aware;
   t.c_writes <- t.c_writes + 1;
@@ -426,6 +545,7 @@ let run_aux_frame ctx kind f =
   | Tool.Update_fn | Tool.Reduce_fn | Tool.Identity_fn -> ());
   let entry_rid = cur_region pf in
   let fr = fresh_frame t ~parent:(Some pf) ~spawned:false ~kind ~entry_rid in
+  t.active_frames <- fr :: t.active_frames;
   t.tool.on_frame_enter ~frame:fr.fid ~parent:pf.fid ~spawned:false ~kind;
   let in_reduce = kind = Tool.Reduce_fn && t.in_merge in
   let preds = if in_reduce then t.pending_deps else [ pf.cur_node ] in
@@ -437,6 +557,7 @@ let run_aux_frame ctx kind f =
       ~preds;
   let result = f { eng = t; frame = fr } in
   fr.alive <- false;
+  t.active_frames <- List.tl t.active_frames;
   t.tool.on_frame_return ~frame:fr.fid ~parent:pf.fid ~spawned:false ~kind;
   if in_reduce then begin
     t.pending_deps <- [ fr.cur_node ];

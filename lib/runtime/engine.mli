@@ -44,8 +44,21 @@ type 'a future
     @param tool the detector callbacks; default {!Tool.null}.
     @param spec the steal specification; default [Steal_spec.none].
     @param record if true (default false), record the performance dag,
-    access trace, merge log and reducer-read log for later inspection. *)
-val create : ?tool:Tool.t -> ?spec:Steal_spec.t -> ?record:bool -> unit -> t
+    access trace, merge log and reducer-read log for later inspection.
+    @param max_events abort the run (as [Fault.Budget_exceeded]) once this
+    many events — strand starts plus instrumented accesses — have
+    happened. Budget interrupts are contained by {!run_result}; under the
+    raising {!run} they escape as [Fault.Stop].
+    @param deadline absolute [Unix.gettimeofday] time after which the run
+    is aborted (checked every 256 events). *)
+val create :
+  ?tool:Tool.t ->
+  ?spec:Steal_spec.t ->
+  ?record:bool ->
+  ?max_events:int ->
+  ?deadline:float ->
+  unit ->
+  t
 
 (** [set_tool t tool] replaces the tool; only allowed before [run]. *)
 val set_tool : t -> Tool.t -> unit
@@ -55,6 +68,28 @@ val set_tool : t -> Tool.t -> unit
 (** [run t main] executes [main] as the root Cilk function and returns its
     result. @raise Cilk_error if the engine was already run. *)
 val run : t -> (ctx -> 'a) -> 'a
+
+(** [run_result t main] is the total variant of {!run}: the detection
+    pipeline outlives the program under test. Any exception raised in a
+    user strand or a view-aware (update / reduce / identity) auxiliary
+    frame is caught, the frame and region stacks are unwound (every
+    pending frame is killed so captured contexts cannot be reused), and
+    the corresponding {!Fault.failure} is returned with frame / strand /
+    spec context. Attached detectors stop receiving events at the failure
+    point and remain queryable: the races they found over the completed
+    prefix are still available from their handles alongside the returned
+    diagnostic.
+
+    Classification: budget interrupts ([max_events] / [deadline]) become
+    [Budget_exceeded]; {!Cilk_error} discipline violations become
+    [Engine_invariant]; sampled reducer self-check violations (recorded
+    during the run) become [Monoid_contract]; a steal specification whose
+    shape provably cannot fire on this program (and indeed never fired)
+    becomes [Invalid_steal_spec]; everything else becomes
+    [User_program_exn]. A successful, violation-free run returns [Ok].
+
+    Never raises. *)
+val run_result : t -> (ctx -> 'a) -> ('a, Fault.failure) result
 
 (** {1 The DSL} *)
 
@@ -106,6 +141,10 @@ val stats : t -> stats
 val loc_registry : t -> Rader_memory.Loc.registry
 val loc_label : t -> int -> string
 
+(** [contract_violations t] is every monoid-contract violation recorded by
+    reducer self-checks during the run, in detection order. *)
+val contract_violations : t -> Fault.contract_violation list
+
 (** {1 Recorded trace} (only when [~record:true]) *)
 
 type access = {
@@ -156,6 +195,16 @@ val emit_reducer_read : ctx -> int -> unit
 (** [run_aux_frame ctx kind f] runs [f] as a view-aware auxiliary frame
     ([Update_fn], [Identity_fn] or [Reduce_fn]) in the current context. *)
 val run_aux_frame : ctx -> Tool.frame_kind -> (ctx -> 'a) -> 'a
+
+(** [report_contract_violation t cv] records a monoid-law violation found
+    by a reducer self-check; surfaced by {!run_result} as
+    [Fault.Monoid_contract] (never raises — the run continues). *)
+val report_contract_violation : t -> Fault.contract_violation -> unit
+
+(** [failure_origin t] is the current failure context (innermost live
+    frame, last strand, spec name) — for diagnostics built outside the
+    engine, e.g. reducer self-checks. *)
+val failure_origin : t -> Fault.origin
 
 (** [register_reducer t ~merge] registers a reducer's region-merge callback
     and returns the reducer's dense id. [merge] is invoked for every region

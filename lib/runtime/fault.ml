@@ -1,0 +1,70 @@
+type origin = {
+  o_frame : int;
+  o_kind : Tool.frame_kind;
+  o_depth : int;
+  o_strand : int;
+  o_spec : string;
+}
+
+type law = Associativity | Left_identity | Right_identity
+
+type contract_violation = {
+  cv_monoid : string;
+  cv_law : law;
+  cv_region : int;
+  cv_origin : origin;
+  cv_detail : string;
+}
+
+type budget_kind = Max_specs of int | Max_events of int | Deadline of float
+
+type failure =
+  | User_program_exn of { exn : string; backtrace : string; origin : origin }
+  | Monoid_contract of contract_violation
+  | Invalid_steal_spec of { spec : string; reason : string }
+  | Budget_exceeded of budget_kind
+  | Engine_invariant of { what : string; origin : origin }
+
+exception Stop of budget_kind
+
+let law_name = function
+  | Associativity -> "associativity"
+  | Left_identity -> "left identity"
+  | Right_identity -> "right identity"
+
+let class_name = function
+  | User_program_exn _ -> "user-program-exn"
+  | Monoid_contract _ -> "monoid-contract"
+  | Invalid_steal_spec _ -> "invalid-steal-spec"
+  | Budget_exceeded _ -> "budget-exceeded"
+  | Engine_invariant _ -> "engine-invariant"
+
+let origin_to_string o =
+  Printf.sprintf "frame %d (%s, depth %d), strand %d, spec %s" o.o_frame
+    (Tool.frame_kind_name o.o_kind)
+    o.o_depth o.o_strand o.o_spec
+
+let budget_to_string = function
+  | Max_specs n -> Printf.sprintf "spec budget (max %d specifications)" n
+  | Max_events n -> Printf.sprintf "event budget (max %d events)" n
+  | Deadline t -> Printf.sprintf "deadline (%.3f, unix time)" t
+
+let to_string = function
+  | User_program_exn { exn; backtrace; origin } ->
+      Printf.sprintf "program under test raised %s at %s%s" exn
+        (origin_to_string origin)
+        (if backtrace = "" then ""
+         else "\n" ^ String.trim backtrace)
+  | Monoid_contract cv ->
+      Printf.sprintf
+        "monoid %S violates %s (region %d, at %s): %s" cv.cv_monoid
+        (law_name cv.cv_law) cv.cv_region
+        (origin_to_string cv.cv_origin)
+        cv.cv_detail
+  | Invalid_steal_spec { spec; reason } ->
+      Printf.sprintf "steal specification %s cannot fire on this program: %s"
+        spec reason
+  | Budget_exceeded kind -> "exceeded " ^ budget_to_string kind
+  | Engine_invariant { what; origin } ->
+      Printf.sprintf "Cilk discipline violation at %s: %s"
+        (origin_to_string origin) what

@@ -1,0 +1,74 @@
+(** Structured failure taxonomy for the detection pipeline.
+
+    Rader is pointed at {e buggy} programs, so the tool must outlive the
+    program under test: an exception raised inside a user strand, a
+    [Reduce] / [Create-Identity] callback, or a detector callback must not
+    abort the analysis — it must be contained, carried with enough context
+    to act on, and reported alongside whatever the detectors proved up to
+    the failure point.
+
+    This module defines the taxonomy shared by the whole pipeline. The
+    engine produces these values ({!Engine.run_result}), the coverage
+    sweep aggregates them ([Coverage.result.incomplete]), the chaos
+    harness asserts them, and the CLI maps them to exit code 3. The
+    [Rader_core.Diag] module re-exports this module under the name the
+    rest of the core layer uses. *)
+
+(** Where in the execution a failure originated. *)
+type origin = {
+  o_frame : int;  (** innermost frame alive at the failure, [-1] if none *)
+  o_kind : Tool.frame_kind;  (** that frame's kind (user vs view-aware) *)
+  o_depth : int;  (** that frame's spawn depth *)
+  o_strand : int;  (** last strand id started before the failure *)
+  o_spec : string;  (** name of the steal specification in force *)
+}
+
+(** Which monoid law a sampled self-check found violated. *)
+type law = Associativity | Left_identity | Right_identity
+
+type contract_violation = {
+  cv_monoid : string;  (** monoid name as given to [Reducer.create] *)
+  cv_law : law;
+  cv_region : int;  (** view region current when the check ran *)
+  cv_origin : origin;
+  cv_detail : string;  (** human-readable account of the failed check *)
+}
+
+(** Which resource budget was exhausted. Payloads record the configured
+    limit ([Deadline] carries the absolute [Unix.gettimeofday] value). *)
+type budget_kind = Max_specs of int | Max_events of int | Deadline of float
+
+type failure =
+  | User_program_exn of { exn : string; backtrace : string; origin : origin }
+      (** an exception escaped the program under test (user strand or a
+          view-aware update/reduce/identity callback — [origin.o_kind]
+          tells which) *)
+  | Monoid_contract of contract_violation
+      (** a sampled reducer self-check found a monoid law violated *)
+  | Invalid_steal_spec of { spec : string; reason : string }
+      (** the steal specification cannot fire on this program (indices
+          beyond the profile's K, depth beyond D, …): the run silently
+          degenerates to the serial schedule, which is almost never what
+          the caller meant *)
+  | Budget_exceeded of budget_kind  (** an event/deadline budget ran out *)
+  | Engine_invariant of { what : string; origin : origin }
+      (** a violation of Cilk discipline (future read before sync,
+          spawn inside view-aware code, engine reuse, …) *)
+
+exception Stop of budget_kind
+(** Internal interrupt raised by the engine when a budget runs out.
+    {!Engine.run_result} translates it into [Budget_exceeded]; it only
+    escapes when budgets are used with the raising [Engine.run]. *)
+
+val law_name : law -> string
+
+val class_name : failure -> string
+(** Stable short tag for the constructor: ["user-program-exn"],
+    ["monoid-contract"], ["invalid-steal-spec"], ["budget-exceeded"],
+    ["engine-invariant"] — for logs and test assertions. *)
+
+val origin_to_string : origin -> string
+val budget_to_string : budget_kind -> string
+
+val to_string : failure -> string
+(** One-paragraph human-readable rendering with the full context. *)

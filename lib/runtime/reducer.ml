@@ -4,6 +4,12 @@ type 'v monoid = {
   reduce : Engine.ctx -> 'v -> 'v -> 'v;
 }
 
+type 'v law_check = {
+  lc_equal : 'v -> 'v -> bool;
+  lc_copy : 'v -> 'v;
+  lc_samples : int;
+}
+
 type 'v t = {
   rid : int;
   monoid : 'v monoid;
@@ -11,9 +17,53 @@ type 'v t = {
   creation_region : int;
 }
 
-let create ctx monoid ~init =
+(* Sampled monoid-contract self-check. The monoid operations are invoked
+   directly (no view-aware aux frame) on [lc_copy]-copies, so the check
+   neither perturbs the strand/dag structure the detectors analyze nor
+   mutates live views; monoids whose operations touch instrumented memory
+   should only enable it with a copy that allocates fresh cells.
+   Violations are recorded on the engine — never raised — and surface
+   through [Engine.run_result] as [Fault.Monoid_contract]. *)
+let report_violation ctx monoid law detail =
+  let eng = Engine.engine ctx in
+  Engine.report_contract_violation eng
+    {
+      Fault.cv_monoid = monoid.name;
+      cv_law = law;
+      cv_region = Engine.current_region ctx;
+      cv_origin = Engine.failure_origin eng;
+      cv_detail = detail;
+    }
+
+let check_identity_laws ctx monoid lc v =
+  let identity () = monoid.identity ctx in
+  let reduce a b = monoid.reduce ctx a b in
+  if not (lc.lc_equal (reduce (identity ()) (lc.lc_copy v)) (lc.lc_copy v)) then
+    report_violation ctx monoid Fault.Left_identity
+      "reduce(identity, v) differs from v on an observed view";
+  if not (lc.lc_equal (reduce (lc.lc_copy v) (identity ())) (lc.lc_copy v)) then
+    report_violation ctx monoid Fault.Right_identity
+      "reduce(v, identity) differs from v on an observed view"
+
+(* Associativity on the two observed views [a] (surviving) and [b]
+   (dominated), with a ⊗ b itself as the third sample: compare
+   ((a ⊗ b) ⊗ c) with (a ⊗ (b ⊗ c)) where c = a ⊗ b. *)
+let check_associativity ctx monoid lc a b =
+  let reduce x y = monoid.reduce ctx x y in
+  let c () = reduce (lc.lc_copy a) (lc.lc_copy b) in
+  let lhs = reduce (reduce (lc.lc_copy a) (lc.lc_copy b)) (c ()) in
+  let rhs = reduce (lc.lc_copy a) (reduce (lc.lc_copy b) (c ())) in
+  if not (lc.lc_equal lhs rhs) then
+    report_violation ctx monoid Fault.Associativity
+      "((a ⊗ b) ⊗ c) differs from (a ⊗ (b ⊗ c)) on observed views \
+       (c = a ⊗ b)"
+
+let create ctx ?self_check monoid ~init =
   let eng = Engine.engine ctx in
   let views : (int, 'v) Hashtbl.t = Hashtbl.create 8 in
+  let samples_left =
+    ref (match self_check with None -> 0 | Some lc -> max 0 lc.lc_samples)
+  in
   let merge mctx ~from_region ~into_region =
     match Hashtbl.find_opt views from_region with
     | None -> ()
@@ -25,6 +75,12 @@ let create ctx monoid ~init =
                identity absorbs [v_from] without running user code. *)
             Hashtbl.replace views into_region v_from
         | Some v_into ->
+            (match self_check with
+            | Some lc when !samples_left > 0 ->
+                decr samples_left;
+                check_identity_laws mctx monoid lc v_from;
+                check_associativity mctx monoid lc v_into v_from
+            | _ -> ());
             let combined =
               Engine.run_aux_frame mctx Tool.Reduce_fn (fun c ->
                   monoid.reduce c v_into v_from)
@@ -33,6 +89,9 @@ let create ctx monoid ~init =
   in
   let rid = Engine.register_reducer eng ~merge in
   Engine.emit_reducer_read ctx rid;
+  (match self_check with
+  | Some lc when lc.lc_samples > 0 -> check_identity_laws ctx monoid lc init
+  | _ -> ());
   let creation_region = Engine.current_region ctx in
   Hashtbl.replace views creation_region init;
   { rid; monoid; views; creation_region }

@@ -28,11 +28,34 @@ type 'v monoid = {
           [left] in place. Must be semantically associative. *)
 }
 
+(** Configuration of the optional sampled monoid-contract self-check. The
+    check needs to compare and duplicate views: [lc_equal] decides value
+    equality, [lc_copy] produces a copy safe to mutate (the monoid's
+    [reduce] may mutate its left argument), and [lc_samples] bounds how
+    many region merges are checked (the identity laws are additionally
+    checked once on [init] at creation). Operations run {e outside} any
+    view-aware frame, on copies only — the check is invisible to the
+    detectors and to live views; monoids whose operations touch
+    instrumented memory should only enable it with an [lc_copy] that
+    allocates fresh cells. *)
+type 'v law_check = {
+  lc_equal : 'v -> 'v -> bool;
+  lc_copy : 'v -> 'v;
+  lc_samples : int;
+}
+
 type 'v t
 
 (** [create ctx m ~init] declares a reducer with initial (leftmost) view
-    [init]. A reducer-read. *)
-val create : Engine.ctx -> 'v monoid -> init:'v -> 'v t
+    [init]. A reducer-read.
+
+    When [self_check] is given, the monoid laws — associativity, and the
+    left/right identity laws — are verified on up to [lc_samples] observed
+    view pairs as region merges happen. Violations are {e reported}, not
+    raised: they are recorded on the engine as
+    [Fault.Monoid_contract] (see [Engine.contract_violations]) and turn
+    the verdict of [Engine.run_result] into [Error]. *)
+val create : Engine.ctx -> ?self_check:'v law_check -> 'v monoid -> init:'v -> 'v t
 
 (** [get_value ctx r] is the current view's value (materializing an
     identity view if the current region has none, like Cilk's [view()]).

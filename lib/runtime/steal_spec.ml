@@ -11,16 +11,27 @@ type reduce_policy =
   | Reduce_eagerly
   | Reduce_schedule of (int -> int)
 
+type shape =
+  | Never
+  | Always
+  | Probabilistic
+  | Local_indices of int list
+  | At_depth of int
+  | Spawn_indices of int list
+  | Opaque
+
 type t = {
   name : string;
   steal : cont_info -> bool;
   policy : reduce_policy;
+  shape : shape;
 }
 
-let none = { name = "none"; steal = (fun _ -> false); policy = Reduce_at_sync }
+let none =
+  { name = "none"; steal = (fun _ -> false); policy = Reduce_at_sync; shape = Never }
 
 let all ?(policy = Reduce_eagerly) () =
-  { name = "all"; steal = (fun _ -> true); policy }
+  { name = "all"; steal = (fun _ -> true); policy; shape = Always }
 
 (* Stateless hash so that the same (seed, spawn_index) always decides the
    same way, independent of evaluation order. splitmix64 finalizer. *)
@@ -38,7 +49,12 @@ let random ?(policy = Reduce_eagerly) ~seed ~density () =
     let u = Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.0 in
     u < density
   in
-  { name = Printf.sprintf "random(seed=%d,p=%.2f)" seed density; steal; policy }
+  {
+    name = Printf.sprintf "random(seed=%d,p=%.2f)" seed density;
+    steal;
+    policy;
+    shape = Probabilistic;
+  }
 
 let at_local_indices ?(policy = Reduce_at_sync) idxs =
   let steal info = List.mem info.local_index idxs in
@@ -47,10 +63,16 @@ let at_local_indices ?(policy = Reduce_at_sync) idxs =
       Printf.sprintf "local{%s}" (String.concat "," (List.map string_of_int idxs));
     steal;
     policy;
+    shape = Local_indices idxs;
   }
 
 let at_depth ?(policy = Reduce_eagerly) d =
-  { name = Printf.sprintf "depth=%d" d; steal = (fun info -> info.depth = d); policy }
+  {
+    name = Printf.sprintf "depth=%d" d;
+    steal = (fun info -> info.depth = d);
+    policy;
+    shape = At_depth d;
+  }
 
 let by_spawn_index ?(policy = Reduce_at_sync) ?name idxs =
   let module IS = Set.Make (Int) in
@@ -61,9 +83,36 @@ let by_spawn_index ?(policy = Reduce_at_sync) ?name idxs =
     | None ->
         Printf.sprintf "spawns{%s}" (String.concat "," (List.map string_of_int idxs))
   in
-  { name; steal = (fun info -> IS.mem info.spawn_index set); policy }
+  { name; steal = (fun info -> IS.mem info.spawn_index set); policy;
+    shape = Spawn_indices idxs }
 
 let with_name t name = { t with name }
+
+let opaque ?(policy = Reduce_at_sync) ~name steal = { name; steal; policy; shape = Opaque }
+
+let validate t ~k ~d ~n_spawns =
+  let out_of_range lo hi xs = List.filter (fun x -> x < lo || x > hi) xs in
+  let render xs = String.concat "," (List.map string_of_int xs) in
+  match t.shape with
+  | Never | Always | Probabilistic | Opaque -> Ok ()
+  | Local_indices idxs -> (
+      match out_of_range 1 k idxs with
+      | [] -> Ok ()
+      | bad ->
+          Error
+            (Printf.sprintf
+               "continuation indices {%s} outside 1..K for profile K=%d"
+               (render bad) k))
+  | At_depth dd ->
+      if dd >= 0 && dd <= d then Ok ()
+      else Error (Printf.sprintf "depth %d outside 0..D for profile D=%d" dd d)
+  | Spawn_indices idxs -> (
+      match out_of_range 0 (n_spawns - 1) idxs with
+      | [] -> Ok ()
+      | bad ->
+          Error
+            (Printf.sprintf "spawn ordinals {%s} outside the program's %d spawns"
+               (render bad) n_spawns))
 
 let merges_before_steal t ~steal_ordinal ~n_open =
   let max_merges = max 0 (n_open - 1) in

@@ -45,10 +45,24 @@ type reduce_policy =
           (1-based within the sync block) pushes its region; remaining merges
           run at the sync. Lets coverage elicit any particular reduce strand. *)
 
+(** Structural summary of which continuations a specification steals —
+    what {!validate} checks against a program profile. Constructors of
+    this module fill it in; a hand-rolled spec is {!Opaque} (never
+    rejected). *)
+type shape =
+  | Never  (** steals nothing *)
+  | Always  (** steals everything *)
+  | Probabilistic  (** {!random} — any continuation may or may not fire *)
+  | Local_indices of int list  (** {!at_local_indices} *)
+  | At_depth of int  (** {!at_depth} *)
+  | Spawn_indices of int list  (** {!by_spawn_index} *)
+  | Opaque  (** unknown predicate; not validatable *)
+
 type t = {
   name : string;  (** for reports and bench tables *)
   steal : cont_info -> bool;  (** is this continuation stolen? *)
   policy : reduce_policy;
+  shape : shape;  (** structural summary for validation *)
 }
 
 (** [none] steals nothing: the pure serial execution (the "No steals"
@@ -82,6 +96,19 @@ val by_spawn_index : ?policy:reduce_policy -> ?name:string -> int list -> t
 
 (** [with_name t name] relabels a spec. *)
 val with_name : t -> string -> t
+
+(** [opaque ~name steal] wraps an arbitrary predicate ({!Opaque} shape,
+    exempt from validation). *)
+val opaque : ?policy:reduce_policy -> name:string -> (cont_info -> bool) -> t
+
+(** [validate t ~k ~d ~n_spawns] checks the spec's {!shape} against a
+    program profile (max continuations per sync block [k], max spawn
+    depth [d], total spawns): [Error reason] if the spec names
+    continuation indices beyond [K], a depth beyond [D], or spawn
+    ordinals the program never reaches — i.e. the spec can never fire and
+    the run silently degenerates to the serial schedule.
+    [Never]/[Always]/[Probabilistic]/[Opaque] shapes always validate. *)
+val validate : t -> k:int -> d:int -> n_spawns:int -> (unit, string) result
 
 (** [merges_before_steal t ~steal_ordinal ~n_open] is how many top-two
     region merges the engine must perform immediately before pushing the

@@ -1,0 +1,85 @@
+(** Chaos harness: systematic perturbation of the detection pipeline.
+
+    Rader's survival contract — the detector outlives the program under
+    test and reports what it proved up to the failure point — is only
+    worth anything if it holds under every failure mode a buggy program
+    can throw at it. This harness takes an arbitrary benchmark and wraps
+    it in each perturbation of {!all}: an exception thrown mid-strand, a
+    raising [Reduce] or [Create-Identity] callback, a non-associative
+    monoid, an identity that mutates shared state, a steal specification
+    that cannot fire, and event/deadline budget blowouts. For every
+    perturbation it asserts, via {!ok}, that
+
+    - no OCaml exception escapes the contained entry points
+      ([Engine.run_result], [Coverage.exhaustive_check]), and
+    - the run yields the structured diagnostic class (or race evidence)
+      the perturbation calls for.
+
+    Used by [test/test_chaos.ml] across the benchsuite and exposed on the
+    CLI as [rader chaos PROGRAM]. *)
+
+type perturbation =
+  | Raise_in_strand of int
+      (** raise out of instrumented code after the n-th event; expects
+          containment as [User_program_exn] *)
+  | Raise_in_reduce
+      (** wrap the program with a reducer whose [Reduce] raises, under a
+          schedule that forces merges; expects [User_program_exn] from a
+          reduce frame *)
+  | Raise_in_identity
+      (** reducer whose [Create-Identity] raises on lazy view creation in
+          a stolen region; expects [User_program_exn] from an identity
+          frame *)
+  | Non_associative_monoid
+      (** law-abiding identity but non-associative reduce, with the
+          sampled self-check on; expects [Monoid_contract] *)
+  | Mutating_identity
+      (** identity writes a shared cell read in parallel; expects the
+          determinacy race to be {e reported}, not crash anything *)
+  | Invalid_spec
+      (** steal spec naming a continuation index the program cannot
+          reach; expects [Invalid_steal_spec] *)
+  | Event_budget of int
+      (** engine event budget far below the program's needs; expects
+          [Budget_exceeded (Max_events _)] *)
+  | Sweep_deadline
+      (** coverage sweep with an already-expired deadline; expects a
+          partial result whose [incomplete] entries carry
+          [Budget_exceeded (Deadline _)] *)
+
+(** The default battery, one of each (with default parameters). *)
+val all : perturbation list
+
+val name : perturbation -> string
+
+type outcome = {
+  perturbation : perturbation;
+  diag : Rader_core.Diag.failure option;
+      (** the structured diagnostic the pipeline yielded, if any *)
+  races : Rader_core.Report.t list;
+      (** races reported over the completed prefix *)
+  escaped : string option;
+      (** an exception that escaped a contained entry point — always a
+          pipeline bug *)
+}
+
+(** A [law_check] for int views: structural equality, identity copy,
+    4 sampled merges. *)
+val int_check : int Rader_runtime.Reducer.law_check
+
+(** Two-sided identity 0 but a non-associative reduce — trips the
+    sampled associativity self-check while passing the identity laws. *)
+val non_associative_monoid : int Rader_runtime.Reducer.monoid
+
+(** [ok o] holds iff nothing escaped and the outcome carries the evidence
+    its perturbation expects (see the constructor docs above). *)
+val ok : outcome -> bool
+
+val outcome_to_string : outcome -> string
+
+(** [run_one p program] applies perturbation [p] to [program] and runs the
+    pipeline under containment. Never raises. *)
+val run_one : perturbation -> (Rader_runtime.Engine.ctx -> int) -> outcome
+
+(** [run_all program] is [run_one] over {!all}. *)
+val run_all : (Rader_runtime.Engine.ctx -> int) -> outcome list

@@ -1,0 +1,122 @@
+(* Chaos battery: every perturbation from the harness, applied to real
+   benchmarks, must yield a structured diagnostic (or race evidence) with
+   no escaped exception — the executable form of the survival contract in
+   DESIGN.md's failure-model section. *)
+
+open Rader_chaos
+
+let checkb = Alcotest.(check bool)
+
+(* A structurally varied subset of the suite: plain recursion (fib),
+   pipeline-ish reducer traffic (dedup), and irregular graph work
+   (pbfs). *)
+let programs =
+  List.map
+    (fun n ->
+      ( n,
+        (Rader_benchsuite.Suite.find ~seed:7 ~scale:0.02 n)
+          .Rader_benchsuite.Bench_def.cilk ))
+    [ "fib"; "dedup"; "pbfs" ]
+
+let test_battery prog () =
+  List.iter
+    (fun o ->
+      checkb
+        (Chaos.name o.Chaos.perturbation ^ ": " ^ Chaos.outcome_to_string o)
+        true (Chaos.ok o))
+    (Chaos.run_all prog)
+
+(* Targeted law checks: the sampled self-check must name the broken law,
+   delivered as a contained [Monoid_contract] diagnostic. *)
+
+let run_self_check monoid =
+  let open Rader_runtime in
+  let eng = Engine.create ~spec:(Steal_spec.all ()) () in
+  let res =
+    Engine.run_result eng (fun ctx ->
+        let r = Reducer.create ctx ~self_check:Chaos.int_check monoid ~init:2 in
+        ignore
+          (Cilk.spawn ctx (fun ctx -> Reducer.update ctx r (fun _ v -> v + 3)));
+        ignore
+          (Cilk.spawn ctx (fun ctx -> Reducer.update ctx r (fun _ v -> v + 5)));
+        Cilk.sync ctx;
+        0)
+  in
+  match res with
+  | Error (Rader_core.Diag.Monoid_contract cv) -> Some cv.Rader_core.Diag.cv_law
+  | _ -> None
+
+let test_non_associative () =
+  match run_self_check Chaos.non_associative_monoid with
+  | Some Rader_core.Diag.Associativity -> ()
+  | Some l -> Alcotest.failf "wrong law: %s" (Rader_core.Diag.law_name l)
+  | None -> Alcotest.fail "self-check missed the broken associativity"
+
+(* 7 is not an identity for +, so reduce(identity(), v) <> v already on
+   the initial view at create time. *)
+let bad_identity =
+  {
+    Rader_runtime.Reducer.name = "chaos-bad-identity";
+    identity = (fun _ -> 7);
+    reduce = (fun _ a b -> a + b);
+  }
+
+let test_bad_identity () =
+  match run_self_check bad_identity with
+  | Some (Rader_core.Diag.Left_identity | Rader_core.Diag.Right_identity) -> ()
+  | Some l -> Alcotest.failf "wrong law: %s" (Rader_core.Diag.law_name l)
+  | None -> Alcotest.fail "self-check missed the broken identity"
+
+(* The headline acceptance property: a program with BOTH an oblivious
+   determinacy race and a reduce that crashes under steals. The sweep must
+   report the race (from the specs that complete) AND record the crashed
+   specs, without any exception escaping. *)
+let test_partial_sweep_keeps_races () =
+  let open Rader_runtime in
+  let program ctx =
+    let shared = Cell.make_in ctx ~label:"shared" 0 in
+    let monoid =
+      {
+        Reducer.name = "crashy";
+        identity = (fun _ -> 0);
+        reduce = (fun _ _ _ -> failwith "injected reduce crash");
+      }
+    in
+    let r = Reducer.create ctx monoid ~init:0 in
+    let w = Cilk.spawn ctx (fun ctx -> Cell.write ctx shared 1) in
+    ignore (Cilk.spawn ctx (fun ctx -> Reducer.update ctx r (fun _ v -> v + 1)));
+    (* races with the spawned writer *)
+    ignore (Cell.read ctx shared);
+    Cilk.sync ctx;
+    Cilk.get ctx w
+  in
+  let res = Rader_core.Coverage.exhaustive_check program in
+  checkb "races reported" true (res.Rader_core.Coverage.reports <> []);
+  checkb "crashed specs recorded" true
+    (res.Rader_core.Coverage.incomplete <> []);
+  checkb "marked partial" true (not res.Rader_core.Coverage.complete);
+  checkb "every incomplete entry is a user-program failure" true
+    (List.for_all
+       (fun (_, f) ->
+         match f with Rader_core.Diag.User_program_exn _ -> true | _ -> false)
+       res.Rader_core.Coverage.incomplete)
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "battery",
+        List.map
+          (fun (n, p) -> Alcotest.test_case n `Quick (test_battery p))
+          programs );
+      ( "laws",
+        [
+          Alcotest.test_case "non-associative caught" `Quick
+            test_non_associative;
+          Alcotest.test_case "bad identity caught" `Quick test_bad_identity;
+        ] );
+      ( "partial sweep",
+        [
+          Alcotest.test_case "races and incomplete coexist" `Quick
+            test_partial_sweep_keeps_races;
+        ] );
+    ]

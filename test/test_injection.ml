@@ -19,6 +19,8 @@ type fault =
   | Update_touches_shared  (** determinacy race: update writes a shared cell *)
   | Reduce_touches_shared  (** determinacy race: reduce writes a shared cell *)
   | Oblivious_conflict  (** plain determinacy race on a shared cell *)
+  | Reduce_raises  (** reduce callback raises: must be contained, serial
+                       runs stay clean, coverage sweeps survive partial *)
 
 let program fault ctx =
   let shared = Cell.make_in ctx ~label:"observer" 0 in
@@ -28,6 +30,7 @@ let program fault ctx =
       identity = (fun c -> Cell.make_in c 0);
       reduce =
         (fun c l r ->
+          if fault = Reduce_raises then failwith "injected reduce crash";
           if fault = Reduce_touches_shared then Cell.write c shared 1;
           Cell.write c l (Cell.read c l + Cell.read c r);
           l);
@@ -134,6 +137,27 @@ let test_oblivious_conflict () =
   ignore (Engine.run eng (program Oblivious_conflict));
   checkb "sp-order catches" true (Sp_order.found d)
 
+let test_reduce_raises () =
+  (* no steals: the reduce callback never fires, so the run is clean *)
+  let eng = Engine.create () in
+  (match Engine.run_result eng (program Reduce_raises) with
+  | Ok _ -> ()
+  | Error f -> Alcotest.failf "serial run should succeed: %s" (Diag.to_string f));
+  (* force steals: the crash must surface as a structured diagnostic
+     attributed to a reduce frame, not as an escaped exception *)
+  let eng = Engine.create ~spec:(Steal_spec.all ()) () in
+  (match Engine.run_result eng (program Reduce_raises) with
+  | Error (Diag.User_program_exn { origin; _ }) ->
+      checkb "origin is a reduce frame" true
+        (origin.Diag.o_kind = Tool.Reduce_fn)
+  | Error f -> Alcotest.failf "wrong diagnostic class: %s" (Diag.to_string f)
+  | Ok _ -> Alcotest.fail "expected a contained failure under steals");
+  (* the coverage sweep survives: crashing specs are recorded as
+     incomplete while the remaining specs still run *)
+  let res = coverage_verdict Reduce_raises in
+  checkb "sweep marked partial" true (not res.Coverage.complete);
+  checkb "crashing specs recorded" true (res.Coverage.incomplete <> [])
+
 (* Each benchmark, perturbed with an early reducer read, must trip
    Peer-Set; unperturbed it must not (already covered in
    test_benchsuite). *)
@@ -171,6 +195,7 @@ let () =
           Alcotest.test_case "update touches shared" `Quick test_update_touches_shared;
           Alcotest.test_case "reduce touches shared" `Quick test_reduce_touches_shared;
           Alcotest.test_case "oblivious conflict" `Quick test_oblivious_conflict;
+          Alcotest.test_case "reduce raises" `Quick test_reduce_raises;
           Alcotest.test_case "benchmarks + injected read" `Quick
             test_benchmarks_with_injected_view_read;
         ] );
