@@ -10,7 +10,14 @@
    - S2: SP+ running time as the number of simulated steals M grows
      (the O((T + Mτ) α) cost model of Theorem 5);
    - S3: work-stealing simulator speedup sanity (T₁/T_p);
+   - S4: the multicore §7 coverage sweep — wall-clock at --jobs 1/2/4/ncores
+     and the engine-reuse (Engine.reset) vs fresh-engine-per-spec ratio;
+   - S5: serial detector comparison on reducer-free workloads (§9 baselines);
    plus a bechamel micro-benchmark group per figure table.
+
+   Besides the printed tables, the harness persists a perf trajectory to
+   BENCH_rader.json (schema-stable keys, see `schema` field) so later PRs
+   can diff performance against this run.
 
    Environment knobs:
      RADER_BENCH_SCALE      workload multiplier (default 4.0)
@@ -281,11 +288,124 @@ let s3_wsim () =
     [ 1; 2; 4; 8; 16 ];
   Tablefmt.print t
 
-(* ---------- S4: detector comparison on view-oblivious workloads ---------- *)
+(* ---------- S4: multicore coverage sweep (paper §7 across domains) ---------- *)
 
-let s4_detector_comparison () =
+(* A workload shaped for the sweep: K = [sweep_width] continuations in the
+   root sync block (the acceptance floor is K >= 6), each spawn doing
+   enough reducer updates that one spec replay has measurable work. *)
+let sweep_width = 7
+let sweep_work = if fast then 40 else 160
+
+let sweep_program ctx =
+  let r = Rmonoid.new_int_add ctx ~init:0 in
+  for _ = 1 to sweep_width do
+    ignore
+      (Cilk.spawn ctx (fun ctx ->
+           for i = 1 to sweep_work do
+             Rmonoid.add ctx r i
+           done))
+  done;
+  Cilk.sync ctx;
+  ignore (Rmonoid.int_cell_value ctx r)
+
+type s4_data = {
+  s4_k : int;
+  s4_d : int;
+  s4_n_specs : int;
+  s4_ncores : int;
+  s4_times : (int * float) list; (* jobs -> best sweep seconds *)
+  s4_fresh : float; (* N replays, fresh engine per spec *)
+  s4_reset : float; (* N replays, one engine recycled via reset *)
+  s4_reuse_iters : int;
+}
+
+let s4_parallel_sweep () =
+  let ncores = Parallel_sweep.default_jobs () in
+  let prof = Coverage.profile sweep_program in
+  let n_specs =
+    List.length (Coverage.all_specs ~k:prof.Coverage.k ~d:prof.Coverage.d)
+  in
+  let job_counts = List.sort_uniq compare [ 1; 2; 4; ncores ] in
+  let times =
+    List.map
+      (fun jobs ->
+        let dt =
+          measure (fun () ->
+              let res = Coverage.exhaustive_check ~jobs sweep_program in
+              assert res.Coverage.complete;
+              0)
+        in
+        (jobs, dt))
+      job_counts
+  in
+  (* Engine reuse: the same batch of spec replays with a fresh
+     engine+detector per spec vs one pair recycled through
+     Engine.reset / Sp_plus.reset. *)
+  let spec =
+    Steal_spec.at_local_indices ~policy:Steal_spec.Reduce_eagerly [ 2; 4 ]
+  in
+  let reuse_iters = if fast then 200 else 400 in
+  let fresh =
+    measure (fun () ->
+        for _ = 1 to reuse_iters do
+          let eng = Engine.create ~spec () in
+          let det = Sp_plus.attach eng in
+          (match Engine.run_result eng sweep_program with
+          | Ok _ -> ()
+          | Error _ -> assert false);
+          assert (Sp_plus.races det = [])
+        done;
+        0)
+  in
+  let reset =
+    measure (fun () ->
+        let eng = Engine.create () in
+        let det = Sp_plus.attach eng in
+        for _ = 1 to reuse_iters do
+          Engine.reset ~spec eng;
+          Sp_plus.reset det;
+          (match Engine.run_result eng sweep_program with
+          | Ok _ -> ()
+          | Error _ -> assert false);
+          assert (Sp_plus.races det = [])
+        done;
+        0)
+  in
+  {
+    s4_k = prof.Coverage.k;
+    s4_d = prof.Coverage.d;
+    s4_n_specs = n_specs;
+    s4_ncores = ncores;
+    s4_times = times;
+    s4_fresh = fresh;
+    s4_reset = reset;
+    s4_reuse_iters = reuse_iters;
+  }
+
+let s4_print (s4 : s4_data) =
   Printf.printf
-    "\nS4: serial detector comparison on reducer-free workloads\n\
+    "\nS4: multicore coverage sweep (K=%d D=%d workload, %d steal specs;\n\
+     %d core(s) available — speedups are hardware-bound)\n\
+     ----------------------------------------------------------------\n"
+    s4.s4_k s4.s4_d s4.s4_n_specs s4.s4_ncores;
+  let t = Tablefmt.create [ "jobs"; "sweep (s)"; "speedup vs jobs=1" ] in
+  let t1 = List.assoc 1 s4.s4_times in
+  List.iter
+    (fun (jobs, dt) ->
+      Tablefmt.add_row t
+        [ string_of_int jobs; Printf.sprintf "%.4f" dt; Tablefmt.cell_f (t1 /. dt) ])
+    s4.s4_times;
+  Tablefmt.print t;
+  Printf.printf
+    "engine reuse (%d replays under one spec): fresh %.4fs, reset %.4fs -> \
+     fresh/reset = %.2fx\n"
+    s4.s4_reuse_iters s4.s4_fresh s4.s4_reset (s4.s4_fresh /. s4.s4_reset)
+
+(* ---------- S5: detector comparison on view-oblivious workloads ---------- *)
+
+let s5_detector_comparison () =
+  Printf.printf
+    "\nS5: serial detector comparison on reducer-free workloads\n\
      (overhead over the empty tool; SP-bags/SP-order/offset-span are the\n\
      related-work baselines of §9, SP+ degenerates to SP-bags here)\n\
      --------------------------------------------------------------\n";
@@ -376,6 +496,128 @@ let bechamel_tables () =
     (List.sort compare rows);
   Tablefmt.print t
 
+(* ---------- BENCH_rader.json: the persisted perf trajectory ---------- *)
+
+(* Hand-rolled emitter (no JSON dependency in the image). Keys are part of
+   the schema: never rename them, only add — future PRs diff this file
+   against their own run to see performance moves. *)
+type json =
+  | Num of float
+  | Int of int
+  | Bool of bool
+  | Str of string
+  | Obj of (string * json) list
+
+let rec emit_json buf = function
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Num f ->
+      if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.6g" f)
+      else Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Str s ->
+      Buffer.add_char buf '"';
+      String.iter
+        (function
+          | '"' -> Buffer.add_string buf "\\\""
+          | '\\' -> Buffer.add_string buf "\\\\"
+          | '\n' -> Buffer.add_string buf "\\n"
+          | c when Char.code c < 0x20 ->
+              Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+          | c -> Buffer.add_char buf c)
+        s;
+      Buffer.add_char buf '"'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit_json buf (Str k);
+          Buffer.add_char buf ':';
+          emit_json buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+(* Mode display names -> schema keys (stable even if table titles move). *)
+let mode_key = function
+  | "plain" -> "plain"
+  | "empty tool" -> "empty_tool"
+  | "Check view-read race" -> "check_view_read_race"
+  | "No steals" -> "no_steals"
+  | "Check updates" -> "check_updates"
+  | "Check reductions" -> "check_reductions"
+  | s -> s
+
+let bench_json rows (s4 : s4_data) =
+  let overhead_grid base =
+    Obj
+      (List.map
+         (fun row ->
+           ( row.bench.Bench_def.name,
+             Obj
+               (List.filter_map
+                  (fun (m, _) ->
+                    if m = "plain" || m = "empty tool" then None
+                    else Some (mode_key m, Num (ratio row m base)))
+                  row.times) ))
+         rows)
+  in
+  let base_times =
+    Obj
+      (List.map
+         (fun row ->
+           ( row.bench.Bench_def.name,
+             Obj
+               [
+                 ("k", Int row.k);
+                 ("d", Int row.d);
+                 ("plain_s", Num (List.assoc "plain" row.times));
+                 ("empty_tool_s", Num (List.assoc "empty tool" row.times));
+               ] ))
+         rows)
+  in
+  let t1 = List.assoc 1 s4.s4_times in
+  Obj
+    [
+      ("schema", Str "rader-bench/1");
+      ("scale", Num scale);
+      ("fast", Bool fast);
+      ("fig7_overhead_vs_plain", overhead_grid "plain");
+      ("fig8_overhead_vs_empty_tool", overhead_grid "empty tool");
+      ("base_times", base_times);
+      ( "s4_parallel_sweep",
+        Obj
+          [
+            ("workload_k", Int s4.s4_k);
+            ("workload_d", Int s4.s4_d);
+            ("n_specs", Int s4.s4_n_specs);
+            ("recommended_domain_count", Int s4.s4_ncores);
+            ( "sweep_seconds_by_jobs",
+              Obj (List.map (fun (j, dt) -> (string_of_int j, Num dt)) s4.s4_times) );
+            ( "speedup_vs_jobs1",
+              Obj
+                (List.map
+                   (fun (j, dt) -> (string_of_int j, Num (t1 /. dt)))
+                   s4.s4_times) );
+            ( "engine_reuse",
+              Obj
+                [
+                  ("replays", Int s4.s4_reuse_iters);
+                  ("fresh_engine_s", Num s4.s4_fresh);
+                  ("reset_reuse_s", Num s4.s4_reset);
+                  ("fresh_over_reset", Num (s4.s4_fresh /. s4.s4_reset));
+                ] );
+          ] );
+    ]
+
+let write_bench_json rows s4 =
+  let buf = Buffer.create 4096 in
+  emit_json buf (bench_json rows s4);
+  Buffer.add_char buf '\n';
+  let oc = open_out "BENCH_rader.json" in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf "\nwrote BENCH_rader.json\n"
+
 let () =
   Printf.printf
     "Rader/OCaml benchmark harness — reproducing Lee & Schardl, SPAA'15 §8\n\
@@ -388,6 +630,9 @@ let () =
   s1_spec_families rows;
   s2_steal_sweep ();
   s3_wsim ();
-  s4_detector_comparison ();
+  let s4 = s4_parallel_sweep () in
+  s4_print s4;
+  s5_detector_comparison ();
+  write_bench_json rows s4;
   if not skip_bechamel then bechamel_tables ();
   Printf.printf "\ndone.\n"

@@ -212,9 +212,15 @@ let check_cmd =
 
 (* ---------- coverage ---------- *)
 
-let do_coverage program scale verbose max_specs max_events deadline_s =
+let do_coverage program scale verbose max_specs max_events deadline_s jobs =
+  if jobs < 0 then begin
+    Printf.eprintf "--jobs must be >= 0 (0 = one worker per core)\n";
+    exit 2
+  end;
   let prog = resolve_program ~scale program in
-  let res = Coverage.exhaustive_check ?max_specs ?max_events ?deadline:deadline_s prog in
+  let res =
+    Coverage.exhaustive_check ?max_specs ?max_events ?deadline:deadline_s ~jobs prog
+  in
   Printf.printf "profile: K=%d D=%d spawns=%d; %d steal specifications (%d run)\n"
     res.Coverage.prof.Coverage.k res.Coverage.prof.Coverage.d
     res.Coverage.prof.Coverage.n_spawns res.Coverage.n_specs res.Coverage.n_run;
@@ -272,13 +278,23 @@ let max_specs_arg =
           "Attempt at most N steal specifications; the rest are reported \
            as incomplete (exit 3).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Shard the steal-specification sweep across N worker domains \
+           ($(b,0) = one per core). Results are merged in specification \
+           order, so the report is identical for every N.")
+
 let coverage_cmd =
   let doc = "Exhaustively check every possible view-aware strand (paper §7)." in
   Cmd.v
     (Cmd.info "coverage" ~doc)
     Term.(
       const do_coverage $ program_arg $ scale_arg $ verbose_arg $ max_specs_arg
-      $ max_events_arg $ deadline_arg)
+      $ max_events_arg $ deadline_arg $ jobs_arg)
 
 (* ---------- chaos ---------- *)
 

@@ -109,7 +109,17 @@ let take n xs =
   in
   go n [] xs
 
-let exhaustive_check ?max_specs ?max_events ?deadline program =
+(* What one spec replay produced. [Not_run] = the sweep-wide deadline
+   expired before the spec was dispatched. *)
+type spec_outcome =
+  | Ran of {
+      locs : int list;
+      races : Report.t list;
+      failure : Diag.failure option;
+    }
+  | Not_run
+
+let exhaustive_check ?max_specs ?max_events ?deadline ?(jobs = 1) program =
   let abs_deadline = Option.map (fun s -> Unix.gettimeofday () +. s) deadline in
   let past_deadline () =
     match abs_deadline with
@@ -124,6 +134,33 @@ let exhaustive_check ?max_specs ?max_events ?deadline program =
     | Some m when m < n_specs -> take m specs
     | _ -> (specs, [])
   in
+  let specs = Array.of_list specs in
+  (* Fan the replays out across domains. Each worker owns one engine +
+     detector pair and recycles it per spec (Engine.reset / Sp_plus.reset)
+     instead of reallocating; each replay's verdicts are returned as a
+     self-contained outcome, so workers never share mutable state. *)
+  let outcomes, _ =
+    Parallel_sweep.map ~jobs ~stop:past_deadline
+      ~init:(fun _wid ->
+        let eng = Engine.create () in
+        let det = Sp_plus.attach eng in
+        (eng, det))
+      ~task:(fun (eng, det) i ->
+        Engine.reset ~spec:specs.(i) ?max_events ?deadline:abs_deadline eng;
+        Sp_plus.reset det;
+        let failure =
+          match Engine.run_result eng program with
+          | Ok _ -> None
+          | Error f -> Some f
+        in
+        (* the detector's verdicts over the completed prefix still count *)
+        Ran { locs = Sp_plus.racy_locs det; races = Sp_plus.races det; failure })
+      ~skipped:(fun _ -> Not_run)
+      (Array.length specs)
+  in
+  (* Merge in spec order: the fold below is exactly the loop body of the
+     serial sweep, so the result — report order, dedup decisions,
+     [incomplete] order — is identical no matter how many domains ran. *)
   let seen = Hashtbl.create 32 in
   let reports = ref [] in
   let per_spec = ref [] in
@@ -131,34 +168,31 @@ let exhaustive_check ?max_specs ?max_events ?deadline program =
     ref (match prof_failure with Some f -> [ ("profile", f) ] | None -> [])
   in
   let n_run = ref 0 in
-  List.iter
-    (fun (spec : Steal_spec.t) ->
-      if past_deadline () then
-        (* out of time: charge the remaining specs to the deadline without
-           running them, so the caller sees exactly what was not covered *)
-        incomplete :=
-          (spec.Steal_spec.name,
-           Diag.Budget_exceeded (Diag.Deadline (Option.get abs_deadline)))
-          :: !incomplete
-      else begin
-        incr n_run;
-        let eng = Engine.create ~spec ?max_events ?deadline:abs_deadline () in
-        let detector = Sp_plus.attach eng in
-        (match Engine.run_result eng program with
-        | Ok _ -> ()
-        | Error f -> incomplete := (spec.Steal_spec.name, f) :: !incomplete);
-        (* the detector's verdicts over the completed prefix still count *)
-        let locs = Sp_plus.racy_locs detector in
-        per_spec := (spec, locs) :: !per_spec;
-        List.iter
-          (fun r ->
-            if not (Hashtbl.mem seen r.Report.subject) then begin
-              Hashtbl.replace seen r.Report.subject ();
-              reports := r :: !reports
-            end)
-          (Sp_plus.races detector)
-      end)
-    specs;
+  Array.iteri
+    (fun i outcome ->
+      let spec = specs.(i) in
+      match outcome with
+      | Not_run ->
+          (* out of time: charge the remaining specs to the deadline without
+             running them, so the caller sees exactly what was not covered *)
+          incomplete :=
+            (spec.Steal_spec.name,
+             Diag.Budget_exceeded (Diag.Deadline (Option.get abs_deadline)))
+            :: !incomplete
+      | Ran { locs; races; failure } ->
+          incr n_run;
+          (match failure with
+          | None -> ()
+          | Some f -> incomplete := (spec.Steal_spec.name, f) :: !incomplete);
+          per_spec := (spec, locs) :: !per_spec;
+          List.iter
+            (fun r ->
+              if not (Hashtbl.mem seen r.Report.subject) then begin
+                Hashtbl.replace seen r.Report.subject ();
+                reports := r :: !reports
+              end)
+            races)
+    outcomes;
   let m = Option.value max_specs ~default:0 in
   List.iter
     (fun (spec : Steal_spec.t) ->

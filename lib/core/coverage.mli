@@ -74,16 +74,30 @@ type result = {
     its budget is recorded in [incomplete] while the sweep continues, and
     the races it proved before failing still count.
 
+    Each spec replay is independent (one engine, one detector, one
+    verdict), so the sweep shards across OCaml 5 domains: [jobs] worker
+    domains pull specs from a shared queue, each recycling one
+    engine+detector pair ([Engine.reset] / [Sp_plus.reset]) across its
+    replays, and the per-spec outcomes are merged {e in spec order} — so
+    [reports] (order and dedup), [per_spec], [racy_locs] and [complete]
+    are identical for every job count, and [jobs = 1] (the default, run
+    inline with no domain spawned) reproduces the serial sweep exactly.
+    Under a [deadline] with [jobs >= 2], {e which} specs end up charged to
+    the deadline depends on timing; everything else stays deterministic.
+
     @param max_specs attempt at most this many specs; the rest are
     recorded in [incomplete] as [Budget_exceeded (Max_specs _)].
     @param max_events per-run event budget (see [Engine.create]).
     @param deadline wall-clock budget in seconds for the whole sweep
     (shared with each run's engine); once exhausted, remaining specs are
-    recorded as [Budget_exceeded (Deadline _)] without running. *)
+    recorded as [Budget_exceeded (Deadline _)] without running.
+    @param jobs worker domains (default 1; [<= 0] means
+    [Parallel_sweep.default_jobs ()]). *)
 val exhaustive_check :
   ?max_specs:int ->
   ?max_events:int ->
   ?deadline:float ->
+  ?jobs:int ->
   (Rader_runtime.Engine.ctx -> 'a) ->
   result
 

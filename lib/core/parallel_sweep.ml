@@ -1,0 +1,61 @@
+(* Deterministic parallel fan-out over an indexed work queue, built on
+   OCaml 5 domains.
+
+   The §7 coverage sweep replays one program under Θ(max{KD, K³}) steal
+   specifications; each replay is independent by construction (one engine,
+   one detector, one verdict), so the sweep is embarrassingly parallel.
+   Workers pull task indices from a single atomic counter and write each
+   result into its own slot of a shared array — every slot is written by
+   exactly one domain and read only after [Domain.join], so no locks are
+   needed and the OCaml memory model makes the reads well-defined. The
+   caller then folds the slots in index order, which is what makes the
+   merged output independent of scheduling. *)
+
+type stats = { jobs : int; n_tasks : int; n_skipped : int }
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let map ?(jobs = 1) ?(stop = fun () -> false) ~init ~task ~skipped n =
+  if n < 0 then invalid_arg "Parallel_sweep.map: negative task count";
+  let jobs = if jobs <= 0 then default_jobs () else jobs in
+  let results = Array.make (max n 1) None in
+  let next = Atomic.make 0 in
+  let skips = Atomic.make 0 in
+  (* A task that raises poisons the whole sweep: every worker drains out,
+     and the first exception is re-raised in the calling domain after all
+     domains are joined (so no domain is leaked). Coverage tasks are total
+     ([Engine.run_result]) and never take this path. *)
+  let poison = Atomic.make None in
+  let worker wid () =
+    match
+      let st = init wid in
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n || Atomic.get poison <> None then continue := false
+        else if stop () then begin
+          Atomic.incr skips;
+          results.(i) <- Some (skipped i)
+        end
+        else results.(i) <- Some (task st i)
+      done
+    with
+    | () -> ()
+    | exception e ->
+        ignore (Atomic.compare_and_set poison None (Some (e, Printexc.get_raw_backtrace ())))
+  in
+  if n > 0 then
+    if jobs = 1 then worker 0 ()
+    else begin
+      let spawned = Array.init (min jobs n - 1) (fun w -> Domain.spawn (worker (w + 1))) in
+      worker 0 ();
+      Array.iter Domain.join spawned
+    end;
+  (match Atomic.get poison with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ());
+  let out =
+    Array.init n (fun i ->
+        match results.(i) with Some r -> r | None -> assert false)
+  in
+  (out, { jobs; n_tasks = n; n_skipped = Atomic.get skips })

@@ -1,0 +1,44 @@
+(** Deterministic parallel fan-out over an indexed work queue (OCaml 5
+    domains) — the sharding substrate of the parallel §7 coverage sweep.
+
+    Tasks are numbered [0 .. n-1] and handed out through a single atomic
+    counter; each worker domain builds its own state once ([init], e.g. a
+    reusable engine + detector pair) and then replays tasks against it.
+    Results land in per-index slots, so the caller can merge them {e in
+    index order} and obtain output independent of how tasks were
+    interleaved across domains. With [jobs = 1] everything runs inline in
+    the calling domain — no domain is spawned — which is the reference
+    serial order the deterministic merge reproduces. *)
+
+type stats = {
+  jobs : int;  (** worker count actually used *)
+  n_tasks : int;
+  n_skipped : int;  (** tasks given to [skipped] because [stop] was true *)
+}
+
+(** [default_jobs ()] is [Domain.recommended_domain_count ()]. *)
+val default_jobs : unit -> int
+
+(** [map ~init ~task ~skipped n] runs [task st i] for every
+    [i in 0 .. n-1] and returns the results indexed by [i], plus sweep
+    statistics.
+
+    @param jobs worker domains (default 1 = run inline; [<= 0] means
+    {!default_jobs}). At most [n] domains are used.
+    @param stop polled before each task; once it returns true the
+    remaining tasks are produced by [skipped] instead of [task] (the
+    sweep-wide deadline hook). Which indices get skipped depends on timing
+    when [jobs >= 2].
+    @param init builds one worker's private state from its worker id;
+    called once per domain.
+    @param task must not share mutable state across calls on different
+    workers; an exception poisons the sweep and is re-raised after all
+    domains are joined. *)
+val map :
+  ?jobs:int ->
+  ?stop:(unit -> bool) ->
+  init:(int -> 'w) ->
+  task:('w -> int -> 'a) ->
+  skipped:(int -> 'a) ->
+  int ->
+  'a array * stats

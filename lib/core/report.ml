@@ -50,6 +50,11 @@ let report c r =
     c.n <- c.n + 1
   end
 
+let clear c =
+  c.items <- [];
+  c.n <- 0;
+  Hashtbl.reset c.seen
+
 let races c = List.rev c.items
 
 let count c = c.n

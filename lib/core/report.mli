@@ -37,6 +37,10 @@ val collector : unit -> collector
     was already recorded. *)
 val report : collector -> t -> unit
 
+(** [clear c] forgets everything recorded, returning the collector to a
+    freshly created state (arena reuse across detector runs). *)
+val clear : collector -> unit
+
 (** [races c] is everything recorded, in detection order. *)
 val races : collector -> t list
 

@@ -183,6 +183,19 @@ let attach eng =
   Engine.set_tool eng (tool d);
   d
 
+(* Recycle the detector alongside an [Engine.reset]: the bag store's
+   union-find, the frame stack, both shadow spaces and the report
+   collector are emptied but keep their grown arenas, and the detector
+   re-arms itself as its engine's tool (the reset engine reverted to
+   [Tool.null]). *)
+let reset d =
+  Bag.clear_store d.store;
+  Dynarr.clear d.stack;
+  Shadow.clear d.reader;
+  Shadow.clear d.writer;
+  Report.clear d.collector;
+  Engine.set_tool d.eng (tool d)
+
 let races d = Report.races d.collector
 
 let found d = Report.count d.collector > 0

@@ -28,6 +28,14 @@ type t
 val create : Rader_runtime.Engine.t -> t
 val tool : t -> Rader_runtime.Tool.t
 val attach : Rader_runtime.Engine.t -> t
+
+(** [reset d] empties all detector state (bag store, frame stack, shadow
+    spaces, collected reports) while keeping the grown arenas, and
+    re-installs [d] as its engine's tool. Call right after
+    [Engine.reset] on the same engine to replay another steal
+    specification without reallocating — one [attach]+[reset] pair per
+    spec is observationally identical to a fresh engine+detector pair. *)
+val reset : t -> unit
 val races : t -> Report.t list
 val found : t -> bool
 

@@ -12,6 +12,10 @@ type 'a store = {
 
 let create_store () = { dset = Dset.create (); owner = Dynarr.create () }
 
+let clear_store store =
+  Dset.clear store.dset;
+  Dynarr.clear store.owner
+
 let set_owner store root bag =
   Dynarr.ensure store.owner (root + 1) None;
   Dynarr.set store.owner root bag

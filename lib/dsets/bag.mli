@@ -19,6 +19,11 @@ type 'a t
 (** [create_store ()] is a fresh element partition shared by related bags. *)
 val create_store : unit -> 'a store
 
+(** [clear_store store] empties the store (elements and owner table) while
+    keeping its arenas allocated. Bags made against the old contents are
+    dangling afterwards and must not be used. *)
+val clear_store : 'a store -> unit
+
 (** [make store payload elts] is a new bag containing exactly [elts] (each of
     which must be fresh in [store]); [make store payload \[\]] is the
     pseudocode's [MakeBag(∅)]. *)

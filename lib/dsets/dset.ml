@@ -19,14 +19,24 @@ let add t x =
   Dynarr.set t.rank x 0;
   t.count <- t.count + 1
 
-let rec find_root t x =
-  let p = Dynarr.get t.parent x in
-  if p = x then x
-  else begin
-    let root = find_root t p in
-    Dynarr.set t.parent x root;
-    root
-  end
+(* Iterative two-pass path compression: walk to the root, then rewrite
+   every parent pointer on the path. The textbook recursive version
+   allocates a stack frame per link; parent chains produced by large
+   coverage sweeps (hundreds of thousands of frames) must not be able to
+   blow the OCaml stack, so both passes are loops. *)
+let find_root t x =
+  let r = ref x in
+  while Dynarr.get t.parent !r <> !r do
+    r := Dynarr.get t.parent !r
+  done;
+  let root = !r in
+  let c = ref x in
+  while Dynarr.get t.parent !c <> root do
+    let next = Dynarr.get t.parent !c in
+    Dynarr.set t.parent !c root;
+    c := next
+  done;
+  root
 
 let find t x =
   if not (mem t x) then invalid_arg "Dset.find: unknown element";
@@ -55,3 +65,8 @@ let union t a b =
 let same_set t a b = find t a = find t b
 
 let cardinal t = t.count
+
+let clear t =
+  Dynarr.clear t.parent;
+  Dynarr.clear t.rank;
+  t.count <- 0

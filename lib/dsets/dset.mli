@@ -31,3 +31,8 @@ val same_set : t -> int -> int -> bool
 
 (** [cardinal t] is the number of elements added so far. *)
 val cardinal : t -> int
+
+(** [clear t] forgets every element, returning [t] to the state of
+    {!create} while keeping the backing arrays allocated — the arena-reuse
+    primitive for running many detector passes on one forest. *)
+val clear : t -> unit

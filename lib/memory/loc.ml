@@ -41,3 +41,9 @@ let label reg loc =
   end
 
 let count reg = reg.next
+
+let reset reg =
+  reg.next <- 0;
+  Dynarr.clear reg.starts;
+  Dynarr.clear reg.labels;
+  Dynarr.clear reg.sizes

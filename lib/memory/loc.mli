@@ -26,3 +26,8 @@ val label : registry -> t -> string
 
 (** [count reg] is the number of ids allocated so far. *)
 val count : registry -> int
+
+(** [reset reg] forgets every allocation, returning [reg] to the state of
+    {!registry} while keeping its arenas — ids allocated before the reset
+    are dangling afterwards. *)
+val reset : registry -> unit

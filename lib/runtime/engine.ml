@@ -52,14 +52,14 @@ type state = Fresh | Running | Done
 
 type t = {
   mutable tool : Tool.t;
-  spec : Steal_spec.t;
-  record : bool;
+  mutable spec : Steal_spec.t;
+  mutable record : bool;
   registry : Loc.registry;
   mutable next_fid : int;
   mutable next_rid : int;
   mutable strand_counter : int;
   mutable spawn_counter : int;
-  dag_store : Dag.t option;
+  mutable dag_store : Dag.t option;
   accesses_log : access Dynarr.t;
   merges_log : merge_rec Dynarr.t;
   rreads_log : (int * int) Dynarr.t;
@@ -78,8 +78,8 @@ type t = {
   mutable max_local_seen : int; (* largest sync-block continuation index *)
   mutable max_depth_seen : int; (* deepest frame entered *)
   mutable event_count : int;
-  max_events : int option;
-  deadline : float option; (* absolute Unix time *)
+  mutable max_events : int option;
+  mutable deadline : float option; (* absolute Unix time *)
   (* counters *)
   mutable c_frames : int;
   mutable c_spawns : int;
@@ -134,6 +134,48 @@ let create ?(tool = Tool.null) ?(spec = Steal_spec.none) ?(record = false)
 let set_tool t tool =
   if t.state <> Fresh then err "Engine.set_tool: engine already running";
   t.tool <- tool
+
+(* Recycle an engine for another run: every counter and log goes back to
+   its [create] value, but the arenas behind the Dynarrs and the location
+   registry keep their grown backing stores. Equivalent to [create] with
+   the same arguments — coverage sweeps lean on that equivalence to keep
+   parallel and serial results byte-identical — while skipping the
+   per-spec reallocation that dominates short runs. *)
+let reset ?(tool = Tool.null) ?(spec = Steal_spec.none) ?(record = false)
+    ?max_events ?deadline t =
+  if t.state = Running then err "Engine.reset: engine is running";
+  t.tool <- tool;
+  t.spec <- spec;
+  t.record <- record;
+  Loc.reset t.registry;
+  t.next_fid <- 0;
+  t.next_rid <- 1;
+  t.strand_counter <- 0;
+  t.spawn_counter <- 0;
+  t.dag_store <- (if record then Some (Dag.create ()) else None);
+  Dynarr.clear t.accesses_log;
+  Dynarr.clear t.merges_log;
+  Dynarr.clear t.rreads_log;
+  Dynarr.clear t.spawn_log;
+  Dynarr.clear t.frames_log;
+  Dynarr.clear t.reducer_merges;
+  t.pending_deps <- [];
+  t.in_merge <- false;
+  t.state <- Fresh;
+  t.active_frames <- [];
+  t.contract_log <- [];
+  t.max_local_seen <- 0;
+  t.max_depth_seen <- 0;
+  t.event_count <- 0;
+  t.max_events <- max_events;
+  t.deadline <- deadline;
+  t.c_frames <- 0;
+  t.c_spawns <- 0;
+  t.c_syncs <- 0;
+  t.c_steals <- 0;
+  t.c_reduce_calls <- 0;
+  t.c_reads <- 0;
+  t.c_writes <- 0
 
 let dag_kind_of_frame_kind = function
   | Tool.User_fn -> Dag.User

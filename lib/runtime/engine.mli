@@ -63,6 +63,25 @@ val create :
 (** [set_tool t tool] replaces the tool; only allowed before [run]. *)
 val set_tool : t -> Tool.t -> unit
 
+(** [reset t] recycles the engine for another run: observationally
+    equivalent to {!create} with the same arguments (all counters, logs
+    and the location registry go back to their initial values; the engine
+    returns to the runnable state), but the grown arenas behind the
+    internal logs and the registry are kept, skipping per-run reallocation
+    — the batching primitive behind the parallel coverage sweep, where one
+    engine per worker domain replays hundreds of steal specifications.
+    Contexts, futures, location ids and recorded traces obtained before
+    the reset are dangling and must not be used.
+    @raise Cilk_error if called while the engine is running. *)
+val reset :
+  ?tool:Tool.t ->
+  ?spec:Steal_spec.t ->
+  ?record:bool ->
+  ?max_events:int ->
+  ?deadline:float ->
+  t ->
+  unit
+
 (** {1 Running} *)
 
 (** [run t main] executes [main] as the root Cilk function and returns its

@@ -38,6 +38,39 @@ let test_dset_sparse_ids () =
   ignore (Dset.union t 100 5);
   checkb "united sparse" true (Dset.same_set t 5 100)
 
+let test_dset_stress_and_clear () =
+  (* volume test for the iterative two-pass find: 100k elements, dense
+     random unions, then one sweep stitching everything into a single
+     component — every find must terminate and compress without recursion *)
+  let n = 100_000 in
+  let t = Dset.create () in
+  for i = 0 to n - 1 do
+    Dset.add t i
+  done;
+  let seed = ref 123456789 in
+  let rand m =
+    seed := ((!seed * 1103515245) + 12345) land 0x3FFFFFFF;
+    !seed mod m
+  in
+  for _ = 1 to n do
+    ignore (Dset.union t (rand n) (rand n))
+  done;
+  for i = 1 to n - 1 do
+    ignore (Dset.union t (i - 1) i)
+  done;
+  let root = Dset.find t 0 in
+  for i = 0 to n - 1 do
+    if Dset.find t i <> root then Alcotest.failf "element %d not in the component" i
+  done;
+  check "cardinal" n (Dset.cardinal t);
+  Dset.clear t;
+  check "cleared" 0 (Dset.cardinal t);
+  checkb "elements forgotten" false (Dset.mem t 0);
+  Dset.add t 0;
+  Dset.add t 1;
+  ignore (Dset.union t 0 1);
+  checkb "reusable after clear" true (Dset.same_set t 0 1)
+
 let prop_dset_matches_model =
   (* union-find vs naive partition refinement *)
   QCheck2.Test.make ~name:"dset matches naive partition" ~count:200
@@ -178,6 +211,7 @@ let () =
           Alcotest.test_case "basic" `Quick test_dset_basic;
           Alcotest.test_case "errors" `Quick test_dset_errors;
           Alcotest.test_case "sparse ids" `Quick test_dset_sparse_ids;
+          Alcotest.test_case "stress + clear" `Quick test_dset_stress_and_clear;
         ] );
       ( "bag",
         [
