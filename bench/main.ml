@@ -11,8 +11,12 @@
      (the O((T + Mτ) α) cost model of Theorem 5);
    - S3: work-stealing simulator speedup sanity (T₁/T_p);
    - S4: the multicore §7 coverage sweep — wall-clock at --jobs 1/2/4/ncores
-     and the engine-reuse (Engine.reset) vs fresh-engine-per-spec ratio;
+     (job counts beyond the available cores are marked skipped, not timed
+     as bogus <1x speedups) and the engine-reuse (Engine.reset) vs
+     fresh-engine-per-spec ratio;
    - S5: serial detector comparison on reducer-free workloads (§9 baselines);
+   - S6: the Rader_obs cost model — real detector operation counts (dset /
+     bag / shadow work per engine event) behind the Fig. 7/8 overheads;
    plus a bechamel micro-benchmark group per figure table.
 
    Besides the printed tables, the harness persists a perf trajectory to
@@ -30,6 +34,7 @@ open Rader_benchsuite
 module Stats = Rader_support.Stats
 module Tablefmt = Rader_support.Tablefmt
 module Rng = Rader_support.Rng
+module Obs = Rader_obs.Obs
 
 let fast = Sys.getenv_opt "RADER_BENCH_FAST" = Some "1"
 
@@ -121,6 +126,16 @@ let modes =
             b);
     };
   ]
+
+(* Mode display names -> schema keys (stable even if table titles move). *)
+let mode_key = function
+  | "plain" -> "plain"
+  | "empty tool" -> "empty_tool"
+  | "Check view-read race" -> "check_view_read_race"
+  | "No steals" -> "no_steals"
+  | "Check updates" -> "check_updates"
+  | "Check reductions" -> "check_reductions"
+  | s -> s
 
 type row = {
   bench : Bench_def.t;
@@ -313,7 +328,9 @@ type s4_data = {
   s4_d : int;
   s4_n_specs : int;
   s4_ncores : int;
-  s4_times : (int * float) list; (* jobs -> best sweep seconds *)
+  s4_times : (int * float option) list;
+      (* jobs -> best sweep seconds; [None] = more jobs than cores, the
+         speedup would be hardware-bound noise, so the row is skipped *)
   s4_fresh : float; (* N replays, fresh engine per spec *)
   s4_reset : float; (* N replays, one engine recycled via reset *)
   s4_reuse_iters : int;
@@ -329,13 +346,15 @@ let s4_parallel_sweep () =
   let times =
     List.map
       (fun jobs ->
-        let dt =
-          measure (fun () ->
-              let res = Coverage.exhaustive_check ~jobs sweep_program in
-              assert res.Coverage.complete;
-              0)
-        in
-        (jobs, dt))
+        if jobs > ncores then (jobs, None)
+        else
+          let dt =
+            measure (fun () ->
+                let res = Coverage.exhaustive_check ~jobs sweep_program in
+                assert res.Coverage.complete;
+                0)
+          in
+          (jobs, Some dt))
       job_counts
   in
   (* Engine reuse: the same batch of spec replays with a fresh
@@ -385,15 +404,24 @@ let s4_parallel_sweep () =
 let s4_print (s4 : s4_data) =
   Printf.printf
     "\nS4: multicore coverage sweep (K=%d D=%d workload, %d steal specs;\n\
-     %d core(s) available — speedups are hardware-bound)\n\
+     %d core(s) available — job counts beyond that are skipped)\n\
      ----------------------------------------------------------------\n"
     s4.s4_k s4.s4_d s4.s4_n_specs s4.s4_ncores;
   let t = Tablefmt.create [ "jobs"; "sweep (s)"; "speedup vs jobs=1" ] in
-  let t1 = List.assoc 1 s4.s4_times in
+  let t1 = Option.get (List.assoc 1 s4.s4_times) in
   List.iter
     (fun (jobs, dt) ->
-      Tablefmt.add_row t
-        [ string_of_int jobs; Printf.sprintf "%.4f" dt; Tablefmt.cell_f (t1 /. dt) ])
+      match dt with
+      | Some dt ->
+          Tablefmt.add_row t
+            [ string_of_int jobs; Printf.sprintf "%.4f" dt; Tablefmt.cell_f (t1 /. dt) ]
+      | None ->
+          Tablefmt.add_row t
+            [
+              string_of_int jobs;
+              Printf.sprintf "skipped (%d core(s))" s4.s4_ncores;
+              "-";
+            ])
     s4.s4_times;
   Tablefmt.print t;
   Printf.printf
@@ -448,6 +476,60 @@ let s5_detector_comparison () =
                else Some (Tablefmt.cell_f (time_of attach /. base)))
              detectors))
     workloads;
+  Tablefmt.print t
+
+(* ---------- S6: the obs-layer cost model behind Figures 7/8 ---------- *)
+
+(* Re-run each benchmark under each detector configuration with counting
+   on and derive the per-event detector work — the unit-cost model behind
+   the measured Fig. 7/8 multipliers (Theorems 4/5 say this ratio is
+   O(α), i.e. flat). These runs are separate from the timed ones above,
+   so counting never pollutes the wall-clock numbers. *)
+
+type s6_row = {
+  s6_bench : string;
+  s6_modes : (string * Obs.counters) list; (* schema mode key -> delta *)
+}
+
+let s6_mode_keys =
+  [ "empty_tool"; "check_view_read_race"; "no_steals"; "check_updates"; "check_reductions" ]
+
+let s6_detector_ops c = Obs.dset_ops c + Obs.bag_ops c + Obs.shadow_ops c
+
+let s6_cost_model rows =
+  List.map
+    (fun row ->
+      let deltas =
+        List.filter_map
+          (fun m ->
+            if m.mode_name = "plain" then None
+            else
+              let _, delta = Obs.with_enabled (fun () -> m.run row.bench ~k:row.k) in
+              Some (mode_key m.mode_name, delta))
+          modes
+      in
+      { s6_bench = row.bench.Bench_def.name; s6_modes = deltas })
+    rows
+
+let s6_print s6rows =
+  Printf.printf
+    "\nS6: detector operations per engine event (obs counters;\n\
+     predicted unit-cost overhead over the empty tool = 1 + ops/event)\n\
+     ----------------------------------------------------------------\n";
+  let det_keys = List.filter (fun k -> k <> "empty_tool") s6_mode_keys in
+  let t = Tablefmt.create ([ "Benchmark"; "events" ] @ det_keys) in
+  List.iter
+    (fun r ->
+      let events = (List.assoc "empty_tool" r.s6_modes).Obs.events in
+      Tablefmt.add_row t
+        ([ r.s6_bench; string_of_int events ]
+        @ List.map
+            (fun key ->
+              let c = List.assoc key r.s6_modes in
+              Tablefmt.cell_f
+                (float_of_int (s6_detector_ops c) /. float_of_int c.Obs.events))
+            det_keys))
+    s6rows;
   Tablefmt.print t
 
 (* ---------- bechamel micro-benchmarks: one Test.make per table ---------- *)
@@ -537,17 +619,7 @@ let rec emit_json buf = function
         fields;
       Buffer.add_char buf '}'
 
-(* Mode display names -> schema keys (stable even if table titles move). *)
-let mode_key = function
-  | "plain" -> "plain"
-  | "empty tool" -> "empty_tool"
-  | "Check view-read race" -> "check_view_read_race"
-  | "No steals" -> "no_steals"
-  | "Check updates" -> "check_updates"
-  | "Check reductions" -> "check_reductions"
-  | s -> s
-
-let bench_json rows (s4 : s4_data) =
+let bench_json rows (s4 : s4_data) s6rows =
   let overhead_grid base =
     Obj
       (List.map
@@ -575,12 +647,37 @@ let bench_json rows (s4 : s4_data) =
                ] ))
          rows)
   in
-  let t1 = List.assoc 1 s4.s4_times in
+  let t1 = Option.get (List.assoc 1 s4.s4_times) in
+  (* skipped (hardware-bound) job counts serialize as null, and are listed
+     under skipped_jobs, so trajectory diffs on bigger hosts see the hole *)
+  let opt_num = function Some x -> Num x | None -> Num Float.nan in
+  let s6_counters =
+    Obj
+      (List.map
+         (fun r ->
+           ( r.s6_bench,
+             Obj
+               (List.map
+                  (fun (mode, c) ->
+                    ( mode,
+                      Obj
+                        (List.map (fun (k, v) -> (k, Int v)) (Obs.to_assoc c)
+                        @ [
+                            ("detector_ops", Int (s6_detector_ops c));
+                            ( "detector_ops_per_event",
+                              Num
+                                (float_of_int (s6_detector_ops c)
+                                /. float_of_int c.Obs.events) );
+                          ]) ))
+                  r.s6_modes) ))
+         s6rows)
+  in
   Obj
     [
-      ("schema", Str "rader-bench/1");
+      ("schema", Str "rader-bench/2");
       ("scale", Num scale);
       ("fast", Bool fast);
+      ("ncores", Int s4.s4_ncores);
       ("fig7_overhead_vs_plain", overhead_grid "plain");
       ("fig8_overhead_vs_empty_tool", overhead_grid "empty tool");
       ("base_times", base_times);
@@ -592,12 +689,22 @@ let bench_json rows (s4 : s4_data) =
             ("n_specs", Int s4.s4_n_specs);
             ("recommended_domain_count", Int s4.s4_ncores);
             ( "sweep_seconds_by_jobs",
-              Obj (List.map (fun (j, dt) -> (string_of_int j, Num dt)) s4.s4_times) );
+              Obj
+                (List.map (fun (j, dt) -> (string_of_int j, opt_num dt)) s4.s4_times)
+            );
             ( "speedup_vs_jobs1",
               Obj
                 (List.map
-                   (fun (j, dt) -> (string_of_int j, Num (t1 /. dt)))
+                   (fun (j, dt) ->
+                     (string_of_int j, opt_num (Option.map (fun d -> t1 /. d) dt)))
                    s4.s4_times) );
+            ( "skipped_jobs",
+              Str
+                (String.concat ","
+                   (List.filter_map
+                      (fun (j, dt) ->
+                        if dt = None then Some (string_of_int j) else None)
+                      s4.s4_times)) );
             ( "engine_reuse",
               Obj
                 [
@@ -607,11 +714,12 @@ let bench_json rows (s4 : s4_data) =
                   ("fresh_over_reset", Num (s4.s4_fresh /. s4.s4_reset));
                 ] );
           ] );
+      ("s6_counters", s6_counters);
     ]
 
-let write_bench_json rows s4 =
+let write_bench_json rows s4 s6rows =
   let buf = Buffer.create 4096 in
-  emit_json buf (bench_json rows s4);
+  emit_json buf (bench_json rows s4 s6rows);
   Buffer.add_char buf '\n';
   let oc = open_out "BENCH_rader.json" in
   Buffer.output_buffer oc buf;
@@ -633,6 +741,8 @@ let () =
   let s4 = s4_parallel_sweep () in
   s4_print s4;
   s5_detector_comparison ();
-  write_bench_json rows s4;
+  let s6rows = s6_cost_model rows in
+  s6_print s6rows;
+  write_bench_json rows s4 s6rows;
   if not skip_bechamel then bechamel_tables ();
   Printf.printf "\ndone.\n"

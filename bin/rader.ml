@@ -22,6 +22,8 @@ open Cmdliner
 open Rader_runtime
 open Rader_core
 open Rader_benchsuite
+module Obs = Rader_obs.Obs
+module Chrome_trace = Rader_obs.Chrome_trace
 
 (* ---------- programs addressable from the CLI ---------- *)
 
@@ -134,6 +136,50 @@ let detector_arg =
           "Detector: $(b,peerset), $(b,spbags), $(b,sporder), $(b,offsetspan) \
            or $(b,sp+).")
 
+(* ---------- observability options (check / coverage) ---------- *)
+
+let metrics_arg =
+  let fmt = Arg.enum [ ("table", `Table); ("json", `Json) ] in
+  Arg.(
+    value
+    & opt ~vopt:(Some `Table) (some fmt) None
+    & info [ "metrics" ] ~docv:"FORMAT"
+        ~doc:
+          "Print detector operation counters after the analysis: \
+           $(b,table) (the default when the flag is given bare) or \
+           $(b,json) (one object on stdout, for scripts).")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON file of the analysis — load it \
+           in Perfetto or chrome://tracing. Implies counter collection.")
+
+let metrics_json counters phases =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "{\"counters\":";
+  Buffer.add_string b (Obs.to_json_string counters);
+  Buffer.add_string b ",\"phases\":{";
+  List.iteri
+    (fun i (name, s) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "%S:%.6f" name s))
+    phases;
+  Buffer.add_string b "}}";
+  Buffer.contents b
+
+let print_metrics fmt counters ~phases =
+  match fmt with
+  | `Json -> print_endline (metrics_json counters phases)
+  | `Table ->
+      print_string (Obs.to_table_string counters);
+      List.iter
+        (fun (name, s) -> Printf.printf "phase %-10s %10.6f s\n" name s)
+        phases
+
 (* ---------- check ---------- *)
 
 let max_events_arg =
@@ -158,7 +204,8 @@ let print_races races =
   Printf.printf "%d race(s):\n" (List.length races);
   List.iter (fun r -> Printf.printf "  %s\n" (Report.to_string r)) races
 
-let do_check program scale seed spec_str density detector max_events deadline_s =
+let do_check program scale seed spec_str density detector max_events deadline_s
+    metrics trace_out =
   let spec = parse_spec ~seed ~density spec_str in
   let prog = resolve_program ~scale program in
   let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) deadline_s in
@@ -181,7 +228,15 @@ let do_check program scale seed spec_str density detector max_events deadline_s 
         let d = Sp_plus.attach eng in
         fun () -> Sp_plus.races d
   in
+  let obs_on = metrics <> None || trace_out <> None in
+  let obs_was = Obs.enabled () in
+  if obs_on then Obs.set_enabled true;
+  let t0_us = Obs.now_us () in
+  let snap = if obs_on then Some (Obs.snapshot ()) else None in
   let verdict = Engine.run_result eng prog in
+  let t1_us = Obs.now_us () in
+  Obs.set_enabled obs_was;
+  let delta = Option.map Obs.since snap in
   let stats = Engine.stats eng in
   (match verdict with
   | Ok value -> Printf.printf "program %s finished (result %d)\n" program value
@@ -194,6 +249,31 @@ let do_check program scale seed spec_str density detector max_events deadline_s 
   (match races with
   | [] -> print_endline "no races detected"
   | races -> print_races races);
+  (match (delta, metrics) with
+  | Some c, Some fmt ->
+      print_metrics fmt c ~phases:[ ("run", (t1_us -. t0_us) /. 1e6) ]
+  | _ -> ());
+  (match (delta, trace_out) with
+  | Some c, Some path ->
+      let tr = Chrome_trace.create () in
+      Chrome_trace.set_process_name tr (Printf.sprintf "rader check %s" program);
+      Chrome_trace.set_thread_name tr ~tid:0 "main";
+      let detector_name =
+        match detector with
+        | `Peerset -> "peerset"
+        | `Spbags -> "spbags"
+        | `Sporder -> "sporder"
+        | `Offsetspan -> "offsetspan"
+        | `Spplus -> "sp+"
+      in
+      Chrome_trace.add_complete ~cat:"run"
+        ~args:[ ("spec", spec_str); ("detector", detector_name) ]
+        tr ~name:program ~tid:0 ~ts_us:t0_us ~dur_us:(t1_us -. t0_us) ();
+      Chrome_trace.add_counter tr ~name:"counters" ~tid:0 ~ts_us:t1_us
+        (Obs.to_assoc c);
+      Chrome_trace.save tr path;
+      Printf.printf "wrote %s\n" path
+  | _ -> ());
   match verdict with
   | Ok _ -> if races = [] then 0 else 1
   | Error f ->
@@ -208,18 +288,21 @@ let check_cmd =
     (Cmd.info "check" ~doc)
     Term.(
       const do_check $ program_arg $ scale_arg $ seed_arg $ spec_arg $ density_arg
-      $ detector_arg $ max_events_arg $ deadline_arg)
+      $ detector_arg $ max_events_arg $ deadline_arg $ metrics_arg $ trace_out_arg)
 
 (* ---------- coverage ---------- *)
 
-let do_coverage program scale verbose max_specs max_events deadline_s jobs =
+let do_coverage program scale verbose max_specs max_events deadline_s jobs metrics
+    trace_out =
   if jobs < 0 then begin
     Printf.eprintf "--jobs must be >= 0 (0 = one worker per core)\n";
     exit 2
   end;
   let prog = resolve_program ~scale program in
+  let with_obs = metrics <> None || trace_out <> None in
   let res =
-    Coverage.exhaustive_check ?max_specs ?max_events ?deadline:deadline_s ~jobs prog
+    Coverage.exhaustive_check ?max_specs ?max_events ?deadline:deadline_s ~jobs
+      ~with_obs prog
   in
   Printf.printf "profile: K=%d D=%d spawns=%d; %d steal specifications (%d run)\n"
     res.Coverage.prof.Coverage.k res.Coverage.prof.Coverage.d
@@ -231,6 +314,37 @@ let do_coverage program scale verbose max_specs max_events deadline_s jobs =
           Printf.printf "  %s -> %d racy location(s)\n" spec.Steal_spec.name
             (List.length locs))
       res.Coverage.per_spec;
+  (match res.Coverage.obs with
+  | None -> ()
+  | Some o ->
+      (match metrics with
+      | Some fmt ->
+          print_metrics fmt o.Coverage.obs_counters ~phases:o.Coverage.obs_phases
+      | None -> ());
+      (match trace_out with
+      | Some path ->
+          let tr = Chrome_trace.create () in
+          Chrome_trace.set_process_name tr
+            (Printf.sprintf "rader coverage %s" program);
+          let named = Hashtbl.create 8 in
+          List.iter
+            (fun (s : Coverage.span) ->
+              if not (Hashtbl.mem named s.Coverage.span_worker) then begin
+                Hashtbl.add named s.Coverage.span_worker ();
+                Chrome_trace.set_thread_name tr ~tid:s.Coverage.span_worker
+                  (Printf.sprintf "worker %d" s.Coverage.span_worker)
+              end;
+              Chrome_trace.add_complete ~cat:"replay" tr
+                ~name:s.Coverage.span_spec ~tid:s.Coverage.span_worker
+                ~ts_us:s.Coverage.span_t0_us
+                ~dur_us:(s.Coverage.span_t1_us -. s.Coverage.span_t0_us) ())
+            o.Coverage.obs_spans;
+          Chrome_trace.add_counter tr ~name:"counters" ~tid:0
+            ~ts_us:(Obs.now_us ())
+            (Obs.to_assoc o.Coverage.obs_counters);
+          Chrome_trace.save tr path;
+          Printf.printf "wrote %s\n" path
+      | None -> ()));
   let race_code =
     match res.Coverage.reports with
     | [] ->
@@ -294,7 +408,7 @@ let coverage_cmd =
     (Cmd.info "coverage" ~doc)
     Term.(
       const do_coverage $ program_arg $ scale_arg $ verbose_arg $ max_specs_arg
-      $ max_events_arg $ deadline_arg $ jobs_arg)
+      $ max_events_arg $ deadline_arg $ jobs_arg $ metrics_arg $ trace_out_arg)
 
 (* ---------- chaos ---------- *)
 

@@ -1,6 +1,7 @@
 module Engine = Rader_runtime.Engine
 module Tool = Rader_runtime.Tool
 module Steal_spec = Rader_runtime.Steal_spec
+module Obs = Rader_obs.Obs
 
 type profile = { k : int; d : int; n_spawns : int }
 
@@ -91,6 +92,19 @@ let specs_for_reductions ~k =
 let all_specs ~k ~d =
   (Steal_spec.none :: specs_for_updates ~k ~d) @ specs_for_reductions ~k
 
+type span = {
+  span_spec : string;
+  span_worker : int;
+  span_t0_us : float;
+  span_t1_us : float;
+}
+
+type obs_summary = {
+  obs_counters : Obs.counters;
+  obs_spans : span list;
+  obs_phases : (string * float) list;
+}
+
 type result = {
   prof : profile;
   n_specs : int;
@@ -100,6 +114,7 @@ type result = {
   per_spec : (Steal_spec.t * int list) list;
   incomplete : (string * Diag.failure) list;
   complete : bool;
+  obs : obs_summary option;
 }
 
 let take n xs =
@@ -116,17 +131,34 @@ type spec_outcome =
       locs : int list;
       races : Report.t list;
       failure : Diag.failure option;
+      (* observability (with_obs only): this replay's deterministic
+         counter delta, plus wall-clock span coordinates for the trace *)
+      counters : Obs.counters option;
+      worker : int;
+      t0_us : float;
+      t1_us : float;
     }
   | Not_run
 
-let exhaustive_check ?max_specs ?max_events ?deadline ?(jobs = 1) program =
+let exhaustive_check ?max_specs ?max_events ?deadline ?(jobs = 1)
+    ?(with_obs = false) program =
   let abs_deadline = Option.map (fun s -> Unix.gettimeofday () +. s) deadline in
   let past_deadline () =
     match abs_deadline with
     | Some dl -> Unix.gettimeofday () > dl
     | None -> false
   in
-  let prof, prof_failure = profile_with_failure program in
+  let obs_was = Obs.enabled () in
+  if with_obs then Obs.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.set_enabled obs_was) @@ fun () ->
+  let phase_profile = Obs.phase "profile" in
+  let phase_replay = Obs.phase "replay" in
+  let phase_merge = Obs.phase "merge" in
+  let prof_snap = if with_obs then Some (Obs.snapshot ()) else None in
+  let prof, prof_failure =
+    Obs.timed phase_profile (fun () -> profile_with_failure program)
+  in
+  let prof_counters = Option.map Obs.since prof_snap in
   let specs = all_specs ~k:prof.k ~d:prof.d in
   let n_specs = List.length specs in
   let specs, dropped =
@@ -138,25 +170,40 @@ let exhaustive_check ?max_specs ?max_events ?deadline ?(jobs = 1) program =
   (* Fan the replays out across domains. Each worker owns one engine +
      detector pair and recycles it per spec (Engine.reset / Sp_plus.reset)
      instead of reallocating; each replay's verdicts are returned as a
-     self-contained outcome, so workers never share mutable state. *)
+     self-contained outcome, so workers never share mutable state. Under
+     [with_obs] each replay also carries its own counter delta — replays
+     are deterministic, so the deltas (and their spec-order sum) are
+     independent of which worker ran them. *)
   let outcomes, _ =
-    Parallel_sweep.map ~jobs ~stop:past_deadline
-      ~init:(fun _wid ->
-        let eng = Engine.create () in
-        let det = Sp_plus.attach eng in
-        (eng, det))
-      ~task:(fun (eng, det) i ->
-        Engine.reset ~spec:specs.(i) ?max_events ?deadline:abs_deadline eng;
-        Sp_plus.reset det;
-        let failure =
-          match Engine.run_result eng program with
-          | Ok _ -> None
-          | Error f -> Some f
-        in
-        (* the detector's verdicts over the completed prefix still count *)
-        Ran { locs = Sp_plus.racy_locs det; races = Sp_plus.races det; failure })
-      ~skipped:(fun _ -> Not_run)
-      (Array.length specs)
+    Obs.timed phase_replay (fun () ->
+        Parallel_sweep.map ~jobs ~stop:past_deadline
+          ~init:(fun wid ->
+            let eng = Engine.create () in
+            let det = Sp_plus.attach eng in
+            (wid, eng, det))
+          ~task:(fun (wid, eng, det) i ->
+            Engine.reset ~spec:specs.(i) ?max_events ?deadline:abs_deadline eng;
+            Sp_plus.reset det;
+            let t0_us = if with_obs then Obs.now_us () else 0.0 in
+            let snap = if with_obs then Some (Obs.snapshot ()) else None in
+            let failure =
+              match Engine.run_result eng program with
+              | Ok _ -> None
+              | Error f -> Some f
+            in
+            (* the detector's verdicts over the completed prefix still count *)
+            Ran
+              {
+                locs = Sp_plus.racy_locs det;
+                races = Sp_plus.races det;
+                failure;
+                counters = Option.map Obs.since snap;
+                worker = wid;
+                t0_us;
+                t1_us = (if with_obs then Obs.now_us () else 0.0);
+              })
+          ~skipped:(fun _ -> Not_run)
+          (Array.length specs))
   in
   (* Merge in spec order: the fold below is exactly the loop body of the
      serial sweep, so the result — report order, dedup decisions,
@@ -168,31 +215,46 @@ let exhaustive_check ?max_specs ?max_events ?deadline ?(jobs = 1) program =
     ref (match prof_failure with Some f -> [ ("profile", f) ] | None -> [])
   in
   let n_run = ref 0 in
-  Array.iteri
-    (fun i outcome ->
-      let spec = specs.(i) in
-      match outcome with
-      | Not_run ->
-          (* out of time: charge the remaining specs to the deadline without
-             running them, so the caller sees exactly what was not covered *)
-          incomplete :=
-            (spec.Steal_spec.name,
-             Diag.Budget_exceeded (Diag.Deadline (Option.get abs_deadline)))
-            :: !incomplete
-      | Ran { locs; races; failure } ->
-          incr n_run;
-          (match failure with
-          | None -> ()
-          | Some f -> incomplete := (spec.Steal_spec.name, f) :: !incomplete);
-          per_spec := (spec, locs) :: !per_spec;
-          List.iter
-            (fun r ->
-              if not (Hashtbl.mem seen r.Report.subject) then begin
-                Hashtbl.replace seen r.Report.subject ();
-                reports := r :: !reports
-              end)
-            races)
-    outcomes;
+  let merged = Option.map Obs.copy prof_counters in
+  let spans = ref [] in
+  Obs.timed phase_merge (fun () ->
+      Array.iteri
+        (fun i outcome ->
+          let spec = specs.(i) in
+          match outcome with
+          | Not_run ->
+              (* out of time: charge the remaining specs to the deadline without
+                 running them, so the caller sees exactly what was not covered *)
+              incomplete :=
+                ( spec.Steal_spec.name,
+                  Diag.Budget_exceeded (Diag.Deadline (Option.get abs_deadline)) )
+                :: !incomplete
+          | Ran { locs; races; failure; counters; worker; t0_us; t1_us } ->
+              incr n_run;
+              (match failure with
+              | None -> ()
+              | Some f -> incomplete := (spec.Steal_spec.name, f) :: !incomplete);
+              (match (merged, counters) with
+              | Some into, Some c ->
+                  Obs.add ~into c;
+                  spans :=
+                    {
+                      span_spec = spec.Steal_spec.name;
+                      span_worker = worker;
+                      span_t0_us = t0_us;
+                      span_t1_us = t1_us;
+                    }
+                    :: !spans
+              | _ -> ());
+              per_spec := (spec, locs) :: !per_spec;
+              List.iter
+                (fun r ->
+                  if not (Hashtbl.mem seen r.Report.subject) then begin
+                    Hashtbl.replace seen r.Report.subject ();
+                    reports := r :: !reports
+                  end)
+                races)
+        outcomes);
   let m = Option.value max_specs ~default:0 in
   List.iter
     (fun (spec : Steal_spec.t) ->
@@ -201,6 +263,19 @@ let exhaustive_check ?max_specs ?max_events ?deadline ?(jobs = 1) program =
         :: !incomplete)
     dropped;
   let incomplete = List.rev !incomplete in
+  let obs =
+    Option.map
+      (fun obs_counters ->
+        {
+          obs_counters;
+          obs_spans = List.rev !spans;
+          obs_phases =
+            List.map
+              (fun p -> (Obs.phase_name p, Obs.phase_seconds p))
+              [ phase_profile; phase_replay; phase_merge ];
+        })
+      merged
+  in
   {
     prof;
     n_specs;
@@ -210,6 +285,7 @@ let exhaustive_check ?max_specs ?max_events ?deadline ?(jobs = 1) program =
     per_spec = List.rev !per_spec;
     incomplete;
     complete = incomplete = [];
+    obs;
   }
 
 let witness_spec res loc =

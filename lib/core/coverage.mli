@@ -51,6 +51,26 @@ val specs_for_reductions : k:int -> Rader_runtime.Steal_spec.t list
     spec). *)
 val all_specs : k:int -> d:int -> Rader_runtime.Steal_spec.t list
 
+type span = {
+  span_spec : string;  (** steal-spec name this replay ran *)
+  span_worker : int;  (** worker domain id (0-based) that ran it *)
+  span_t0_us : float;  (** wall-clock start, microseconds *)
+  span_t1_us : float;  (** wall-clock end, microseconds *)
+}
+(** One spec replay's wall-clock extent, for the Chrome-trace emitter:
+    one complete-event span per replay, one trace thread per worker. *)
+
+type obs_summary = {
+  obs_counters : Rader_obs.Obs.counters;
+      (** merged detector counters: the profiling run's delta plus every
+          replay's delta, summed in spec order — deterministic and equal
+          to the serial run's counters for every job count *)
+  obs_spans : span list;  (** replay spans in spec order *)
+  obs_phases : (string * float) list;
+      (** [(phase, seconds)] for the ["profile"], ["replay"] and ["merge"]
+          phases of the sweep *)
+}
+
 type result = {
   prof : profile;
   n_specs : int;  (** size of the full spec family for this profile *)
@@ -67,6 +87,8 @@ type result = {
   complete : bool;  (** [incomplete = []]: the §7 guarantee holds; when
       false the sweep is explicitly partial — "no races" only covers what
       actually ran *)
+  obs : obs_summary option;
+      (** counters, spans and phase timings — [Some] iff [with_obs] *)
 }
 
 (** [exhaustive_check program] runs SP+ on [program] under every spec in
@@ -92,12 +114,18 @@ type result = {
     (shared with each run's engine); once exhausted, remaining specs are
     recorded as [Budget_exceeded (Deadline _)] without running.
     @param jobs worker domains (default 1; [<= 0] means
-    [Parallel_sweep.default_jobs ()]). *)
+    [Parallel_sweep.default_jobs ()]).
+    @param with_obs enable {!Rader_obs.Obs} counters for the duration of
+    the sweep (restoring the previous enabled state afterwards) and return
+    an {!obs_summary} in [obs]: each replay's counter delta is captured on
+    the worker that ran it and the deltas are summed in spec order, so the
+    merged counters are byte-identical to a serial ([jobs = 1]) run's. *)
 val exhaustive_check :
   ?max_specs:int ->
   ?max_events:int ->
   ?deadline:float ->
   ?jobs:int ->
+  ?with_obs:bool ->
   (Rader_runtime.Engine.ctx -> 'a) ->
   result
 

@@ -3,6 +3,7 @@ module Tool = Rader_runtime.Tool
 module Bag = Rader_dsets.Bag
 module Shadow = Rader_memory.Shadow
 module Dynarr = Rader_support.Dynarr
+module Obs = Rader_obs.Obs
 
 type bag_kind = KSS | KSP | KP
 
@@ -87,6 +88,7 @@ let on_sync d ~frame =
   Bag.union_into d.store ~dst:f.p ~src:f.sp
 
 let on_reducer_read d ~frame ~reducer =
+  if Obs.enabled () then Obs.bump_peerset_query ();
   let f = top d in
   assert (f.fid = frame);
   let sc = f.anc + f.ls in

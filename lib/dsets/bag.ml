@@ -1,4 +1,5 @@
 module Dynarr = Rader_support.Dynarr
+module Obs = Rader_obs.Obs
 
 type 'a t = {
   mutable root : int; (* representative element, or -1 when empty *)
@@ -39,6 +40,7 @@ let add_fresh store bag x =
   end
 
 let make store payload elts =
+  if Obs.enabled () then Obs.bump_bag_make ();
   let bag = { root = -1; payload } in
   List.iter (add_fresh store bag) elts;
   bag
@@ -51,6 +53,7 @@ let add store b x = add_fresh store b x
 
 let union_into store ~dst ~src =
   if dst == src then invalid_arg "Bag.union_into: dst and src are the same bag";
+  if Obs.enabled () then Obs.bump_bag_union ();
   if src.root >= 0 then begin
     if dst.root < 0 then begin
       dst.root <- src.root;
@@ -67,6 +70,7 @@ let union_into store ~dst ~src =
   end
 
 let find store x =
+  if Obs.enabled () then Obs.bump_bag_find ();
   if Dset.mem store.dset x then owner_of store (Dset.find store.dset x) else None
 
 let is_empty b = b.root < 0

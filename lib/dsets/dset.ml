@@ -1,4 +1,5 @@
 module Dynarr = Rader_support.Dynarr
+module Obs = Rader_obs.Obs
 
 type t = {
   parent : int Dynarr.t; (* parent.(x) = x for roots; -1 for absent *)
@@ -17,7 +18,8 @@ let add t x =
   if Dynarr.get t.parent x >= 0 then invalid_arg "Dset.add: element already present";
   Dynarr.set t.parent x x;
   Dynarr.set t.rank x 0;
-  t.count <- t.count + 1
+  t.count <- t.count + 1;
+  if Obs.enabled () then Obs.bump_dset_add ()
 
 (* Iterative two-pass path compression: walk to the root, then rewrite
    every parent pointer on the path. The textbook recursive version
@@ -30,12 +32,25 @@ let find_root t x =
     r := Dynarr.get t.parent !r
   done;
   let root = !r in
-  let c = ref x in
-  while Dynarr.get t.parent !c <> root do
-    let next = Dynarr.get t.parent !c in
-    Dynarr.set t.parent !c root;
-    c := next
-  done;
+  if Obs.enabled () then begin
+    let steps = ref 0 in
+    let c = ref x in
+    while Dynarr.get t.parent !c <> root do
+      let next = Dynarr.get t.parent !c in
+      Dynarr.set t.parent !c root;
+      incr steps;
+      c := next
+    done;
+    Obs.bump_dset_find ~compress_steps:!steps
+  end
+  else begin
+    let c = ref x in
+    while Dynarr.get t.parent !c <> root do
+      let next = Dynarr.get t.parent !c in
+      Dynarr.set t.parent !c root;
+      c := next
+    done
+  end;
   root
 
 let find t x =
@@ -43,6 +58,7 @@ let find t x =
   find_root t x
 
 let union t a b =
+  if Obs.enabled () then Obs.bump_dset_union ();
   let ra = find t a and rb = find t b in
   if ra = rb then ra
   else begin

@@ -1,4 +1,5 @@
 module Dynarr = Rader_support.Dynarr
+module Obs = Rader_obs.Obs
 
 type t = int Dynarr.t
 
@@ -6,10 +7,13 @@ let absent = -1
 
 let create () = Dynarr.create ()
 
-let get t loc = if loc < Dynarr.length t then Dynarr.get t loc else absent
+let get t loc =
+  if Obs.enabled () then Obs.bump_shadow_lookup ();
+  if loc < Dynarr.length t then Dynarr.get t loc else absent
 
 let set t loc v =
   if v < 0 then invalid_arg "Shadow.set: negative value";
+  if Obs.enabled () then Obs.bump_shadow_update ();
   Dynarr.ensure t (loc + 1) absent;
   Dynarr.set t loc v
 

@@ -1,0 +1,214 @@
+module Dynarr = Rader_support.Dynarr
+
+(* Chrome trace_event JSON emitter (the subset Perfetto and
+   chrome://tracing load): complete spans ("X"), instants ("i"), counter
+   samples ("C") and thread-name metadata ("M"), all under one pid.
+
+   Two invariants are enforced at insertion so any emitted file renders
+   sanely:
+   - per-tid timestamps are monotone: a span starting before the previous
+     event on its thread is clamped forward (the shared clock is
+     [Obs.now_us], wall time — a rare backwards step must not corrupt the
+     trace);
+   - spans nest: [begin_span]/[end_span] maintain a per-tid stack and
+     refuse mismatched ends, so the "X" events of one thread always form
+     a forest. *)
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ph : char;
+  ev_tid : int;
+  ev_ts : float; (* microseconds *)
+  ev_dur : float; (* microseconds; complete spans only *)
+  ev_args : (string * string) list;
+}
+
+type open_span = { os_name : string; os_cat : string; os_ts : float }
+
+type t = {
+  events : event Dynarr.t;
+  stacks : (int, open_span list ref) Hashtbl.t;
+  last_ts : (int, float ref) Hashtbl.t; (* per-tid monotonicity clamp *)
+  thread_names : (int, string) Hashtbl.t;
+  mutable process_name : string option;
+}
+
+let create () =
+  {
+    events = Dynarr.create ();
+    stacks = Hashtbl.create 8;
+    last_ts = Hashtbl.create 8;
+    thread_names = Hashtbl.create 8;
+    process_name = None;
+  }
+
+let clamp t ~tid ts =
+  match Hashtbl.find_opt t.last_ts tid with
+  | Some last ->
+      let ts = Float.max ts !last in
+      last := ts;
+      ts
+  | None ->
+      Hashtbl.replace t.last_ts tid (ref ts);
+      ts
+
+let set_process_name t name = t.process_name <- Some name
+
+let set_thread_name t ~tid name = Hashtbl.replace t.thread_names tid name
+
+let add_complete ?(cat = "rader") ?(args = []) t ~name ~tid ~ts_us ~dur_us () =
+  let dur_us = Float.max dur_us 0.0 in
+  let ts = clamp t ~tid ts_us in
+  ignore (clamp t ~tid (ts +. dur_us));
+  Dynarr.push t.events
+    { ev_name = name; ev_cat = cat; ev_ph = 'X'; ev_tid = tid; ev_ts = ts;
+      ev_dur = dur_us; ev_args = args }
+
+let add_instant ?(cat = "rader") ?(args = []) t ~name ~tid ~ts_us () =
+  let ts = clamp t ~tid ts_us in
+  Dynarr.push t.events
+    { ev_name = name; ev_cat = cat; ev_ph = 'i'; ev_tid = tid; ev_ts = ts;
+      ev_dur = 0.0; ev_args = args }
+
+let add_counter ?(cat = "rader") t ~name ~tid ~ts_us values =
+  let ts = clamp t ~tid ts_us in
+  Dynarr.push t.events
+    { ev_name = name; ev_cat = cat; ev_ph = 'C'; ev_tid = tid; ev_ts = ts;
+      ev_dur = 0.0;
+      ev_args = List.map (fun (k, v) -> (k, string_of_int v)) values }
+
+let stack_of t tid =
+  match Hashtbl.find_opt t.stacks tid with
+  | Some s -> s
+  | None ->
+      let s = ref [] in
+      Hashtbl.replace t.stacks tid s;
+      s
+
+let begin_span ?(cat = "rader") t ~name ~tid ~ts_us =
+  let ts = clamp t ~tid ts_us in
+  let s = stack_of t tid in
+  s := { os_name = name; os_cat = cat; os_ts = ts } :: !s
+
+let end_span ?(args = []) t ~tid ~ts_us =
+  let s = stack_of t tid in
+  match !s with
+  | [] -> invalid_arg "Chrome_trace.end_span: no open span on this thread"
+  | os :: rest ->
+      let ts = clamp t ~tid ts_us in
+      s := rest;
+      Dynarr.push t.events
+        { ev_name = os.os_name; ev_cat = os.os_cat; ev_ph = 'X'; ev_tid = tid;
+          ev_ts = os.os_ts; ev_dur = ts -. os.os_ts; ev_args = args }
+
+let with_span ?cat ?args t ~name ~tid f =
+  begin_span ?cat t ~name ~tid ~ts_us:(Obs.now_us ());
+  Fun.protect
+    ~finally:(fun () -> end_span ?args t ~tid ~ts_us:(Obs.now_us ()))
+    f
+
+let open_spans t tid = match Hashtbl.find_opt t.stacks tid with
+  | Some s -> List.length !s
+  | None -> 0
+
+let n_events t = Dynarr.length t.events
+
+(* ---------- JSON ---------- *)
+
+let add_json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_num buf f =
+  (* trace_event timestamps are float microseconds; emit with sub-us
+     precision but no exponent (Perfetto accepts both, plain is smaller) *)
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.0f" f)
+  else Buffer.add_string buf (Printf.sprintf "%.3f" f)
+
+(* counter samples ("C") carry numeric values — Perfetto only builds
+   tracks from JSON numbers, so their args are emitted unquoted *)
+let add_args buf ~raw args =
+  Buffer.add_string buf "\"args\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      add_json_string buf k;
+      Buffer.add_char buf ':';
+      if raw then Buffer.add_string buf v else add_json_string buf v)
+    args;
+  Buffer.add_char buf '}'
+
+let add_event buf ev =
+  Buffer.add_string buf "{\"name\":";
+  add_json_string buf ev.ev_name;
+  Buffer.add_string buf ",\"cat\":";
+  add_json_string buf ev.ev_cat;
+  Buffer.add_string buf ",\"ph\":";
+  add_json_string buf (String.make 1 ev.ev_ph);
+  Buffer.add_string buf ",\"pid\":1,\"tid\":";
+  Buffer.add_string buf (string_of_int ev.ev_tid);
+  Buffer.add_string buf ",\"ts\":";
+  add_num buf ev.ev_ts;
+  if ev.ev_ph = 'X' then begin
+    Buffer.add_string buf ",\"dur\":";
+    add_num buf ev.ev_dur
+  end;
+  if ev.ev_ph = 'i' then Buffer.add_string buf ",\"s\":\"t\"";
+  if ev.ev_args <> [] || ev.ev_ph = 'C' then begin
+    Buffer.add_char buf ',';
+    add_args buf ~raw:(ev.ev_ph = 'C') ev.ev_args
+  end;
+  Buffer.add_char buf '}'
+
+let add_metadata buf ~name ~tid ~key ~value first =
+  if not first then Buffer.add_char buf ',';
+  Buffer.add_string buf "{\"name\":";
+  add_json_string buf name;
+  Buffer.add_string buf ",\"ph\":\"M\",\"pid\":1,\"tid\":";
+  Buffer.add_string buf (string_of_int tid);
+  Buffer.add_string buf ",\"args\":{";
+  add_json_string buf key;
+  Buffer.add_char buf ':';
+  add_json_string buf value;
+  Buffer.add_string buf "}}"
+
+let to_string t =
+  let buf = Buffer.create (256 + (Dynarr.length t.events * 96)) in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  (match t.process_name with
+  | Some name ->
+      add_metadata buf ~name:"process_name" ~tid:0 ~key:"name" ~value:name !first;
+      first := false
+  | None -> ());
+  Hashtbl.fold (fun tid name acc -> (tid, name) :: acc) t.thread_names []
+  |> List.sort compare
+  |> List.iter (fun (tid, name) ->
+         add_metadata buf ~name:"thread_name" ~tid ~key:"name" ~value:name !first;
+         first := false);
+  Dynarr.iter
+    (fun ev ->
+      if not !first then Buffer.add_char buf ',';
+      first := false;
+      add_event buf ev)
+    t.events;
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents buf
+
+let save t path =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc

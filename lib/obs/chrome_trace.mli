@@ -1,0 +1,82 @@
+(** Chrome [trace_event] JSON emitter.
+
+    Produces the subset of the trace-event format that Perfetto and
+    chrome://tracing load: complete spans ([ph:"X"]), instants ([ph:"i"]),
+    counter samples ([ph:"C"]) and process/thread-name metadata, all under
+    a single pid. Timestamps are float microseconds on the {!Obs.now_us}
+    timebase.
+
+    Insertion enforces two well-formedness invariants so every emitted
+    file renders sanely: per-tid timestamps are monotone (clamped forward
+    on a backwards wall-clock step), and [begin_span]/[end_span] keep a
+    per-tid stack so one thread's spans always nest. An empty trace still
+    emits a loadable file. *)
+
+type t
+
+val create : unit -> t
+
+(** [set_process_name t name] labels the (single) process row. *)
+val set_process_name : t -> string -> unit
+
+(** [set_thread_name t ~tid name] labels a thread row (e.g. ["worker 3"]). *)
+val set_thread_name : t -> tid:int -> string -> unit
+
+(** [add_complete t ~name ~tid ~ts_us ~dur_us ()] records an
+    externally-timed span (negative durations are clamped to 0). *)
+val add_complete :
+  ?cat:string ->
+  ?args:(string * string) list ->
+  t ->
+  name:string ->
+  tid:int ->
+  ts_us:float ->
+  dur_us:float ->
+  unit ->
+  unit
+
+val add_instant :
+  ?cat:string ->
+  ?args:(string * string) list ->
+  t ->
+  name:string ->
+  tid:int ->
+  ts_us:float ->
+  unit ->
+  unit
+
+(** [add_counter t ~name ~tid ~ts_us values] records a counter sample;
+    Perfetto renders each key of [values] as a track. *)
+val add_counter :
+  ?cat:string -> t -> name:string -> tid:int -> ts_us:float -> (string * int) list -> unit
+
+(** [begin_span t ~name ~tid ~ts_us] opens a span on [tid]'s stack. *)
+val begin_span : ?cat:string -> t -> name:string -> tid:int -> ts_us:float -> unit
+
+(** [end_span t ~tid ~ts_us] closes the innermost open span on [tid],
+    emitting the complete event.
+    @raise Invalid_argument if no span is open on [tid]. *)
+val end_span : ?args:(string * string) list -> t -> tid:int -> ts_us:float -> unit
+
+(** [with_span t ~name ~tid f] brackets [f] in a span on the shared clock
+    (closed on exceptions too). *)
+val with_span :
+  ?cat:string ->
+  ?args:(string * string) list ->
+  t ->
+  name:string ->
+  tid:int ->
+  (unit -> 'a) ->
+  'a
+
+(** [open_spans t tid] is the depth of [tid]'s span stack (0 when
+    balanced). *)
+val open_spans : t -> int -> int
+
+val n_events : t -> int
+
+(** [to_string t] is the full JSON document (always parseable, even when
+    empty). *)
+val to_string : t -> string
+
+val save : t -> string -> unit

@@ -1,6 +1,7 @@
 module Dynarr = Rader_support.Dynarr
 module Loc = Rader_memory.Loc
 module Dag = Rader_dag.Dag
+module Obs = Rader_obs.Obs
 
 exception Cilk_error of string
 
@@ -25,6 +26,7 @@ type stats = {
   n_reduce_calls : int;
   n_reads : int;
   n_writes : int;
+  n_reducer_reads : int;
 }
 
 (* One open view region of a sync block. [tails] (recording only) are the
@@ -88,6 +90,7 @@ type t = {
   mutable c_reduce_calls : int;
   mutable c_reads : int;
   mutable c_writes : int;
+  mutable c_reducer_reads : int;
 }
 
 and ctx = { eng : t; frame : frame }
@@ -129,6 +132,7 @@ let create ?(tool = Tool.null) ?(spec = Steal_spec.none) ?(record = false)
     c_reduce_calls = 0;
     c_reads = 0;
     c_writes = 0;
+    c_reducer_reads = 0;
   }
 
 let set_tool t tool =
@@ -175,7 +179,8 @@ let reset ?(tool = Tool.null) ?(spec = Steal_spec.none) ?(record = false)
   t.c_steals <- 0;
   t.c_reduce_calls <- 0;
   t.c_reads <- 0;
-  t.c_writes <- 0
+  t.c_writes <- 0;
+  t.c_reducer_reads <- 0
 
 let dag_kind_of_frame_kind = function
   | Tool.User_fn -> Dag.User
@@ -402,6 +407,16 @@ let parallel_for ?(grain = 1) ctx ~lo ~hi body =
     call ctx (fun ctx -> go ctx lo hi)
   end
 
+(* Flush this run's event counts into the current domain's observability
+   counters — once per run, at completion or during contained unwinding,
+   so the per-event cost of the layer stays zero. *)
+let flush_obs t =
+  if Obs.enabled () then
+    Obs.note_engine_run ~events:t.event_count ~strands:t.strand_counter
+      ~frames:t.c_frames ~spawns:t.c_spawns ~syncs:t.c_syncs ~steals:t.c_steals
+      ~reduce_calls:t.c_reduce_calls ~reads:t.c_reads ~writes:t.c_writes
+      ~reducer_reads:t.c_reducer_reads
+
 let run t main =
   (match t.state with
   | Fresh -> ()
@@ -421,6 +436,7 @@ let run t main =
   t.tool.on_frame_return ~frame:root.fid ~parent:(-1) ~spawned:false
     ~kind:Tool.User_fn;
   t.state <- Done;
+  flush_obs t;
   result
 
 (* -------- fault containment -------- *)
@@ -449,7 +465,8 @@ let unwind t =
   t.active_frames <- [];
   t.in_merge <- false;
   t.pending_deps <- [];
-  t.state <- Done
+  t.state <- Done;
+  flush_obs t
 
 let report_contract_violation t cv = t.contract_log <- cv :: t.contract_log
 let contract_violations t = List.rev t.contract_log
@@ -520,6 +537,7 @@ let stats t =
     n_reduce_calls = t.c_reduce_calls;
     n_reads = t.c_reads;
     n_writes = t.c_writes;
+    n_reducer_reads = t.c_reducer_reads;
   }
 
 let loc_registry t = t.registry
@@ -576,6 +594,7 @@ let emit_reducer_read ctx reducer =
   let t = ctx.eng in
   require_user fr "reducer read (create/get/set)";
   t.tool.on_reducer_read ~frame:fr.fid ~reducer;
+  t.c_reducer_reads <- t.c_reducer_reads + 1;
   if t.record then Dynarr.push t.rreads_log (reducer, fr.cur_node)
 
 let run_aux_frame ctx kind f =

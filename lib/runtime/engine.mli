@@ -146,6 +146,7 @@ type stats = {
   n_reduce_calls : int;  (** user [Reduce] invocations actually run *)
   n_reads : int;
   n_writes : int;
+  n_reducer_reads : int;  (** reducer-reads (create / get / set value) *)
 }
 
 val engine : ctx -> t

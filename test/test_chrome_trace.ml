@@ -1,0 +1,295 @@
+(* The Chrome-trace emitter must always produce a loadable file: valid
+   JSON with the trace_event envelope, per-tid monotone timestamps even
+   when the wall clock steps backwards, properly nested spans, and a
+   parseable document for the empty trace. Validated with a small local
+   JSON parser so no external dependency is needed. *)
+
+module Chrome_trace = Rader_obs.Chrome_trace
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* --- a minimal strict JSON parser -------------------------------------- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then s.[!pos] else raise (Bad "eof") in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    if !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    then begin advance (); skip_ws () end
+  in
+  let expect c =
+    if peek () <> c then raise (Bad (Printf.sprintf "expected %c at %d" c !pos));
+    advance ()
+  in
+  let parse_lit lit v =
+    String.iter expect lit;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance (); Buffer.contents b
+      | '\\' ->
+          advance ();
+          (match peek () with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'n' -> Buffer.add_char b '\n'
+          | 'r' -> Buffer.add_char b '\r'
+          | 't' -> Buffer.add_char b '\t'
+          | 'u' ->
+              advance ();
+              let hex = String.sub s !pos 4 in
+              pos := !pos + 3;
+              Buffer.add_char b (Char.chr (int_of_string ("0x" ^ hex) land 0xff))
+          | c -> raise (Bad (Printf.sprintf "bad escape \\%c" c)));
+          advance ();
+          go ()
+      | c when Char.code c < 0x20 -> raise (Bad "raw control char in string")
+      | c -> advance (); Buffer.add_char b c; go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    in
+    while !pos < n && num_char s.[!pos] do advance () done;
+    if !pos = start then raise (Bad "empty number");
+    Num (float_of_string (String.sub s start (!pos - start)))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then begin advance (); Obj [] end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' -> advance (); members ((k, v) :: acc)
+            | '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+            | c -> raise (Bad (Printf.sprintf "bad object sep %c" c))
+          in
+          members []
+        end
+    | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then begin advance (); Arr [] end
+        else begin
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' -> advance (); elems (v :: acc)
+            | ']' -> advance (); Arr (List.rev (v :: acc))
+            | c -> raise (Bad (Printf.sprintf "bad array sep %c" c))
+          in
+          elems []
+        end
+    | '"' -> Str (parse_string ())
+    | 't' -> parse_lit "true" (Bool true)
+    | 'f' -> parse_lit "false" (Bool false)
+    | 'n' -> parse_lit "null" Null
+    | _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then raise (Bad "trailing garbage");
+  v
+
+let field name = function
+  | Obj kvs -> List.assoc_opt name kvs
+  | _ -> None
+
+let events_of doc =
+  match field "traceEvents" doc with
+  | Some (Arr evs) -> evs
+  | _ -> Alcotest.fail "no traceEvents array"
+
+let str_field name ev =
+  match field name ev with Some (Str s) -> Some s | _ -> None
+
+let num_field name ev =
+  match field name ev with Some (Num x) -> Some x | _ -> None
+
+let parse_trace t = parse_json (Chrome_trace.to_string t)
+
+(* --- well-formedness ---------------------------------------------------- *)
+
+let test_empty_trace_loads () =
+  let t = Chrome_trace.create () in
+  let doc = parse_trace t in
+  check "no events" 0 (List.length (events_of doc));
+  checkb "displayTimeUnit present" true
+    (field "displayTimeUnit" doc = Some (Str "ms"))
+
+let test_event_shape () =
+  let t = Chrome_trace.create () in
+  Chrome_trace.set_process_name t "proc";
+  Chrome_trace.set_thread_name t ~tid:3 "worker 3";
+  Chrome_trace.add_complete ~cat:"replay" ~args:[ ("spec", "none") ] t
+    ~name:"span" ~tid:3 ~ts_us:10.0 ~dur_us:5.0 ();
+  Chrome_trace.add_instant t ~name:"mark" ~tid:3 ~ts_us:20.0 ();
+  Chrome_trace.add_counter t ~name:"counters" ~tid:3 ~ts_us:30.0
+    [ ("dset_finds", 7); ("events", 9) ];
+  let evs = events_of (parse_trace t) in
+  check "five events" 5 (List.length evs);
+  (* every event carries the required keys, all under one pid *)
+  List.iter
+    (fun ev ->
+      checkb "has name" true (str_field "name" ev <> None);
+      checkb "has ph" true (str_field "ph" ev <> None);
+      checkb "pid = 1" true (num_field "pid" ev = Some 1.0);
+      checkb "has tid" true (num_field "tid" ev <> None))
+    evs;
+  let phs = List.filter_map (str_field "ph") evs in
+  Alcotest.(check (list string)) "phases" [ "M"; "M"; "X"; "i"; "C" ] phs;
+  let x = List.nth evs 2 in
+  checkb "X has dur" true (num_field "dur" x = Some 5.0);
+  checkb "X carries args" true
+    (match field "args" x with
+    | Some (Obj kvs) -> List.assoc_opt "spec" kvs = Some (Str "none")
+    | _ -> false);
+  let c = List.nth evs 4 in
+  checkb "C args are numeric tracks" true
+    (match field "args" c with
+    | Some (Obj kvs) ->
+        List.assoc_opt "dset_finds" kvs = Some (Num 7.0)
+        && List.assoc_opt "events" kvs = Some (Num 9.0)
+    | _ -> false)
+
+let test_string_escaping () =
+  let nasty = "sp\"an\\ with\nnewline\tand ctrl \001 done" in
+  let t = Chrome_trace.create () in
+  Chrome_trace.add_instant t ~name:nasty ~tid:0 ~ts_us:1.0 ();
+  match events_of (parse_trace t) with
+  | [ ev ] -> Alcotest.(check (option string)) "round-trips" (Some nasty) (str_field "name" ev)
+  | _ -> Alcotest.fail "expected one event"
+
+(* --- monotone timestamps per tid ---------------------------------------- *)
+
+let test_monotone_per_tid () =
+  let t = Chrome_trace.create () in
+  (* simulate a backwards wall-clock step on tid 0; tid 1 is independent *)
+  Chrome_trace.add_instant t ~name:"a" ~tid:0 ~ts_us:100.0 ();
+  Chrome_trace.add_instant t ~name:"b" ~tid:0 ~ts_us:40.0 ();
+  Chrome_trace.add_instant t ~name:"c" ~tid:1 ~ts_us:10.0 ();
+  Chrome_trace.add_complete t ~name:"d" ~tid:0 ~ts_us:90.0 ~dur_us:(-3.0) ();
+  let evs = events_of (parse_trace t) in
+  let by_tid tid =
+    List.filter_map
+      (fun ev ->
+        match (num_field "tid" ev, num_field "ts" ev) with
+        | Some t', Some ts when t' = float_of_int tid -> Some ts
+        | _ -> None)
+      evs
+  in
+  let monotone l = List.sort compare l = l in
+  checkb "tid 0 timestamps clamped monotone" true (monotone (by_tid 0));
+  checkb "tid 1 unaffected" true (by_tid 1 = [ 10.0 ]);
+  (* negative duration clamps to zero *)
+  let d =
+    List.find (fun ev -> str_field "name" ev = Some "d") evs
+  in
+  checkb "negative dur clamped" true (num_field "dur" d = Some 0.0)
+
+(* --- span nesting -------------------------------------------------------- *)
+
+let test_span_nesting () =
+  let t = Chrome_trace.create () in
+  Chrome_trace.begin_span t ~name:"outer" ~tid:0 ~ts_us:0.0;
+  Chrome_trace.begin_span t ~name:"inner" ~tid:0 ~ts_us:10.0;
+  check "two open" 2 (Chrome_trace.open_spans t 0);
+  Chrome_trace.end_span t ~tid:0 ~ts_us:20.0;
+  Chrome_trace.end_span t ~tid:0 ~ts_us:30.0;
+  check "balanced" 0 (Chrome_trace.open_spans t 0);
+  let evs = events_of (parse_trace t) in
+  let span name =
+    let ev = List.find (fun ev -> str_field "name" ev = Some name) evs in
+    (Option.get (num_field "ts" ev), Option.get (num_field "dur" ev))
+  in
+  let ots, odur = span "outer" and its, idur = span "inner" in
+  (* inner lies strictly within outer *)
+  checkb "inner starts after outer" true (its >= ots);
+  checkb "inner ends before outer" true (its +. idur <= ots +. odur);
+  (* unbalanced end is a programming error, not a corrupt file *)
+  checkb "end on empty stack rejected" true
+    (match Chrome_trace.end_span t ~tid:0 ~ts_us:40.0 with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_with_span_closes_on_exception () =
+  let t = Chrome_trace.create () in
+  (match
+     Chrome_trace.with_span t ~name:"body" ~tid:0 (fun () -> failwith "boom")
+   with
+  | _ -> Alcotest.fail "expected the exception to escape"
+  | exception Failure _ -> ());
+  check "stack balanced after exception" 0 (Chrome_trace.open_spans t 0);
+  check "span still emitted" 1 (List.length (events_of (parse_trace t)))
+
+(* --- save ---------------------------------------------------------------- *)
+
+let test_save_writes_loadable_file () =
+  let t = Chrome_trace.create () in
+  Chrome_trace.set_process_name t "rader";
+  Chrome_trace.add_complete t ~name:"run" ~tid:0 ~ts_us:0.0 ~dur_us:1.0 ();
+  let path = Filename.temp_file "rader_trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Chrome_trace.save t path;
+      let ic = open_in_bin path in
+      let len = in_channel_length ic in
+      let body = really_input_string ic len in
+      close_in ic;
+      check "file = to_string" 0 (compare body (Chrome_trace.to_string t));
+      check "two events" 2 (List.length (events_of (parse_json body))))
+
+let () =
+  Alcotest.run "chrome_trace"
+    [
+      ( "well-formedness",
+        [
+          Alcotest.test_case "empty trace loads" `Quick test_empty_trace_loads;
+          Alcotest.test_case "event shape" `Quick test_event_shape;
+          Alcotest.test_case "string escaping" `Quick test_string_escaping;
+        ] );
+      ( "invariants",
+        [
+          Alcotest.test_case "monotone per tid" `Quick test_monotone_per_tid;
+          Alcotest.test_case "spans nest" `Quick test_span_nesting;
+          Alcotest.test_case "with_span exception-safe" `Quick
+            test_with_span_closes_on_exception;
+        ] );
+      ( "save",
+        [ Alcotest.test_case "loadable file" `Quick test_save_writes_loadable_file ] );
+    ]

@@ -1,0 +1,139 @@
+(* Empirical check of the paper's complexity bounds.
+
+   Theorem 4: Peer-Set runs in O(T α(x,x)) for T events over x frames.
+   Theorem 5: SP+ runs in O((T + Mτ) α(v,v)).
+
+   Both bounds say the same operational thing: the amortized
+   disjoint-set / shadow-space work per engine event is a small constant
+   times α — and α is ≤ 4 for any input that fits in a machine, i.e.
+   effectively flat. The obs layer counts exactly those operations
+   (finds, unions, path-compression steps, bag ops, shadow ops), so the
+   bound becomes testable: run the detectors on geometrically growing
+   inputs and assert that (a) work per event never exceeds a small
+   constant and (b) the ratio does not climb with input size (the slope
+   check — a log factor would show up as steady growth across a
+   geometric sweep; α cannot). *)
+
+open Rader_runtime
+open Rader_core
+module Obs = Rader_obs.Obs
+
+let checkb = Alcotest.(check bool)
+
+let rec fib ctx n =
+  if n < 2 then n
+  else begin
+    let a = Cilk.spawn ctx (fun ctx -> fib ctx (n - 1)) in
+    let b = Cilk.call ctx (fun ctx -> fib ctx (n - 2)) in
+    Cilk.sync ctx;
+    Cilk.get ctx a + b
+  end
+
+(* pbfs-style flat data parallelism with a reducer: wide sync blocks, so
+   steals and reduce operations scale with n *)
+let reducer_loop n ctx =
+  let r = Rmonoid.new_int_add ctx ~init:0 in
+  Cilk.parallel_for ctx ~lo:0 ~hi:n (fun ctx i -> Rmonoid.add ctx r i);
+  Cilk.sync ctx;
+  ignore (Rmonoid.int_cell_value ctx r)
+
+let delta_of ~attach program =
+  snd
+    (Obs.with_enabled (fun () ->
+         let eng = Engine.create ~spec:(Steal_spec.all ()) () in
+         let _det = attach eng in
+         ignore (Engine.run_result eng program)))
+
+(* (events, amortized detector ops per event) for one run *)
+let measure ~attach ~ops program =
+  let c = delta_of ~attach program in
+  let events = c.Obs.events in
+  checkb "run produced events" true (events > 0);
+  (events, float_of_int (ops c) /. float_of_int events)
+
+let assert_flat what ~cap ~max_growth points =
+  List.iter
+    (fun (size, events, ratio) ->
+      Printf.printf "%s n=%-5d events=%-8d ops/event=%.3f\n" what size events
+        ratio;
+      checkb
+        (Printf.sprintf "%s n=%d: amortized ops/event %.3f within constant %.1f"
+           what size ratio cap)
+        true (ratio <= cap))
+    points;
+  (* geometric input growth must not produce ratio growth: compare each
+     size to the smallest — α is flat, a log factor is not *)
+  let _, _, r0 = List.hd points in
+  List.iter
+    (fun (size, _, r) ->
+      checkb
+        (Printf.sprintf "%s n=%d: slope flat (%.3f vs %.3f at smallest size)"
+           what size r r0)
+        true (r <= r0 *. max_growth))
+    (List.tl points);
+  (* sanity: the sweep really was geometric in events *)
+  let evs = List.map (fun (_, e, _) -> e) points in
+  checkb (what ^ ": events grew at every step") true
+    (List.sort compare evs = evs && List.length (List.sort_uniq compare evs) = List.length evs)
+
+(* SP+ work is dset ops (series-parallel maintenance, path compression)
+   plus shadow-space ops (Thm 5's traversal term) *)
+let test_spplus_fib () =
+  [ 10; 13; 16; 19 ]
+  |> List.map (fun n ->
+         let events, ratio =
+           measure ~attach:Sp_plus.attach
+             ~ops:(fun c -> Obs.dset_ops c + Obs.shadow_ops c)
+             (fun ctx -> ignore (fib ctx n))
+         in
+         (n, events, ratio))
+  |> assert_flat "sp+/fib" ~cap:2.0 ~max_growth:1.5
+
+let test_spplus_reducer_loop () =
+  [ 64; 256; 1024; 4096 ]
+  |> List.map (fun n ->
+         let events, ratio =
+           measure ~attach:Sp_plus.attach
+             ~ops:(fun c -> Obs.dset_ops c + Obs.shadow_ops c)
+             (reducer_loop n)
+         in
+         (n, events, ratio))
+  |> assert_flat "sp+/reducer-loop" ~cap:4.0 ~max_growth:1.5
+
+(* Peer-Set work is bag ops (the disjoint-set SS/SP/P machinery of Fig. 3)
+   plus the reader shadow spaces *)
+let test_peerset_reducer_loop () =
+  [ 64; 256; 1024; 4096 ]
+  |> List.map (fun n ->
+         let events, ratio =
+           measure ~attach:Peer_set.attach
+             ~ops:(fun c -> Obs.bag_ops c + Obs.shadow_ops c)
+             (reducer_loop n)
+         in
+         (n, events, ratio))
+  |> assert_flat "peerset/reducer-loop" ~cap:2.0 ~max_growth:1.5
+
+(* path compression is what makes the bounds amortized: verify it actually
+   fires on a workload deep enough to build long find paths, and that its
+   total cost stays within the linear budget *)
+let test_compression_amortizes () =
+  let c =
+    delta_of ~attach:Sp_plus.attach (fun ctx -> ignore (fib ctx 17))
+  in
+  checkb "finds happened" true (c.Obs.dset_finds > 0);
+  checkb "compression stays amortized: steps <= 2 * finds" true
+    (c.Obs.dset_compress_steps <= 2 * c.Obs.dset_finds)
+
+let () =
+  Alcotest.run "complexity"
+    [
+      ( "alpha-bounds",
+        [
+          Alcotest.test_case "sp+ on fib" `Quick test_spplus_fib;
+          Alcotest.test_case "sp+ on reducer loop" `Quick test_spplus_reducer_loop;
+          Alcotest.test_case "peerset on reducer loop" `Quick
+            test_peerset_reducer_loop;
+          Alcotest.test_case "path compression amortizes" `Quick
+            test_compression_amortizes;
+        ] );
+    ]
