@@ -17,11 +17,15 @@
    - S5: serial detector comparison on reducer-free workloads (§9 baselines);
    - S6: the Rader_obs cost model — real detector operation counts (dset /
      bag / shadow work per engine event) behind the Fig. 7/8 overheads;
+   - S7: relevance-guided steal-spec pruning — how much of each
+     benchmark's §7 family Coverage.spec_relevant proves redundant;
    plus a bechamel micro-benchmark group per figure table.
 
    Besides the printed tables, the harness persists a perf trajectory to
    BENCH_rader.json (schema-stable keys, see `schema` field) so later PRs
-   can diff performance against this run.
+   can diff performance against this run. BENCH_rader.json itself is
+   gitignored (host-dependent timings); BENCH_seed.json is a committed
+   fast-mode snapshot giving trajectory diffs a stable starting point.
 
    Environment knobs:
      RADER_BENCH_SCALE      workload multiplier (default 4.0)
@@ -47,18 +51,27 @@ let scale =
 
 let skip_bechamel = fast || Sys.getenv_opt "RADER_BENCH_SKIP_BECHAMEL" = Some "1"
 
-(* Adaptive min-of-n timing: repeat until enough total time or reps. *)
+(* Noise-robust timing. A single run of a sub-millisecond region is
+   dominated by clock granularity and scheduler jitter, and min-of-singles
+   systematically underestimates the steady state. Instead every timed
+   region is repeated until at least [min_block] (50ms) of wall-clock has
+   accumulated, and the block reports the per-iteration MEAN; the best
+   mean over a few blocks sheds whole-block outliers (GC, migrations). *)
+let min_block = 0.05
+
 let measure f =
-  let min_total = if fast then 0.05 else 0.4 in
-  let max_reps = if fast then 3 else 9 in
+  let blocks = if fast then 2 else 4 in
   let best = ref infinity in
-  let total = ref 0.0 in
-  let reps = ref 0 in
-  while !reps < 3 || (!total < min_total && !reps < max_reps) do
-    let _, dt = Stats.time_it f in
-    if dt < !best then best := dt;
-    total := !total +. dt;
-    incr reps
+  for _ = 1 to blocks do
+    let total = ref 0.0 in
+    let iters = ref 0 in
+    while !total < min_block do
+      let _, dt = Stats.time_it f in
+      total := !total +. dt;
+      incr iters
+    done;
+    let mean = !total /. float_of_int !iters in
+    if mean < !best then best := mean
   done;
   !best
 
@@ -141,7 +154,8 @@ type row = {
   bench : Bench_def.t;
   k : int;
   d : int;
-  times : (string * float) list; (* mode -> best seconds *)
+  prof : Coverage.profile;
+  times : (string * float) list; (* mode -> best per-iteration mean seconds *)
 }
 
 let time_suite () =
@@ -162,7 +176,7 @@ let time_suite () =
         modes;
       let times = List.map (fun m -> (m.mode_name, measure (fun () -> m.run b ~k))) modes in
       Printf.printf " done\n%!";
-      { bench = b; k; d = prof.Coverage.d; times })
+      { bench = b; k; d = prof.Coverage.d; prof; times })
     suite
 
 let ratio row m base = List.assoc m row.times /. List.assoc base row.times
@@ -478,6 +492,77 @@ let s5_detector_comparison () =
     workloads;
   Tablefmt.print t
 
+(* ---------- S7: relevance-guided steal-spec pruning ---------- *)
+
+(* How much of each benchmark's §7 spec family the relevance profile
+   (Coverage.spec_relevant, DESIGN.md §10) proves redundant. The suite
+   benchmarks all use reducers, so only positions past the last
+   instrumented event of a sync block prune; the reducer-free §9 workloads
+   (fib-futures, stencil) prune their whole family down to the no-steal
+   baseline. *)
+
+type s7_row = {
+  s7_name : string;
+  s7_k : int;
+  s7_d : int;
+  s7_k_rel : int;
+  s7_total : int;
+  s7_kept : int;
+}
+
+let s7_of_profile name (prof : Coverage.profile) =
+  let specs = Coverage.all_specs ~k:prof.Coverage.k ~d:prof.Coverage.d in
+  let kept = Coverage.prune_specs prof specs in
+  {
+    s7_name = name;
+    s7_k = prof.Coverage.k;
+    s7_d = prof.Coverage.d;
+    s7_k_rel = prof.Coverage.k_rel;
+    s7_total = List.length specs;
+    s7_kept = List.length kept;
+  }
+
+let s7_spec_pruning rows =
+  let oblivious =
+    [
+      Bm_oblivious.fib_futures ~n:(if fast then 12 else 16);
+      Bm_oblivious.stencil ~seed:1
+        ~n:(if fast then 1024 else 4096)
+        ~rounds:(if fast then 2 else 4)
+        ~grain:32;
+    ]
+  in
+  List.map (fun row -> s7_of_profile row.bench.Bench_def.name row.prof) rows
+  @ List.map
+      (fun b ->
+        s7_of_profile b.Bench_def.name (Coverage.profile b.Bench_def.cilk))
+      oblivious
+
+let s7_pruned_pct r =
+  100.0 *. float_of_int (r.s7_total - r.s7_kept) /. float_of_int r.s7_total
+
+let s7_print s7rows =
+  Printf.printf
+    "\nS7: relevance-guided steal-spec pruning (specs kept vs full family)\n\
+     -------------------------------------------------------------------\n";
+  let t =
+    Tablefmt.create [ "Benchmark"; "K"; "D"; "k_rel"; "specs"; "kept"; "pruned %" ]
+  in
+  List.iter
+    (fun r ->
+      Tablefmt.add_row t
+        [
+          r.s7_name;
+          string_of_int r.s7_k;
+          string_of_int r.s7_d;
+          string_of_int r.s7_k_rel;
+          string_of_int r.s7_total;
+          string_of_int r.s7_kept;
+          Printf.sprintf "%.0f%%" (s7_pruned_pct r);
+        ])
+    s7rows;
+  Tablefmt.print t
+
 (* ---------- S6: the obs-layer cost model behind Figures 7/8 ---------- *)
 
 (* Re-run each benchmark under each detector configuration with counting
@@ -619,7 +704,7 @@ let rec emit_json buf = function
         fields;
       Buffer.add_char buf '}'
 
-let bench_json rows (s4 : s4_data) s6rows =
+let bench_json rows (s4 : s4_data) s6rows s7rows =
   let overhead_grid base =
     Obj
       (List.map
@@ -672,9 +757,25 @@ let bench_json rows (s4 : s4_data) s6rows =
                   r.s6_modes) ))
          s6rows)
   in
+  let s7_json =
+    Obj
+      (List.map
+         (fun r ->
+           ( r.s7_name,
+             Obj
+               [
+                 ("k", Int r.s7_k);
+                 ("d", Int r.s7_d);
+                 ("k_rel", Int r.s7_k_rel);
+                 ("specs_total", Int r.s7_total);
+                 ("specs_kept", Int r.s7_kept);
+                 ("pruned_pct", Num (s7_pruned_pct r));
+               ] ))
+         s7rows)
+  in
   Obj
     [
-      ("schema", Str "rader-bench/2");
+      ("schema", Str "rader-bench/3");
       ("scale", Num scale);
       ("fast", Bool fast);
       ("ncores", Int s4.s4_ncores);
@@ -715,11 +816,12 @@ let bench_json rows (s4 : s4_data) s6rows =
                 ] );
           ] );
       ("s6_counters", s6_counters);
+      ("s7_spec_pruning", s7_json);
     ]
 
-let write_bench_json rows s4 s6rows =
+let write_bench_json rows s4 s6rows s7rows =
   let buf = Buffer.create 4096 in
-  emit_json buf (bench_json rows s4 s6rows);
+  emit_json buf (bench_json rows s4 s6rows s7rows);
   Buffer.add_char buf '\n';
   let oc = open_out "BENCH_rader.json" in
   Buffer.output_buffer oc buf;
@@ -743,6 +845,8 @@ let () =
   s5_detector_comparison ();
   let s6rows = s6_cost_model rows in
   s6_print s6rows;
-  write_bench_json rows s4 s6rows;
+  let s7rows = s7_spec_pruning rows in
+  s7_print s7rows;
+  write_bench_json rows s4 s6rows s7rows;
   if not skip_bechamel then bechamel_tables ();
   Printf.printf "\ndone.\n"

@@ -3,12 +3,13 @@
    Subcommands:
      rader check    run a benchmark or demo under a detector + steal spec
      rader coverage run the §7 exhaustive steal-specification enumeration
+     rader lint     static reducer-misuse lint over the SP parse tree
      rader chaos    run the fault-containment battery against a program
      rader fuzz     run under simulated work-stealing schedules
      rader sim      work-stealing simulator speedup table
      rader dag      dump the (performance) dag of a program as Graphviz dot
 
-   Exit codes (check / coverage / chaos):
+   Exit codes (check / coverage / chaos / lint):
      0  clean — analysis complete, no races
      1  races found
      2  usage error
@@ -24,6 +25,7 @@ open Rader_core
 open Rader_benchsuite
 module Obs = Rader_obs.Obs
 module Chrome_trace = Rader_obs.Chrome_trace
+module An = Rader_analysis
 
 (* ---------- programs addressable from the CLI ---------- *)
 
@@ -57,7 +59,57 @@ let racy_read ctx =
   Cilk.sync ctx;
   v
 
-let demo_names = [ "fig1-buggy"; "fig1-fixed"; "racy-read"; "nqueens" ]
+(* Word count with a dictionary reducer (examples/wordcount.ml as an
+   addressable program): associative monoid over count maps, clean under
+   every schedule. *)
+let wordcount ~scale ctx =
+  let vocab = [| "the"; "reducer"; "view"; "steal"; "race"; "cilk" |] in
+  let n = max 64 (int_of_float (scale *. 4000.)) in
+  let m = Rader_monoid.Monoids.counter () in
+  Cilk.call ctx (fun ctx ->
+      let counts = Reducer.create ctx (Rmonoid.of_pure m) ~init:[] in
+      Cilk.parallel_for ~grain:16 ctx ~lo:0 ~hi:n (fun ctx i ->
+          Reducer.update ctx counts (fun _ c ->
+              m.Rader_monoid.Monoid.combine c
+                [ (vocab.((i * 7) mod Array.length vocab), 1) ]));
+      Cilk.sync ctx;
+      List.fold_left (fun acc (_, c) -> acc + c) 0 (Reducer.get_value ctx counts))
+
+(* Parallel game-tree search with an arg-max reducer (examples/minimax.ml
+   as an addressable program): deterministic best move under every
+   schedule thanks to the reducer's serial-order guarantee. *)
+let minimax_demo ~scale ctx =
+  let branching = 4 in
+  let depth = 4 + int_of_float (scale *. 4.) in
+  let leaf_value path =
+    let h = List.fold_left (fun acc m -> (acc * 31) + m + 17) 1 path in
+    (h * 2654435761) land 1023
+  in
+  let rec minimax path d maximizing =
+    if d = 0 then leaf_value path
+    else begin
+      let best = ref (if maximizing then min_int else max_int) in
+      for m = 0 to branching - 1 do
+        let v = minimax (m :: path) (d - 1) (not maximizing) in
+        if maximizing then best := max !best v else best := min !best v
+      done;
+      !best
+    end
+  in
+  Cilk.call ctx (fun ctx ->
+      let am = Rader_monoid.Monoids.arg_max () in
+      let best = Reducer.create ctx (Rmonoid.of_pure am) ~init:None in
+      Cilk.parallel_for ctx ~lo:0 ~hi:branching (fun ctx mv ->
+          let score = minimax [ mv ] (depth - 1) false in
+          Reducer.update ctx best (fun _ b ->
+              am.Rader_monoid.Monoid.combine b (Some (score, mv))));
+      Cilk.sync ctx;
+      match Reducer.get_value ctx best with
+      | Some (score, mv) -> (score * 10) + mv
+      | None -> -1)
+
+let demo_names =
+  [ "fig1-buggy"; "fig1-fixed"; "racy-read"; "nqueens"; "wordcount"; "minimax" ]
 
 let program_names () = demo_names @ Suite.names
 
@@ -66,6 +118,8 @@ let resolve_program ~scale name : Engine.ctx -> int =
   | "fig1-buggy" -> fig1 ~buggy:true
   | "fig1-fixed" -> fig1 ~buggy:false
   | "racy-read" -> racy_read
+  | "wordcount" -> wordcount ~scale
+  | "minimax" -> minimax_demo ~scale
   | "nqueens" ->
       (Bm_nqueens.bench ~n:(7 + int_of_float scale) ~spawn_depth:3).Bench_def.cilk
   | name -> (
@@ -292,8 +346,8 @@ let check_cmd =
 
 (* ---------- coverage ---------- *)
 
-let do_coverage program scale verbose max_specs max_events deadline_s jobs metrics
-    trace_out =
+let do_coverage program scale verbose max_specs max_events deadline_s jobs prune
+    metrics trace_out =
   if jobs < 0 then begin
     Printf.eprintf "--jobs must be >= 0 (0 = one worker per core)\n";
     exit 2
@@ -302,11 +356,24 @@ let do_coverage program scale verbose max_specs max_events deadline_s jobs metri
   let with_obs = metrics <> None || trace_out <> None in
   let res =
     Coverage.exhaustive_check ?max_specs ?max_events ?deadline:deadline_s ~jobs
-      ~with_obs prog
+      ~with_obs ~prune prog
   in
   Printf.printf "profile: K=%d D=%d spawns=%d; %d steal specifications (%d run)\n"
     res.Coverage.prof.Coverage.k res.Coverage.prof.Coverage.d
     res.Coverage.prof.Coverage.n_spawns res.Coverage.n_specs res.Coverage.n_run;
+  if prune then begin
+    Printf.printf
+      "pruned: %d of %d specification(s) provably redundant (k_rel=%d)\n"
+      res.Coverage.n_pruned res.Coverage.n_specs
+      res.Coverage.prof.Coverage.k_rel;
+    if verbose then
+      List.iter
+        (fun (d : An.Prune.decision) ->
+          if not d.An.Prune.d_kept then
+            Printf.printf "  - %s: %s\n" d.An.Prune.d_spec.Steal_spec.name
+              d.An.Prune.d_reason)
+        (An.Prune.family res.Coverage.prof)
+  end;
   if verbose then
     List.iter
       (fun ((spec : Steal_spec.t), locs) ->
@@ -402,13 +469,175 @@ let jobs_arg =
            ($(b,0) = one per core). Results are merged in specification \
            order, so the report is identical for every N.")
 
+let prune_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "prune" ]
+        ~doc:
+          "Drop steal specifications that provably cannot elicit a new \
+           view-aware strand (see DESIGN.md §10) before sweeping. The \
+           verdict — racy locations and reports — is unchanged; only \
+           redundant replays are skipped.")
+
 let coverage_cmd =
   let doc = "Exhaustively check every possible view-aware strand (paper §7)." in
   Cmd.v
     (Cmd.info "coverage" ~doc)
     Term.(
       const do_coverage $ program_arg $ scale_arg $ verbose_arg $ max_specs_arg
-      $ max_events_arg $ deadline_arg $ jobs_arg $ metrics_arg $ trace_out_arg)
+      $ max_events_arg $ deadline_arg $ jobs_arg $ prune_arg $ metrics_arg
+      $ trace_out_arg)
+
+(* ---------- lint ---------- *)
+
+let do_lint program all scale json dot_out baseline write_baseline =
+  let programs =
+    match (program, all) with
+    | Some p, false -> [ p ]
+    | None, true -> program_names ()
+    | Some _, true ->
+        Printf.eprintf "PROGRAM and --all are mutually exclusive\n";
+        exit 2
+    | None, false ->
+        Printf.eprintf "need a PROGRAM or --all\n";
+        exit 2
+  in
+  let failures = ref 0 in
+  let results =
+    List.filter_map
+      (fun name ->
+        let prog = resolve_program ~scale name in
+        match An.Ir.of_program prog with
+        | Error f ->
+            Printf.printf "%s: contained failure: %s\n" name (Diag.to_string f);
+            incr failures;
+            None
+        | Ok ir ->
+            (* every lint run doubles as a static/dynamic agreement check *)
+            (match An.Verdict.cross_check prog ir with
+            | Ok () -> ()
+            | Error msg ->
+                Printf.printf "%s: %s\n" name msg;
+                incr failures);
+            Some (name, ir, An.Lint.run ~program:prog ir))
+      programs
+  in
+  let multi = List.length programs > 1 in
+  List.iter
+    (fun (name, _, findings) ->
+      if json then print_string (An.Lint.to_json ~program:name findings ^ "\n")
+      else begin
+        if multi then Printf.printf "== %s ==\n" name;
+        print_string (An.Lint.to_table findings)
+      end)
+    results;
+  (match (dot_out, results) with
+  | Some path, [ (_, ir, findings) ] ->
+      let oc = open_out path in
+      output_string oc (An.Lint.to_dot ir findings);
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+  | Some _, _ ->
+      Printf.eprintf "--dot needs exactly one successfully linted program\n";
+      exit 2
+  | None, _ -> ());
+  let lines =
+    List.concat_map
+      (fun (name, _, findings) -> An.Lint.baseline_lines ~program:name findings)
+      results
+  in
+  (match write_baseline with
+  | Some path ->
+      let oc = open_out path in
+      List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+      close_out oc;
+      Printf.printf "wrote %d baseline line(s) to %s\n" (List.length lines) path
+  | None -> ());
+  let n_findings =
+    List.fold_left (fun acc (_, _, fs) -> acc + List.length fs) 0 results
+  in
+  if !failures > 0 then 3
+  else
+    match baseline with
+    | Some path ->
+        let expected =
+          let ic = open_in path in
+          let rec loop acc =
+            match input_line ic with
+            | line -> loop (if line = "" then acc else line :: acc)
+            | exception End_of_file ->
+                close_in ic;
+                List.rev acc
+          in
+          loop []
+        in
+        let missing = List.filter (fun l -> not (List.mem l lines)) expected in
+        let extra = List.filter (fun l -> not (List.mem l expected)) lines in
+        if missing = [] && extra = [] then begin
+          Printf.printf "lint baseline OK (%d finding(s))\n" n_findings;
+          0
+        end
+        else begin
+          List.iter (fun l -> Printf.printf "-%s\n" l) missing;
+          List.iter (fun l -> Printf.printf "+%s\n" l) extra;
+          Printf.printf
+            "lint baseline DRIFT: %d missing, %d new (regen with \
+             --write-baseline)\n"
+            (List.length missing) (List.length extra);
+          1
+        end
+    | None -> if n_findings > 0 then 1 else 0
+
+let lint_program_arg =
+  let doc = "Program to lint (omit with $(b,--all))." in
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
+
+let lint_all_arg =
+  Arg.(
+    value & flag & info [ "all" ] ~doc:"Lint every benchmark and demo program.")
+
+let lint_json_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "json" ] ~doc:"Emit findings as JSON, one object per program.")
+
+let lint_dot_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dot" ] ~docv:"FILE"
+        ~doc:
+          "Write the SP parse tree with finding-bearing strands colored \
+           (single-program mode only).")
+
+let baseline_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "baseline" ] ~docv:"FILE"
+        ~doc:
+          "Compare findings against a checked-in expected-findings file; \
+           exit 1 on any drift.")
+
+let write_baseline_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "write-baseline" ] ~docv:"FILE"
+        ~doc:"Write the current findings as a baseline file.")
+
+let lint_cmd =
+  let doc =
+    "Statically lint a program for reducer misuse (rules R001-R005) over \
+     the canonical SP parse tree of one recorded run."
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc)
+    Term.(
+      const do_lint $ lint_program_arg $ lint_all_arg $ scale_arg $ lint_json_arg
+      $ lint_dot_arg $ baseline_arg $ write_baseline_arg)
 
 (* ---------- chaos ---------- *)
 
@@ -607,6 +836,7 @@ let () =
          [
            check_cmd;
            coverage_cmd;
+           lint_cmd;
            chaos_cmd;
            fuzz_cmd;
            sim_cmd;

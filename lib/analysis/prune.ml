@@ -1,0 +1,45 @@
+open Rader_runtime
+open Rader_core
+
+type decision = {
+  d_spec : Steal_spec.t;
+  d_kept : bool;
+  d_reason : string;
+}
+
+let ints l = String.concat "," (List.map string_of_int l)
+
+let decide (prof : Coverage.profile) (spec : Steal_spec.t) =
+  let kept = Coverage.spec_relevant prof spec in
+  let reason =
+    match spec.Steal_spec.shape with
+    | Steal_spec.Local_indices idxs ->
+        if kept then
+          Printf.sprintf "steals a position <= k_rel=%d" prof.Coverage.k_rel
+        else
+          Printf.sprintf
+            "every index in [%s] exceeds k_rel=%d: all steals land after \
+             the last instrumented event of their sync block"
+            (ints idxs) prof.Coverage.k_rel
+    | Steal_spec.At_depth d ->
+        if kept then Printf.sprintf "depth %d has a perturbable sync block" d
+        else
+          Printf.sprintf
+            "no frame at depth %d owns a perturbable sync block \
+             (rel_depths=[%s])"
+            d
+            (ints prof.Coverage.rel_depths)
+    | Steal_spec.Never -> "the no-steal baseline always runs"
+    | Steal_spec.Always | Steal_spec.Probabilistic
+    | Steal_spec.Spawn_indices _ | Steal_spec.Opaque ->
+        "shape not localizable to sync-block positions: conservatively kept"
+  in
+  { d_spec = spec; d_kept = kept; d_reason = reason }
+
+let family (prof : Coverage.profile) =
+  List.map (decide prof)
+    (Coverage.all_specs ~k:prof.Coverage.k ~d:prof.Coverage.d)
+
+let summary decisions =
+  ( List.length decisions,
+    List.length (List.filter (fun d -> d.d_kept) decisions) )

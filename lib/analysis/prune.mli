@@ -1,0 +1,24 @@
+(** Explanations for steal-spec family pruning (the third analysis pass).
+
+    The pruning itself lives in [Rader_core.Coverage] ([spec_relevant] /
+    [exhaustive_check ~prune]), next to the family it prunes; this module
+    turns those decisions into reportable values for the CLI
+    ([rader coverage --prune --verbose]) and the bench S7 table: for each
+    spec of a profile's family, whether it is kept and {e why}. See
+    DESIGN.md §10 for the soundness argument. *)
+
+type decision = {
+  d_spec : Rader_runtime.Steal_spec.t;
+  d_kept : bool;
+  d_reason : string;  (** one-line justification of the decision *)
+}
+
+(** [decide prof spec] is [Coverage.spec_relevant] plus its reason. *)
+val decide : Rader_core.Coverage.profile -> Rader_runtime.Steal_spec.t -> decision
+
+(** [family prof] is the decision for every spec of [Coverage.all_specs]
+    at the profile's [k] and [d], in family order. *)
+val family : Rader_core.Coverage.profile -> decision list
+
+(** [summary decisions] is [(total, kept)]. *)
+val summary : decision list -> int * int

@@ -1,0 +1,45 @@
+open Rader_runtime
+open Rader_core
+
+type witness = { w_reducer : int; w_first : int; w_second : int }
+type t = witness list
+
+let view_read (ir : Ir.t) =
+  List.filter_map
+    (fun rid ->
+      let rec scan = function
+        | a :: (b :: _ as rest) ->
+            if a <> b && not (Rader_dag.Sp_tree.all_s_path ir.Ir.ix a b) then
+              Some { w_reducer = rid; w_first = a; w_second = b }
+            else scan rest
+        | [] | [ _ ] -> None
+      in
+      scan (Ir.reads ir rid))
+    (Ir.reducer_ids ir)
+
+let racy_reducers v = List.map (fun w -> w.w_reducer) v
+
+let cross_check program (ir : Ir.t) =
+  let eng = Engine.create () in
+  let d = Peer_set.attach eng in
+  match Engine.run_result eng program with
+  | Error f -> Error ("cross-check replay failed: " ^ Diag.to_string f)
+  | Ok _ ->
+      let dynamic =
+        List.sort_uniq compare
+          (List.filter_map
+             (fun (r : Report.t) ->
+               if r.Report.kind = Report.View_read_race then
+                 Some r.Report.subject
+               else None)
+             (Peer_set.races d))
+      in
+      let static_ = racy_reducers (view_read ir) in
+      if dynamic = static_ then Ok ()
+      else
+        let show l = String.concat "," (List.map string_of_int l) in
+        Error
+          (Printf.sprintf
+             "static/dynamic view-read disagreement: static racy reducers \
+              [%s] vs Peer-Set [%s]"
+             (show static_) (show dynamic))

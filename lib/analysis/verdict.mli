@@ -1,0 +1,43 @@
+(** Static view-read verdict — Peer-Set's answer from the parse tree.
+
+    Paper Lemma 2: two strands have equal peer sets iff the path between
+    their leaves in the canonical SP parse tree consists entirely of S
+    nodes. A reducer suffers a {e view-read race} exactly when two of its
+    reducer-reads execute at strands with different peer sets (§3,
+    Theorem 4) — so the dynamic Peer-Set verdict can be recomputed
+    statically, on the recorded tree, with all-S-path queries alone.
+
+    Because peer-set equality is an equivalence relation, all reads of a
+    reducer share one peer set iff every {e consecutive} pair (in serial
+    order) does — checking adjacent pairs is both sufficient and gives
+    the earliest witness, at O(R · depth) total query cost.
+
+    This is an independent second implementation of Peer-Set's answer;
+    {!cross_check} replays the program under the real detector and
+    compares, which the property tests run on hundreds of generated
+    programs. *)
+
+type witness = {
+  w_reducer : int;  (** the racy reducer *)
+  w_first : int;  (** earlier reducer-read strand *)
+  w_second : int;
+      (** the first subsequent read whose peer set differs — the pair
+          fails [Sp_tree.all_s_path] *)
+}
+
+type t = witness list
+(** One witness per racy reducer, ascending reducer id; [[]] = clean. *)
+
+(** [view_read ir] is the static verdict. *)
+val view_read : Ir.t -> t
+
+(** [racy_reducers v] is the racy reducer ids, ascending. *)
+val racy_reducers : t -> int list
+
+(** [cross_check program ir] replays [program] under the dynamic
+    {!Rader_core.Peer_set} detector (fresh engine, [Steal_spec.none]) and
+    compares racy-reducer sets with [view_read ir]. [Error] describes any
+    disagreement — a bug in one of the two implementations — or a crash
+    of the replay. *)
+val cross_check :
+  (Rader_runtime.Engine.ctx -> int) -> Ir.t -> (unit, string) result

@@ -3,23 +3,75 @@ module Tool = Rader_runtime.Tool
 module Steal_spec = Rader_runtime.Steal_spec
 module Obs = Rader_obs.Obs
 
-type profile = { k : int; d : int; n_spawns : int }
+type profile = {
+  k : int;
+  d : int;
+  n_spawns : int;
+  k_rel : int;
+  rel_depths : int list;
+}
 
 (* Count continuations per sync block and spawn depth with a tiny tool:
    each spawned-child return in a frame is one continuation; sync resets
    the frame's count. Contained: if the program crashes mid-profile, the
    maxima observed over the completed prefix are returned together with
-   the diagnostic. *)
+   the diagnostic.
+
+   The same pass computes the program's *relevance profile* for spec
+   pruning. A steal at continuation position [i] of a sync block can only
+   perturb the analysis if some instrumented event — a cell access, a
+   reducer-read, or a view-aware auxiliary frame — executes in the block's
+   dynamic extent at or after that position: only then can the fresh
+   region acquire a view, run a reduce, shift strand numbering, or change
+   any access's region. So on every such event we walk the active frame
+   stack and record, per frame, the largest continuation count at which an
+   event was observed in the frame's current sync block; a block whose
+   count never reaches 1 cannot be perturbed by any steal. [k_rel] is the
+   maximum over all blocks (0 = no steal anywhere matters) and
+   [rel_depths] the sorted depths of frames owning at least one
+   perturbable block — the two coordinates {!spec_relevant} checks. *)
 let profile_with_failure program =
   let max_k = ref 0 in
   let max_d = ref 0 in
   let conts = Hashtbl.create 64 in (* frame -> conts in current block *)
   let depth = Hashtbl.create 64 in
+  let rel = Hashtbl.create 64 in (* frame -> max marked conts, current block *)
+  let stack = ref [] in (* active frames, innermost first *)
+  let max_k_rel = ref 0 in
+  let rel_depth_set = Hashtbl.create 8 in
+  let saw_reducer = ref false in
+  let mark () =
+    List.iter
+      (fun fid ->
+        match Hashtbl.find_opt conts fid with
+        | Some c when c >= 1 -> (
+            match Hashtbl.find_opt rel fid with
+            | Some r when r >= c -> ()
+            | _ -> Hashtbl.replace rel fid c)
+        | _ -> ())
+      !stack
+  in
+  (* The frame's current sync block is over: fold its marked maximum into
+     the global relevance coordinates. *)
+  let fold_block fid =
+    (match Hashtbl.find_opt rel fid with
+    | Some r when r >= 1 ->
+        if r > !max_k_rel then max_k_rel := r;
+        (match Hashtbl.find_opt depth fid with
+        | Some d -> Hashtbl.replace rel_depth_set d ()
+        | None -> ())
+    | _ -> ());
+    Hashtbl.remove rel fid
+  in
   let tool =
     {
       Tool.null with
       Tool.on_frame_enter =
-        (fun ~frame ~parent ~spawned:_ ~kind:_ ->
+        (fun ~frame ~parent ~spawned:_ ~kind ->
+          if kind <> Tool.User_fn then begin
+            saw_reducer := true;
+            mark ()
+          end;
           let d =
             if parent < 0 then 0
             else
@@ -32,9 +84,12 @@ let profile_with_failure program =
           in
           Hashtbl.replace depth frame d;
           if d > !max_d then max_d := d;
-          Hashtbl.replace conts frame 0);
+          Hashtbl.replace conts frame 0;
+          stack := frame :: !stack);
       on_frame_return =
         (fun ~frame ~parent ~spawned ~kind:_ ->
+          fold_block frame;
+          (match !stack with f :: rest when f = frame -> stack := rest | _ -> ());
           Hashtbl.remove conts frame;
           Hashtbl.remove depth frame;
           if spawned && parent >= 0 then begin
@@ -45,7 +100,16 @@ let profile_with_failure program =
             Hashtbl.replace conts parent c;
             if c > !max_k then max_k := c
           end);
-      on_sync = (fun ~frame -> Hashtbl.replace conts frame 0);
+      on_sync =
+        (fun ~frame ->
+          fold_block frame;
+          Hashtbl.replace conts frame 0);
+      on_read = (fun ~frame:_ ~loc:_ ~view_aware:_ -> mark ());
+      on_write = (fun ~frame:_ ~loc:_ ~view_aware:_ -> mark ());
+      on_reducer_read =
+        (fun ~frame:_ ~reducer:_ ->
+          saw_reducer := true;
+          mark ());
     }
   in
   let eng = Engine.create ~tool () in
@@ -53,9 +117,41 @@ let profile_with_failure program =
     match Engine.run_result eng program with Ok _ -> None | Error f -> Some f
   in
   let stats = Engine.stats eng in
-  ({ k = !max_k; d = !max_d; n_spawns = stats.Engine.n_spawns }, failure)
+  (* A program that performs no reducer operation at all — ostensibly
+     deterministic control flow is spec-invariant, so it never will under
+     any spec either — has no view-aware accesses anywhere: every steal is
+     verdict-neutral regardless of plain accesses in its extent, and the
+     whole family beyond [Steal_spec.none] is redundant. *)
+  let k_rel, rel_depths =
+    if not !saw_reducer then (0, [])
+    else
+      ( !max_k_rel,
+        List.sort compare
+          (Hashtbl.fold (fun d () acc -> d :: acc) rel_depth_set []) )
+  in
+  ( { k = !max_k; d = !max_d; n_spawns = stats.Engine.n_spawns; k_rel; rel_depths },
+    failure )
 
 let profile program = fst (profile_with_failure program)
+
+(* A spec is *irrelevant* when every steal it could possibly perform lands
+   strictly after the last instrumented event of its sync block: the stolen
+   region then never materializes a view, every region merge is a no-op
+   (no Reduce/Identity frames, no strand-numbering change), and every
+   access keeps the region and SP relation it has under [Steal_spec.none]
+   — so the replay's verdict is byte-identical to the no-steal replay that
+   always runs first. Dropping such specs cannot change [racy_locs] or
+   [reports]. Shapes that cannot be localized ([Always], [Probabilistic],
+   [Spawn_indices], [Opaque]) are conservatively kept. *)
+let spec_relevant prof (s : Steal_spec.t) =
+  match s.Steal_spec.shape with
+  | Steal_spec.Local_indices idxs -> List.exists (fun i -> i <= prof.k_rel) idxs
+  | Steal_spec.At_depth dd -> List.mem dd prof.rel_depths
+  | Steal_spec.Never | Steal_spec.Always | Steal_spec.Probabilistic
+  | Steal_spec.Spawn_indices _ | Steal_spec.Opaque ->
+      true
+
+let prune_specs prof specs = List.filter (spec_relevant prof) specs
 
 let specs_for_updates ~k ~d =
   let by_position =
@@ -108,6 +204,7 @@ type obs_summary = {
 type result = {
   prof : profile;
   n_specs : int;
+  n_pruned : int;
   n_run : int;
   racy_locs : int list;
   reports : Report.t list;
@@ -141,7 +238,7 @@ type spec_outcome =
   | Not_run
 
 let exhaustive_check ?max_specs ?max_events ?deadline ?(jobs = 1)
-    ?(with_obs = false) program =
+    ?(with_obs = false) ?(prune = false) program =
   let abs_deadline = Option.map (fun s -> Unix.gettimeofday () +. s) deadline in
   let past_deadline () =
     match abs_deadline with
@@ -161,6 +258,15 @@ let exhaustive_check ?max_specs ?max_events ?deadline ?(jobs = 1)
   let prof_counters = Option.map Obs.since prof_snap in
   let specs = all_specs ~k:prof.k ~d:prof.d in
   let n_specs = List.length specs in
+  (* Pruning is sound only against a complete relevance profile: if the
+     profiling run crashed, keep the whole family. *)
+  let specs, n_pruned =
+    if prune && prof_failure = None then begin
+      let kept = prune_specs prof specs in
+      (kept, n_specs - List.length kept)
+    end
+    else (specs, 0)
+  in
   let specs, dropped =
     match max_specs with
     | Some m when m < n_specs -> take m specs
@@ -279,6 +385,7 @@ let exhaustive_check ?max_specs ?max_events ?deadline ?(jobs = 1)
   {
     prof;
     n_specs;
+    n_pruned;
     n_run = !n_run;
     racy_locs = List.sort_uniq compare (Hashtbl.fold (fun k () acc -> k :: acc) seen []);
     reports = List.rev !reports;

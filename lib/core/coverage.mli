@@ -26,18 +26,47 @@ type profile = {
   k : int;  (** max continuations (spawns) in any sync block *)
   d : int;  (** max spawn depth *)
   n_spawns : int;  (** total spawns in the serial execution *)
+  k_rel : int;
+      (** largest continuation position at which a steal can still be
+          followed, within its sync block's dynamic extent, by an
+          instrumented event (cell access, reducer-read, or view-aware
+          auxiliary frame). A steal at a position beyond [k_rel] — in any
+          block — provably leaves the replay identical to the no-steal
+          one. [0] = no steal anywhere can perturb the analysis; in
+          particular, a program that performs no reducer operation at all
+          reports [k_rel = 0] (and [rel_depths = []]), pruning its whole
+          family down to [Steal_spec.none]. *)
+  rel_depths : int list;
+      (** sorted spawn depths of frames owning at least one sync block
+          with a perturbable position (see [k_rel]) — the depths at which
+          an [at_depth] spec can matter *)
 }
 
-(** [profile program] measures [k], [d] and the spawn count by running
-    [program] once, uninstrumented, under [Steal_spec.none]. Total: if the
-    program crashes, the maxima observed over the completed prefix are
-    returned (use {!profile_with_failure} to also see the diagnostic). *)
+(** [profile program] measures [k], [d], the spawn count and the relevance
+    coordinates ([k_rel], [rel_depths]) by running [program] once,
+    uninstrumented, under [Steal_spec.none]. Total: if the program
+    crashes, the maxima observed over the completed prefix are returned
+    (use {!profile_with_failure} to also see the diagnostic). *)
 val profile : (Rader_runtime.Engine.ctx -> 'a) -> profile
 
 (** [profile_with_failure program] is {!profile} plus the contained
     failure, if the profiling run crashed. *)
 val profile_with_failure :
   (Rader_runtime.Engine.ctx -> 'a) -> profile * Diag.failure option
+
+(** [spec_relevant prof spec] is false only when every steal [spec] could
+    perform provably lands after the last instrumented event of its sync
+    block, making the replay's SP+ verdict byte-identical to
+    [Steal_spec.none]'s (which [all_specs] always runs first):
+    [Local_indices] whose indices all exceed [prof.k_rel], or [At_depth]
+    at a depth outside [prof.rel_depths]. Unlocalizable shapes ([Always],
+    [Probabilistic], [Spawn_indices], [Opaque]) are conservatively
+    relevant. See DESIGN.md §10 for the soundness argument. *)
+val spec_relevant : profile -> Rader_runtime.Steal_spec.t -> bool
+
+(** [prune_specs prof specs] keeps the {!spec_relevant} specs. *)
+val prune_specs :
+  profile -> Rader_runtime.Steal_spec.t list -> Rader_runtime.Steal_spec.t list
 
 (** [specs_for_updates ~k ~d] is the update-eliciting family. *)
 val specs_for_updates : k:int -> d:int -> Rader_runtime.Steal_spec.t list
@@ -74,6 +103,8 @@ type obs_summary = {
 type result = {
   prof : profile;
   n_specs : int;  (** size of the full spec family for this profile *)
+  n_pruned : int;
+      (** specs dropped by [~prune] as provably redundant (0 without it) *)
   n_run : int;  (** specs actually attempted (≤ [n_specs] under budgets) *)
   racy_locs : int list;  (** union over all runs, sorted *)
   reports : Report.t list;  (** deduplicated by location *)
@@ -119,13 +150,21 @@ type result = {
     the sweep (restoring the previous enabled state afterwards) and return
     an {!obs_summary} in [obs]: each replay's counter delta is captured on
     the worker that ran it and the deltas are summed in spec order, so the
-    merged counters are byte-identical to a serial ([jobs = 1]) run's. *)
+    merged counters are byte-identical to a serial ([jobs = 1]) run's.
+    @param prune drop the {e provably redundant} specs (see
+    {!spec_relevant}) before sweeping: [racy_locs] and [reports] are
+    byte-identical to the unpruned sweep's — enforced by property tests —
+    while [n_run] shrinks by [n_pruned]. Pruned specs are {e not} recorded
+    in [incomplete] (their verdicts are already covered by the no-steal
+    replay). If the profiling run crashed, pruning is disabled for that
+    sweep. Default false. *)
 val exhaustive_check :
   ?max_specs:int ->
   ?max_events:int ->
   ?deadline:float ->
   ?jobs:int ->
   ?with_obs:bool ->
+  ?prune:bool ->
   (Rader_runtime.Engine.ctx -> 'a) ->
   result
 

@@ -121,7 +121,7 @@ let all_s_path ix u v =
 
 let parallel ix u v = u <> v && lca_kind ix u v = `P
 
-let to_dot t =
+let to_dot ?(leaf_attrs = fun _ -> []) t =
   let g = Rader_support.Dot.create "sp_parse_tree" in
   let next = ref 0 in
   let rec go t =
@@ -130,7 +130,7 @@ let to_dot t =
     (match t with
     | Leaf s ->
         Rader_support.Dot.node g id ~label:(string_of_int s)
-          ~attrs:[ ("shape", "box") ]
+          ~attrs:(("shape", "box") :: leaf_attrs s)
     | S (a, b) ->
         Rader_support.Dot.node g id ~label:"S" ~attrs:[ ("shape", "circle") ];
         Rader_support.Dot.edge g id (go a) ~attrs:[];

@@ -59,8 +59,11 @@ val parallel : indexed -> int -> int -> bool
 
 (** [to_dot t] renders the parse tree in Graphviz format (S nodes as
     circles, P nodes as doublecircles, strand leaves as boxes) — the
-    Fig.-4 view of a computation. *)
-val to_dot : t -> string
+    Fig.-4 view of a computation. [leaf_attrs strand] contributes extra
+    dot attributes to that strand's leaf (values must already be
+    dot-quoted if needed) — the hook the lint pass uses to color
+    finding-bearing strands. *)
+val to_dot : ?leaf_attrs:(int -> (string * string) list) -> t -> string
 
 (** [to_dag t] converts the parse tree back to the series-parallel dag it
     represents. Strand ids become dag strand ids 0..n-1 renumbered in serial

@@ -65,6 +65,7 @@ type t = {
   accesses_log : access Dynarr.t;
   merges_log : merge_rec Dynarr.t;
   rreads_log : (int * int) Dynarr.t;
+  aux_log : (Tool.frame_kind * int * int) Dynarr.t;
   spawn_log : (int * int * int) Dynarr.t;
   frames_log : (int * int * bool * Tool.frame_kind) Dynarr.t;
   reducer_merges :
@@ -112,6 +113,7 @@ let create ?(tool = Tool.null) ?(spec = Steal_spec.none) ?(record = false)
     accesses_log = Dynarr.create ();
     merges_log = Dynarr.create ();
     rreads_log = Dynarr.create ();
+    aux_log = Dynarr.create ();
     spawn_log = Dynarr.create ();
     frames_log = Dynarr.create ();
     reducer_merges = Dynarr.create ();
@@ -160,6 +162,7 @@ let reset ?(tool = Tool.null) ?(spec = Steal_spec.none) ?(record = false)
   Dynarr.clear t.accesses_log;
   Dynarr.clear t.merges_log;
   Dynarr.clear t.rreads_log;
+  Dynarr.clear t.aux_log;
   Dynarr.clear t.spawn_log;
   Dynarr.clear t.frames_log;
   Dynarr.clear t.reducer_merges;
@@ -546,6 +549,7 @@ let dag t = t.dag_store
 let accesses t = Dynarr.to_list t.accesses_log
 let merges t = Dynarr.to_list t.merges_log
 let reducer_reads t = Dynarr.to_list t.rreads_log
+let aux_frames t = Dynarr.to_list t.aux_log
 let spawn_log t = Dynarr.to_list t.spawn_log
 let frames t = Dynarr.to_list t.frames_log
 
@@ -597,7 +601,7 @@ let emit_reducer_read ctx reducer =
   t.c_reducer_reads <- t.c_reducer_reads + 1;
   if t.record then Dynarr.push t.rreads_log (reducer, fr.cur_node)
 
-let run_aux_frame ctx kind f =
+let run_aux_frame ?(reducer = -1) ctx kind f =
   let t = ctx.eng in
   let pf = ctx.frame in
   require_user pf "reducer operation";
@@ -616,6 +620,7 @@ let run_aux_frame ctx kind f =
       ~view:entry_rid
       ~label:(Tool.frame_kind_name kind)
       ~preds;
+  if t.record then Dynarr.push t.aux_log (kind, reducer, fr.cur_node);
   let result = f { eng = t; frame = fr } in
   fr.alive <- false;
   t.active_frames <- List.tl t.active_frames;

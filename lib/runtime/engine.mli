@@ -194,6 +194,13 @@ val merges : t -> merge_rec list
     reducer-read, in serial order. *)
 val reducer_reads : t -> (int * int) list
 
+(** [aux_frames t] is, for every view-aware auxiliary frame in serial
+    order, [(kind, reducer, strand)]: the frame's kind (update / reduce /
+    identity), the id of the reducer it belongs to ([-1] when the caller
+    of {!run_aux_frame} did not say), and the frame's first strand — the
+    strand↔reducer provenance the static analyzer keys off. *)
+val aux_frames : t -> (Tool.frame_kind * int * int) list
+
 (** [spawn_log t] is, for every spawn in serial order,
     [(spawn_index, spawn_strand, continuation_strand)] — the coordinates
     the work-stealing simulator needs to translate simulated steals back
@@ -213,8 +220,10 @@ val emit_write : ctx -> int -> unit
 val emit_reducer_read : ctx -> int -> unit
 
 (** [run_aux_frame ctx kind f] runs [f] as a view-aware auxiliary frame
-    ([Update_fn], [Identity_fn] or [Reduce_fn]) in the current context. *)
-val run_aux_frame : ctx -> Tool.frame_kind -> (ctx -> 'a) -> 'a
+    ([Update_fn], [Identity_fn] or [Reduce_fn]) in the current context.
+    [reducer] attributes the frame to a reducer id in the recorded
+    {!aux_frames} log (default [-1], unattributed). *)
+val run_aux_frame : ?reducer:int -> ctx -> Tool.frame_kind -> (ctx -> 'a) -> 'a
 
 (** [report_contract_violation t cv] records a monoid-law violation found
     by a reducer self-check; surfaced by {!run_result} as

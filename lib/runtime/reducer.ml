@@ -64,6 +64,10 @@ let create ctx ?self_check monoid ~init =
   let samples_left =
     ref (match self_check with None -> 0 | Some lc -> max 0 lc.lc_samples)
   in
+  (* The merge closure needs the reducer's id for aux-frame provenance, but
+     the id is only assigned by [register_reducer] below; merges run only
+     during the computation, long after the slot is filled. *)
+  let rid_slot = ref (-1) in
   let merge mctx ~from_region ~into_region =
     match Hashtbl.find_opt views from_region with
     | None -> ()
@@ -82,12 +86,13 @@ let create ctx ?self_check monoid ~init =
                 check_associativity mctx monoid lc v_into v_from
             | _ -> ());
             let combined =
-              Engine.run_aux_frame mctx Tool.Reduce_fn (fun c ->
-                  monoid.reduce c v_into v_from)
+              Engine.run_aux_frame ~reducer:!rid_slot mctx Tool.Reduce_fn
+                (fun c -> monoid.reduce c v_into v_from)
             in
             Hashtbl.replace views into_region combined)
   in
   let rid = Engine.register_reducer eng ~merge in
+  rid_slot := rid;
   Engine.emit_reducer_read ctx rid;
   (match self_check with
   | Some lc when lc.lc_samples > 0 -> check_identity_laws ctx monoid lc init
@@ -103,7 +108,10 @@ let current_view ctx r =
   match Hashtbl.find_opt r.views region with
   | Some v -> v
   | None ->
-      let v = Engine.run_aux_frame ctx Tool.Identity_fn (fun c -> r.monoid.identity c) in
+      let v =
+        Engine.run_aux_frame ~reducer:r.rid ctx Tool.Identity_fn (fun c ->
+            r.monoid.identity c)
+      in
       Hashtbl.replace r.views region v;
       v
 
@@ -117,7 +125,7 @@ let set_value ctx r v =
 
 let update ctx r f =
   let v = current_view ctx r in
-  let v' = Engine.run_aux_frame ctx Tool.Update_fn (fun c -> f c v) in
+  let v' = Engine.run_aux_frame ~reducer:r.rid ctx Tool.Update_fn (fun c -> f c v) in
   Hashtbl.replace r.views (Engine.current_region ctx) v'
 
 let id r = r.rid
