@@ -19,6 +19,9 @@
      bag / shadow work per engine event) behind the Fig. 7/8 overheads;
    - S7: relevance-guided steal-spec pruning — how much of each
      benchmark's §7 family Coverage.spec_relevant proves redundant;
+   - S8: service throughput — checks/sec through the rader serve daemon
+     at 1/4/16 clients, and the shed rate when a starved pool is
+     deliberately overloaded (backpressure, not silence);
    plus a bechamel micro-benchmark group per figure table.
 
    Besides the printed tables, the harness persists a perf trajectory to
@@ -563,6 +566,127 @@ let s7_print s7rows =
     s7rows;
   Tablefmt.print t
 
+(* ---------- S8: service throughput (rader serve) ---------- *)
+
+(* Checks/sec through the full daemon stack — socket, framing, admission
+   queue, worker-domain dispatch, arena reuse — at increasing client
+   counts, plus the shed rate when a deliberately starved pool (one
+   worker, depth-1 queue, no client retries) is overloaded: the daemon
+   must answer every request even when it cannot serve them all. *)
+
+module Serve = Rader_serve.Server
+module Sload = Rader_serve.Load
+module Sproto = Rader_serve.Proto
+
+type s8_row = {
+  s8_clients : int;
+  s8_cps : float;
+  s8_sent : int;
+  s8_answered : int;
+}
+
+type s8_data = {
+  s8_rows : s8_row list;
+  s8_per_client : int;
+  s8_over_sent : int;
+  s8_over_sheds : int;
+  s8_over_served : int;
+}
+
+let s8_addr tag =
+  Serve.Unix_path
+    (Filename.concat
+       (Filename.get_temp_dir_name ())
+       (Printf.sprintf "rader-bench-%d-%s.sock" (Unix.getpid ()) tag))
+
+(* Distinct seeds defeat the verdict cache: S8 measures service, not
+   cache lookups. *)
+let s8_submit i =
+  {
+    Sproto.kind = Sproto.Check;
+    program = "fig1-buggy";
+    scale = 1.0;
+    seed = i;
+    spec = "all";
+    density = 0.5;
+    max_events = None;
+    deadline_s = None;
+    prune = false;
+  }
+
+let s8_service_throughput () =
+  let per_client = if fast then 25 else 100 in
+  let rows =
+    List.map
+      (fun clients ->
+        let cfg =
+          {
+            (Serve.default_config ~addr:(s8_addr (string_of_int clients))) with
+            Serve.workers = 2;
+            queue_depth = 64;
+          }
+        in
+        let t = Serve.start cfg in
+        let r =
+          Sload.run ~addr:(Serve.bound_addr t) ~clients
+            ~requests_per_client:per_client ~make:s8_submit ()
+        in
+        ignore (Serve.stop t);
+        {
+          s8_clients = clients;
+          s8_cps = r.Sload.checks_per_s;
+          s8_sent = r.Sload.tally.Sload.sent;
+          s8_answered = Sload.answered r.Sload.tally;
+        })
+      [ 1; 4; 16 ]
+  in
+  let cfg =
+    {
+      (Serve.default_config ~addr:(s8_addr "overload")) with
+      Serve.workers = 1;
+      queue_depth = 1;
+      retry_after_ms = 1;
+    }
+  in
+  let t = Serve.start cfg in
+  let r =
+    Sload.run ~retries:0 ~addr:(Serve.bound_addr t) ~clients:16
+      ~requests_per_client:per_client ~make:s8_submit ()
+  in
+  ignore (Serve.stop t);
+  let tally = r.Sload.tally in
+  {
+    s8_rows = rows;
+    s8_per_client = per_client;
+    s8_over_sent = tally.Sload.sent;
+    s8_over_sheds = tally.Sload.sheds;
+    s8_over_served = tally.Sload.verdicts + tally.Sload.partials;
+  }
+
+let s8_shed_pct s8 =
+  100.0 *. float_of_int s8.s8_over_sheds /. float_of_int (max 1 s8.s8_over_sent)
+
+let s8_print s8 =
+  Printf.printf
+    "\nS8: service throughput — checks/sec through the rader serve daemon\n\
+     ------------------------------------------------------------------\n";
+  let t = Tablefmt.create [ "Clients"; "Requests"; "Answered"; "Checks/s" ] in
+  List.iter
+    (fun r ->
+      Tablefmt.add_row t
+        [
+          string_of_int r.s8_clients;
+          string_of_int r.s8_sent;
+          string_of_int r.s8_answered;
+          Printf.sprintf "%.0f" r.s8_cps;
+        ])
+    s8.s8_rows;
+  Tablefmt.print t;
+  Printf.printf
+    "overload (1 worker, depth-1 queue, 16 clients, no retries): %d requests, \
+     %d served, %d shed (%.0f%%) — all answered\n"
+    s8.s8_over_sent s8.s8_over_served s8.s8_over_sheds (s8_shed_pct s8)
+
 (* ---------- S6: the obs-layer cost model behind Figures 7/8 ---------- *)
 
 (* Re-run each benchmark under each detector configuration with counting
@@ -704,7 +828,7 @@ let rec emit_json buf = function
         fields;
       Buffer.add_char buf '}'
 
-let bench_json rows (s4 : s4_data) s6rows s7rows =
+let bench_json rows (s4 : s4_data) s6rows s7rows (s8 : s8_data) =
   let overhead_grid base =
     Obj
       (List.map
@@ -775,7 +899,7 @@ let bench_json rows (s4 : s4_data) s6rows s7rows =
   in
   Obj
     [
-      ("schema", Str "rader-bench/3");
+      ("schema", Str "rader-bench/4");
       ("scale", Num scale);
       ("fast", Bool fast);
       ("ncores", Int s4.s4_ncores);
@@ -817,11 +941,32 @@ let bench_json rows (s4 : s4_data) s6rows s7rows =
           ] );
       ("s6_counters", s6_counters);
       ("s7_spec_pruning", s7_json);
+      ( "s8_service_throughput",
+        Obj
+          [
+            ("requests_per_client", Int s8.s8_per_client);
+            ( "checks_per_s_by_clients",
+              Obj
+                (List.map
+                   (fun r -> (string_of_int r.s8_clients, Num r.s8_cps))
+                   s8.s8_rows) );
+            ( "overload",
+              Obj
+                [
+                  ("workers", Int 1);
+                  ("queue_depth", Int 1);
+                  ("clients", Int 16);
+                  ("sent", Int s8.s8_over_sent);
+                  ("served", Int s8.s8_over_served);
+                  ("shed", Int s8.s8_over_sheds);
+                  ("shed_pct", Num (s8_shed_pct s8));
+                ] );
+          ] );
     ]
 
-let write_bench_json rows s4 s6rows s7rows =
+let write_bench_json rows s4 s6rows s7rows s8 =
   let buf = Buffer.create 4096 in
-  emit_json buf (bench_json rows s4 s6rows s7rows);
+  emit_json buf (bench_json rows s4 s6rows s7rows s8);
   Buffer.add_char buf '\n';
   let oc = open_out "BENCH_rader.json" in
   Buffer.output_buffer oc buf;
@@ -847,6 +992,8 @@ let () =
   s6_print s6rows;
   let s7rows = s7_spec_pruning rows in
   s7_print s7rows;
-  write_bench_json rows s4 s6rows s7rows;
+  let s8 = s8_service_throughput () in
+  s8_print s8;
+  write_bench_json rows s4 s6rows s7rows s8;
   if not skip_bechamel then bechamel_tables ();
   Printf.printf "\ndone.\n"

@@ -29,106 +29,18 @@ module An = Rader_analysis
 
 (* ---------- programs addressable from the CLI ---------- *)
 
-let update_list ctx n list =
-  Cilk.call ctx (fun ctx ->
-      let red = Reducer.create ctx (Mylist.monoid ()) ~init:(Mylist.empty ctx) in
-      Reducer.set_value ctx red list;
-      let _ = Cilk.spawn ctx (fun ctx -> ignore ctx) in
-      Cilk.parallel_for ctx ~lo:0 ~hi:n (fun ctx i ->
-          Reducer.update ctx red (fun c l ->
-              Mylist.insert c l i;
-              l));
-      Cilk.sync ctx;
-      Reducer.get_value ctx red)
+(* The registry lives in [Rader_benchsuite.Demos] so the serve daemon
+   resolves exactly the same programs; here it only gains the
+   exit-on-unknown-name behaviour. *)
 
-let fig1 ~buggy ctx =
-  let list = Mylist.empty ctx in
-  List.iter (Mylist.insert ctx list) [ 10; 20; 30 ];
-  let copy = (if buggy then Mylist.shallow_copy else Mylist.deep_copy) ctx list in
-  let len = Cilk.spawn ctx (fun ctx -> Mylist.scan ctx list) in
-  let _ = update_list ctx 6 copy in
-  Cilk.sync ctx;
-  Cilk.get ctx len
-
-let racy_read ctx =
-  let r = Rmonoid.new_int_add ctx ~init:0 in
-  ignore
-    (Cilk.spawn ctx (fun ctx ->
-         Cilk.parallel_for ctx ~lo:1 ~hi:33 (fun ctx i -> Rmonoid.add ctx r i)));
-  let v = Rmonoid.int_cell_value ctx r in
-  Cilk.sync ctx;
-  v
-
-(* Word count with a dictionary reducer (examples/wordcount.ml as an
-   addressable program): associative monoid over count maps, clean under
-   every schedule. *)
-let wordcount ~scale ctx =
-  let vocab = [| "the"; "reducer"; "view"; "steal"; "race"; "cilk" |] in
-  let n = max 64 (int_of_float (scale *. 4000.)) in
-  let m = Rader_monoid.Monoids.counter () in
-  Cilk.call ctx (fun ctx ->
-      let counts = Reducer.create ctx (Rmonoid.of_pure m) ~init:[] in
-      Cilk.parallel_for ~grain:16 ctx ~lo:0 ~hi:n (fun ctx i ->
-          Reducer.update ctx counts (fun _ c ->
-              m.Rader_monoid.Monoid.combine c
-                [ (vocab.((i * 7) mod Array.length vocab), 1) ]));
-      Cilk.sync ctx;
-      List.fold_left (fun acc (_, c) -> acc + c) 0 (Reducer.get_value ctx counts))
-
-(* Parallel game-tree search with an arg-max reducer (examples/minimax.ml
-   as an addressable program): deterministic best move under every
-   schedule thanks to the reducer's serial-order guarantee. *)
-let minimax_demo ~scale ctx =
-  let branching = 4 in
-  let depth = 4 + int_of_float (scale *. 4.) in
-  let leaf_value path =
-    let h = List.fold_left (fun acc m -> (acc * 31) + m + 17) 1 path in
-    (h * 2654435761) land 1023
-  in
-  let rec minimax path d maximizing =
-    if d = 0 then leaf_value path
-    else begin
-      let best = ref (if maximizing then min_int else max_int) in
-      for m = 0 to branching - 1 do
-        let v = minimax (m :: path) (d - 1) (not maximizing) in
-        if maximizing then best := max !best v else best := min !best v
-      done;
-      !best
-    end
-  in
-  Cilk.call ctx (fun ctx ->
-      let am = Rader_monoid.Monoids.arg_max () in
-      let best = Reducer.create ctx (Rmonoid.of_pure am) ~init:None in
-      Cilk.parallel_for ctx ~lo:0 ~hi:branching (fun ctx mv ->
-          let score = minimax [ mv ] (depth - 1) false in
-          Reducer.update ctx best (fun _ b ->
-              am.Rader_monoid.Monoid.combine b (Some (score, mv))));
-      Cilk.sync ctx;
-      match Reducer.get_value ctx best with
-      | Some (score, mv) -> (score * 10) + mv
-      | None -> -1)
-
-let demo_names =
-  [ "fig1-buggy"; "fig1-fixed"; "racy-read"; "nqueens"; "wordcount"; "minimax" ]
-
-let program_names () = demo_names @ Suite.names
+let program_names () = Demos.names ()
 
 let resolve_program ~scale name : Engine.ctx -> int =
-  match name with
-  | "fig1-buggy" -> fig1 ~buggy:true
-  | "fig1-fixed" -> fig1 ~buggy:false
-  | "racy-read" -> racy_read
-  | "wordcount" -> wordcount ~scale
-  | "minimax" -> minimax_demo ~scale
-  | "nqueens" ->
-      (Bm_nqueens.bench ~n:(7 + int_of_float scale) ~spawn_depth:3).Bench_def.cilk
-  | name -> (
-      match Suite.find ~scale name with
-      | b -> b.Bench_def.cilk
-      | exception Not_found ->
-          Printf.eprintf "unknown program %S; try one of: %s\n" name
-            (String.concat ", " (program_names ()));
-          exit 2)
+  match Demos.resolve ~scale name with
+  | Ok prog -> prog
+  | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
 
 (* ---------- common options ---------- *)
 
@@ -136,7 +48,7 @@ let program_arg =
   let doc =
     "Program to analyze: a benchmark ("
     ^ String.concat ", " Suite.names
-    ^ ") or a demo (" ^ String.concat ", " demo_names ^ ")."
+    ^ ") or a demo (" ^ String.concat ", " Demos.demo_names ^ ")."
   in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
 
@@ -159,17 +71,12 @@ let density_arg =
     & opt float 0.5
     & info [ "density" ] ~docv:"P" ~doc:"Steal probability for --steal random.")
 
-let parse_spec ~seed ~density = function
-  | "none" -> Steal_spec.none
-  | "all" -> Steal_spec.all ()
-  | "random" -> Steal_spec.random ~seed ~density ()
-  | s -> (
-      try
-        let idxs = List.map int_of_string (String.split_on_char ',' s) in
-        Steal_spec.at_local_indices ~policy:Steal_spec.Reduce_eagerly idxs
-      with _ ->
-        Printf.eprintf "cannot parse steal spec %S\n" s;
-        exit 2)
+let parse_spec ~seed ~density s =
+  match Steal_spec.parse ~seed ~density s with
+  | Ok spec -> spec
+  | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
 
 let detector_arg =
   let detector_conv =
@@ -827,6 +734,338 @@ let oracle_cmd =
   let doc = "Run the brute-force race oracles on a saved trace." in
   Cmd.v (Cmd.info "oracle" ~doc) Term.(const do_oracle $ trace_arg)
 
+(* ---------- serve / submit / loadtest (the daemon) ---------- *)
+
+module Server = Rader_serve.Server
+module Sclient = Rader_serve.Client
+module Sproto = Rader_serve.Proto
+module Sload = Rader_serve.Load
+
+let addr_conv =
+  let parse s = Server.parse_addr s |> Result.map_error (fun m -> `Msg m) in
+  Arg.conv (parse, fun ppf a -> Format.pp_print_string ppf (Server.addr_to_string a))
+
+let addr_arg =
+  Arg.(
+    value
+    & opt addr_conv (Server.Unix_path "/tmp/rader.sock")
+    & info [ "addr"; "a" ] ~docv:"ADDR"
+        ~doc:
+          "Server address: $(b,unix:PATH) or $(b,tcp:HOST:PORT) \
+           ($(b,tcp:127.0.0.1:0) picks a free port).")
+
+let do_serve addr workers queue_depth max_deadline default_deadline
+    max_events_cap restart_budget restart_window cache_cap retry_after_ms
+    drain_grace chaos chaos_seed =
+  if workers < 1 || queue_depth < 1 then begin
+    Printf.eprintf "--workers and --queue-depth must be >= 1\n";
+    exit 2
+  end;
+  let base = Server.default_config ~addr in
+  let cfg =
+    {
+      base with
+      Server.workers;
+      queue_depth;
+      max_deadline_s = max_deadline;
+      default_deadline_s = default_deadline;
+      max_events_cap;
+      restart_budget;
+      restart_window_s = restart_window;
+      cache_cap;
+      retry_after_ms;
+      drain_grace_s = drain_grace;
+      chaos_cfg =
+        (match chaos with
+        | None -> None
+        | Some rate ->
+            Some
+              {
+                Server.crash_rate = rate;
+                stall_rate = rate;
+                chaos_seed;
+              });
+    }
+  in
+  let t = Server.start cfg in
+  Server.install_sigterm t;
+  Printf.printf "rader serve: listening on %s (%d worker(s), queue %d)\n%!"
+    (Server.addr_to_string (Server.bound_addr t))
+    workers queue_depth;
+  let flush = Server.wait t in
+  Printf.printf "rader serve: drained; final state:\n%s\n%!" flush;
+  0
+
+let serve_cmd =
+  let doc = "Run the race-checking daemon (SIGTERM drains gracefully)." in
+  let workers_arg =
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc:"Worker domains.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:"Admission queue bound; beyond it requests are shed.")
+  in
+  let max_deadline_arg =
+    Arg.(
+      value & opt float 30.0
+      & info [ "max-deadline-s" ] ~docv:"S" ~doc:"Cap on per-request deadlines.")
+  in
+  let default_deadline_arg =
+    Arg.(
+      value & opt float 10.0
+      & info [ "default-deadline-s" ] ~docv:"S"
+          ~doc:"Deadline applied when a request names none.")
+  in
+  let max_events_cap_arg =
+    Arg.(
+      value & opt int 20_000_000
+      & info [ "max-events-cap" ] ~docv:"N"
+          ~doc:"Cap on per-request event budgets.")
+  in
+  let restart_budget_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "restart-budget" ] ~docv:"N"
+          ~doc:"Worker respawns allowed per rolling window before the pool \
+                degrades.")
+  in
+  let restart_window_arg =
+    Arg.(
+      value & opt float 10.0
+      & info [ "restart-window-s" ] ~docv:"S" ~doc:"Restart-budget window.")
+  in
+  let cache_cap_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "cache-cap" ] ~docv:"N" ~doc:"LRU verdict-cache capacity.")
+  in
+  let retry_after_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "retry-after-ms" ] ~docv:"MS"
+          ~doc:"Backoff hint attached to shed responses.")
+  in
+  let drain_grace_arg =
+    Arg.(
+      value & opt float 10.0
+      & info [ "drain-grace-s" ] ~docv:"S"
+          ~doc:"Drain wait before leftover queued requests are shed.")
+  in
+  let chaos_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some 0.1) (some float) None
+      & info [ "chaos" ] ~docv:"RATE"
+          ~doc:
+            "Inject worker crashes and stalls, each with probability RATE \
+             per request (default 0.1 when given bare) — every degradation \
+             path becomes reachable deterministically.")
+  in
+  let chaos_seed_arg =
+    Arg.(
+      value & opt int 1337
+      & info [ "chaos-seed" ] ~docv:"N" ~doc:"Chaos determinism seed.")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const do_serve $ addr_arg $ workers_arg $ queue_arg $ max_deadline_arg
+      $ default_deadline_arg $ max_events_cap_arg $ restart_budget_arg
+      $ restart_window_arg $ cache_cap_arg $ retry_after_arg $ drain_grace_arg
+      $ chaos_arg $ chaos_seed_arg)
+
+let print_verdict (v : Sproto.verdict) =
+  (match v.Sproto.v_result with
+  | Some r -> Printf.printf "program finished (result %d)%s\n" r
+                (if v.Sproto.cached then " [cached]" else "")
+  | None ->
+      if v.Sproto.cached then print_endline "[cached]");
+  Printf.printf "%d of %d specification(s) run\n" v.Sproto.n_run v.Sproto.n_specs;
+  (match v.Sproto.races with
+  | [] -> print_endline "no races detected"
+  | races ->
+      Printf.printf "%d race(s):\n" (List.length races);
+      List.iter (fun r -> Printf.printf "  %s\n" r) races);
+  List.iter
+    (fun (cls, msg) -> Printf.printf "contained failure [%s]: %s\n" cls msg)
+    v.Sproto.failures;
+  match v.Sproto.status with
+  | Sproto.Clean -> 0
+  | Sproto.Races -> 1
+  | Sproto.Partial -> 3
+
+let do_submit addr mode program scale seed spec_str density max_events
+    deadline_s prune health shutdown retries =
+  match Sclient.connect addr with
+  | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+  | Ok c ->
+      let finish code =
+        Sclient.close c;
+        code
+      in
+      if health then (
+        match Sclient.health c with
+        | Ok json ->
+            print_endline json;
+            finish 0
+        | Error msg ->
+            Printf.eprintf "%s\n" msg;
+            finish 2)
+      else if shutdown then (
+        match Sclient.shutdown c with
+        | Ok () ->
+            print_endline "server draining";
+            finish 0
+        | Error msg ->
+            Printf.eprintf "%s\n" msg;
+            finish 2)
+      else
+        match program with
+        | None ->
+            Printf.eprintf "need a PROGRAM (or --health / --shutdown)\n";
+            finish 2
+        | Some program -> (
+            let sub =
+              {
+                Sproto.kind =
+                  (match mode with
+                  | `Check -> Sproto.Check
+                  | `Coverage -> Sproto.Coverage
+                  | `Lint -> Sproto.Lint);
+                program;
+                scale;
+                seed;
+                spec = spec_str;
+                density;
+                max_events;
+                deadline_s;
+                prune;
+              }
+            in
+            match Sclient.submit ~retries c sub with
+            | Error msg ->
+                Printf.eprintf "%s\n" msg;
+                finish 2
+            | Ok (Sclient.Verdict v) -> finish (print_verdict v)
+            | Ok (Sclient.Fault msg) ->
+                Printf.printf "internal fault: %s\n" msg;
+                finish 3
+            | Ok (Sclient.Rejected e) ->
+                Printf.eprintf "rejected (%d): %s\n" e.Sproto.code e.Sproto.msg;
+                finish 2
+            | Ok Sclient.Shed ->
+                Printf.printf "server busy: shed after %d retries\n" retries;
+                finish 4)
+
+let submit_cmd =
+  let doc =
+    "Submit a check to a running daemon (exit codes match $(b,rader check), \
+     plus 4 when shed)."
+  in
+  let mode_arg =
+    let m =
+      Arg.enum [ ("check", `Check); ("coverage", `Coverage); ("lint", `Lint) ]
+    in
+    Arg.(
+      value & opt m `Check
+      & info [ "mode"; "m" ] ~docv:"MODE"
+          ~doc:"Request kind: $(b,check), $(b,coverage) or $(b,lint).")
+  in
+  let submit_program_arg =
+    Arg.(
+      value & pos 0 (some string) None
+      & info [] ~docv:"PROGRAM"
+          ~doc:"Program to analyze (omit with --health/--shutdown).")
+  in
+  let health_arg =
+    Arg.(value & flag & info [ "health" ] ~doc:"Print the server's health JSON.")
+  in
+  let shutdown_arg =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ] ~doc:"Ask the server to drain and exit.")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Backoff retries when the server sheds (capped exponential \
+             with jitter).")
+  in
+  Cmd.v
+    (Cmd.info "submit" ~doc)
+    Term.(
+      const do_submit $ addr_arg $ mode_arg $ submit_program_arg $ scale_arg
+      $ seed_arg $ spec_arg $ density_arg $ max_events_arg $ deadline_arg
+      $ prune_arg $ health_arg $ shutdown_arg $ retries_arg)
+
+let do_loadtest addr program scale clients requests malformed_rate seed =
+  (* distinct per-request seeds defeat the verdict cache, so the run
+     measures the full service path rather than cache lookups *)
+  let make i =
+    {
+      Sproto.kind = Sproto.Check;
+      program;
+      scale;
+      seed = i;
+      spec = "none";
+      density = 0.5;
+      max_events = None;
+      deadline_s = None;
+      prune = false;
+    }
+  in
+  let res =
+    Sload.run ~seed ~malformed_rate ~addr ~clients ~requests_per_client:requests
+      ~make ()
+  in
+  let t = res.Sload.tally in
+  Printf.printf
+    "%d client(s) x %d request(s): %.1f checks/s over %.2f s\n\
+    \  verdicts %d (cached %d)  partials %d  faults %d  sheds %d  rejected %d\n\
+    \  malformed sent %d answered %d  transport errors %d\n"
+    clients requests res.Sload.checks_per_s res.Sload.elapsed_s t.Sload.verdicts
+    t.Sload.cached t.Sload.partials t.Sload.faults t.Sload.sheds
+    t.Sload.rejected t.Sload.malformed_sent t.Sload.malformed_answered
+    t.Sload.transport_errors;
+  if Sload.answered t = t.Sload.sent && t.Sload.transport_errors = 0 then begin
+    print_endline "every request answered";
+    0
+  end
+  else begin
+    Printf.printf "%d request(s) unanswered\n" (t.Sload.sent - Sload.answered t);
+    1
+  end
+
+let loadtest_cmd =
+  let doc = "Drive a running daemon with many concurrent clients." in
+  let clients_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "c"; "clients" ] ~docv:"N" ~doc:"Client threads.")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 25
+      & info [ "n"; "requests" ] ~docv:"N" ~doc:"Requests per client.")
+  in
+  let malformed_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "malformed-rate" ] ~docv:"P"
+          ~doc:"Probability of preceding a request with a hostile frame.")
+  in
+  Cmd.v
+    (Cmd.info "loadtest" ~doc)
+    Term.(
+      const do_loadtest $ addr_arg $ program_arg $ scale_arg $ clients_arg
+      $ requests_arg $ malformed_arg $ seed_arg)
+
 let () =
   let doc = "race detection for Cilk-style programs that use reducer hyperobjects" in
   let info = Cmd.info "rader" ~version:"1.0.0" ~doc in
@@ -844,6 +1083,9 @@ let () =
            tree_cmd;
            record_cmd;
            oracle_cmd;
+           serve_cmd;
+           submit_cmd;
+           loadtest_cmd;
          ])
   in
   (* cmdliner's 124/125 for CLI and internal errors fold into the

@@ -1,0 +1,104 @@
+open Rader_runtime
+
+let update_list ctx n list =
+  Cilk.call ctx (fun ctx ->
+      let red = Reducer.create ctx (Mylist.monoid ()) ~init:(Mylist.empty ctx) in
+      Reducer.set_value ctx red list;
+      let _ = Cilk.spawn ctx (fun ctx -> ignore ctx) in
+      Cilk.parallel_for ctx ~lo:0 ~hi:n (fun ctx i ->
+          Reducer.update ctx red (fun c l ->
+              Mylist.insert c l i;
+              l));
+      Cilk.sync ctx;
+      Reducer.get_value ctx red)
+
+let fig1 ~buggy ctx =
+  let list = Mylist.empty ctx in
+  List.iter (Mylist.insert ctx list) [ 10; 20; 30 ];
+  let copy = (if buggy then Mylist.shallow_copy else Mylist.deep_copy) ctx list in
+  let len = Cilk.spawn ctx (fun ctx -> Mylist.scan ctx list) in
+  let _ = update_list ctx 6 copy in
+  Cilk.sync ctx;
+  Cilk.get ctx len
+
+let racy_read ctx =
+  let r = Rmonoid.new_int_add ctx ~init:0 in
+  ignore
+    (Cilk.spawn ctx (fun ctx ->
+         Cilk.parallel_for ctx ~lo:1 ~hi:33 (fun ctx i -> Rmonoid.add ctx r i)));
+  let v = Rmonoid.int_cell_value ctx r in
+  Cilk.sync ctx;
+  v
+
+(* Word count with a dictionary reducer (examples/wordcount.ml as an
+   addressable program): associative monoid over count maps, clean under
+   every schedule. *)
+let wordcount ~scale ctx =
+  let vocab = [| "the"; "reducer"; "view"; "steal"; "race"; "cilk" |] in
+  let n = max 64 (int_of_float (scale *. 4000.)) in
+  let m = Rader_monoid.Monoids.counter () in
+  Cilk.call ctx (fun ctx ->
+      let counts = Reducer.create ctx (Rmonoid.of_pure m) ~init:[] in
+      Cilk.parallel_for ~grain:16 ctx ~lo:0 ~hi:n (fun ctx i ->
+          Reducer.update ctx counts (fun _ c ->
+              m.Rader_monoid.Monoid.combine c
+                [ (vocab.((i * 7) mod Array.length vocab), 1) ]));
+      Cilk.sync ctx;
+      List.fold_left (fun acc (_, c) -> acc + c) 0 (Reducer.get_value ctx counts))
+
+(* Parallel game-tree search with an arg-max reducer (examples/minimax.ml
+   as an addressable program): deterministic best move under every
+   schedule thanks to the reducer's serial-order guarantee. *)
+let minimax ~scale ctx =
+  let branching = 4 in
+  let depth = 4 + int_of_float (scale *. 4.) in
+  let leaf_value path =
+    let h = List.fold_left (fun acc m -> (acc * 31) + m + 17) 1 path in
+    (h * 2654435761) land 1023
+  in
+  let rec minimax path d maximizing =
+    if d = 0 then leaf_value path
+    else begin
+      let best = ref (if maximizing then min_int else max_int) in
+      for m = 0 to branching - 1 do
+        let v = minimax (m :: path) (d - 1) (not maximizing) in
+        if maximizing then best := max !best v else best := min !best v
+      done;
+      !best
+    end
+  in
+  Cilk.call ctx (fun ctx ->
+      let am = Rader_monoid.Monoids.arg_max () in
+      let best = Reducer.create ctx (Rmonoid.of_pure am) ~init:None in
+      Cilk.parallel_for ctx ~lo:0 ~hi:branching (fun ctx mv ->
+          let score = minimax [ mv ] (depth - 1) false in
+          Reducer.update ctx best (fun _ b ->
+              am.Rader_monoid.Monoid.combine b (Some (score, mv))));
+      Cilk.sync ctx;
+      match Reducer.get_value ctx best with
+      | Some (score, mv) -> (score * 10) + mv
+      | None -> -1)
+
+let demo_names =
+  [ "fig1-buggy"; "fig1-fixed"; "racy-read"; "nqueens"; "wordcount"; "minimax" ]
+
+let names () = demo_names @ Suite.names
+
+let resolve ?seed ~scale name : (Engine.ctx -> int, string) result =
+  match name with
+  | "fig1-buggy" -> Ok (fig1 ~buggy:true)
+  | "fig1-fixed" -> Ok (fig1 ~buggy:false)
+  | "racy-read" -> Ok racy_read
+  | "wordcount" -> Ok (wordcount ~scale)
+  | "minimax" -> Ok (minimax ~scale)
+  | "nqueens" ->
+      Ok
+        (Bm_nqueens.bench ~n:(7 + int_of_float scale) ~spawn_depth:3)
+          .Bench_def.cilk
+  | name -> (
+      match Suite.find ?seed ~scale name with
+      | b -> Ok b.Bench_def.cilk
+      | exception Not_found ->
+          Error
+            (Printf.sprintf "unknown program %S; try one of: %s" name
+               (String.concat ", " (names ()))))

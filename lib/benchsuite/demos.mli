@@ -1,0 +1,34 @@
+(** Demo programs addressable by name — the registry shared by the CLI
+    ([rader check PROGRAM]) and the serve daemon, so a daemon-side check
+    replays {e exactly} the program a one-shot check would run and the two
+    verdicts can be compared byte for byte. *)
+
+open Rader_runtime
+
+(** Paper Fig. 1: a list reducer updated in parallel with a scan of the
+    same list. [~buggy:true] shares structure (shallow copy) and races;
+    [~buggy:false] deep-copies and is clean. *)
+val fig1 : buggy:bool -> Engine.ctx -> int
+
+(** A reducer-read racing with parallel updates — the view-read race
+    Peer-Set exists to catch. *)
+val racy_read : Engine.ctx -> int
+
+(** Dictionary-reducer word count; clean under every schedule. *)
+val wordcount : scale:float -> Engine.ctx -> int
+
+(** Arg-max-reducer game-tree search; deterministic best move under every
+    schedule. *)
+val minimax : scale:float -> Engine.ctx -> int
+
+(** The demo names (excluding the {!Suite} benchmarks). *)
+val demo_names : string list
+
+(** [names ()] is every addressable program: demos then benchmarks. *)
+val names : unit -> string list
+
+(** [resolve ~scale name] is the program registered under [name] — a demo
+    or a {!Suite} benchmark — or [Error] with a message listing the valid
+    names. *)
+val resolve :
+  ?seed:int -> scale:float -> string -> (Engine.ctx -> int, string) result

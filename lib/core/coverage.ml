@@ -288,6 +288,13 @@ let exhaustive_check ?max_specs ?max_events ?deadline ?(jobs = 1)
             let det = Sp_plus.attach eng in
             (wid, eng, det))
           ~task:(fun (wid, eng, det) i ->
+            (* Re-check the sweep deadline at dispatch: a spec handed out
+               in the window between the queue's [stop] poll and the task
+               starting (jobs >= 2) is charged to the deadline exactly
+               like the serial sweep charges it, instead of racing a
+               doomed replay whose events would skew the obs summary. *)
+            if past_deadline () then Not_run
+            else begin
             Engine.reset ~spec:specs.(i) ?max_events ?deadline:abs_deadline eng;
             Sp_plus.reset det;
             let t0_us = if with_obs then Obs.now_us () else 0.0 in
@@ -307,7 +314,8 @@ let exhaustive_check ?max_specs ?max_events ?deadline ?(jobs = 1)
                 worker = wid;
                 t0_us;
                 t1_us = (if with_obs then Obs.now_us () else 0.0);
-              })
+              }
+            end)
           ~skipped:(fun _ -> Not_run)
           (Array.length specs))
   in

@@ -83,6 +83,7 @@ type t = {
   mutable event_count : int;
   mutable max_events : int option;
   mutable deadline : float option; (* absolute Unix time *)
+  mutable clock : unit -> float; (* deadline timebase; virtualizable *)
   (* counters *)
   mutable c_frames : int;
   mutable c_spawns : int;
@@ -99,7 +100,7 @@ and ctx = { eng : t; frame : frame }
 type 'a future = { mutable value : 'a option; owner : int; born_block : int }
 
 let create ?(tool = Tool.null) ?(spec = Steal_spec.none) ?(record = false)
-    ?max_events ?deadline () =
+    ?max_events ?deadline ?(clock = Unix.gettimeofday) () =
   {
     tool;
     spec;
@@ -127,6 +128,7 @@ let create ?(tool = Tool.null) ?(spec = Steal_spec.none) ?(record = false)
     event_count = 0;
     max_events;
     deadline;
+    clock;
     c_frames = 0;
     c_spawns = 0;
     c_syncs = 0;
@@ -148,7 +150,7 @@ let set_tool t tool =
    parallel and serial results byte-identical — while skipping the
    per-spec reallocation that dominates short runs. *)
 let reset ?(tool = Tool.null) ?(spec = Steal_spec.none) ?(record = false)
-    ?max_events ?deadline t =
+    ?max_events ?deadline ?(clock = Unix.gettimeofday) t =
   if t.state = Running then err "Engine.reset: engine is running";
   t.tool <- tool;
   t.spec <- spec;
@@ -176,6 +178,7 @@ let reset ?(tool = Tool.null) ?(spec = Steal_spec.none) ?(record = false)
   t.event_count <- 0;
   t.max_events <- max_events;
   t.deadline <- deadline;
+  t.clock <- clock;
   t.c_frames <- 0;
   t.c_spawns <- 0;
   t.c_syncs <- 0;
@@ -192,14 +195,20 @@ let dag_kind_of_frame_kind = function
   | Tool.Identity_fn -> Dag.Identity
 
 (* Budget accounting: one event per strand start and per instrumented
-   access. The wall clock is only consulted every 256 events. *)
+   access. The clock is consulted at the first event — so a deadline that
+   already expired at dispatch cancels the run before it does any work,
+   keeping deadline-charged specs consistent across sweep job counts — and
+   every 16 events thereafter (only deadline-bearing engines pay this; a
+   service quota needs finer granularity than the historical 256). *)
 let bump_event t =
   t.event_count <- t.event_count + 1;
   (match t.max_events with
   | Some m when t.event_count > m -> raise (Fault.Stop (Fault.Max_events m))
   | _ -> ());
   match t.deadline with
-  | Some dl when t.event_count land 0xff = 0 && Unix.gettimeofday () > dl ->
+  | Some dl
+    when (t.event_count land 0xf = 0 || t.event_count = 1) && t.clock () > dl
+    ->
       raise (Fault.Stop (Fault.Deadline dl))
   | _ -> ()
 

@@ -49,14 +49,20 @@ type 'a future
     many events — strand starts plus instrumented accesses — have
     happened. Budget interrupts are contained by {!run_result}; under the
     raising {!run} they escape as [Fault.Stop].
-    @param deadline absolute [Unix.gettimeofday] time after which the run
-    is aborted (checked every 256 events). *)
+    @param deadline absolute time (per [clock]) after which the run is
+    aborted — checked at the very first event (an already-expired deadline
+    cancels the run before it does any work) and every 16 events
+    thereafter.
+    @param clock the deadline's timebase, default [Unix.gettimeofday].
+    Overridable so tests can drive quota cancellation with a virtual clock
+    (see [Rader_chaos.Chaos.Vclock]) instead of wall-clock sleeps. *)
 val create :
   ?tool:Tool.t ->
   ?spec:Steal_spec.t ->
   ?record:bool ->
   ?max_events:int ->
   ?deadline:float ->
+  ?clock:(unit -> float) ->
   unit ->
   t
 
@@ -79,6 +85,7 @@ val reset :
   ?record:bool ->
   ?max_events:int ->
   ?deadline:float ->
+  ?clock:(unit -> float) ->
   t ->
   unit
 

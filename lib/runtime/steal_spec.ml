@@ -120,3 +120,22 @@ let merges_before_steal t ~steal_ordinal ~n_open =
   | Reduce_at_sync -> 0
   | Reduce_eagerly -> max_merges
   | Reduce_schedule f -> min (max 0 (f steal_ordinal)) max_merges
+
+(* The CLI / wire syntax for specs: keep this total — the serve daemon
+   parses untrusted spec strings out of request frames. *)
+let parse ~seed ~density s =
+  match s with
+  | "none" -> Ok none
+  | "all" -> Ok (all ())
+  | "random" -> Ok (random ~seed ~density ())
+  | s -> (
+      match List.map int_of_string (String.split_on_char ',' s) with
+      | idxs when List.for_all (fun i -> i >= 1) idxs ->
+          Ok (at_local_indices ~policy:Reduce_eagerly idxs)
+      | _ -> Error (Printf.sprintf "continuation indices in %S must be >= 1" s)
+      | exception _ ->
+          Error
+            (Printf.sprintf
+               "cannot parse steal spec %S (want none, all, random, or a \
+                comma-separated index list)"
+               s))

@@ -115,3 +115,10 @@ val validate : t -> k:int -> d:int -> n_spawns:int -> (unit, string) result
     region of steal [steal_ordinal] (1-based in its sync block) when
     [n_open] regions are currently open. Always within [0, n_open - 1]. *)
 val merges_before_steal : t -> steal_ordinal:int -> n_open:int -> int
+
+(** [parse ~seed ~density s] is the CLI / wire syntax for specs:
+    ["none"], ["all"], ["random"] (derived from [seed] and [density]), or
+    a comma-separated list of 1-based sync-block continuation indices
+    (parsed as {!at_local_indices} with [Reduce_eagerly]). Total — the
+    serve daemon feeds it untrusted request fields. *)
+val parse : seed:int -> density:float -> string -> (t, string) result

@@ -1,0 +1,80 @@
+(* Bounded LRU verdict cache.
+
+   Exact LRU over a hash table plus an intrusive doubly-linked recency
+   list: find and add are O(1), eviction pops the list's tail. Not
+   thread-safe — the server serializes access under its admission lock. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option;  (* towards most-recent *)
+  mutable next : ('k, 'v) node option;  (* towards least-recent *)
+}
+
+type ('k, 'v) t = {
+  cap : int;
+  tbl : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option;  (* most recently used *)
+  mutable tail : ('k, 'v) node option;  (* least recently used *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~cap =
+  if cap < 1 then invalid_arg "Cache.create: cap must be >= 1";
+  {
+    cap;
+    tbl = Hashtbl.create (min cap 64);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let find t k =
+  match Hashtbl.find_opt t.tbl k with
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+  | Some n ->
+      t.hits <- t.hits + 1;
+      unlink t n;
+      push_front t n;
+      Some n.value
+
+let add t k v =
+  match Hashtbl.find_opt t.tbl k with
+  | Some n ->
+      n.value <- v;
+      unlink t n;
+      push_front t n
+  | None ->
+      if Hashtbl.length t.tbl >= t.cap then (
+        match t.tail with
+        | Some lru ->
+            unlink t lru;
+            Hashtbl.remove t.tbl lru.key;
+            t.evictions <- t.evictions + 1
+        | None -> ());
+      let n = { key = k; value = v; prev = None; next = None } in
+      Hashtbl.add t.tbl k n;
+      push_front t n
+
+let len t = Hashtbl.length t.tbl
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions

@@ -1,0 +1,22 @@
+(** Bounded LRU cache for daemon verdicts.
+
+    Exact least-recently-used eviction with O(1) find/add, so the daemon's
+    memory stays flat under sustained load no matter how many distinct
+    requests it sees. Not thread-safe; the server serializes access. *)
+
+type ('k, 'v) t
+
+(** @raise Invalid_argument if [cap < 1]. *)
+val create : cap:int -> ('k, 'v) t
+
+(** [find t k] refreshes [k]'s recency on a hit and counts hit/miss. *)
+val find : ('k, 'v) t -> 'k -> 'v option
+
+(** [add t k v] inserts or replaces, evicting the LRU entry beyond
+    capacity. *)
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+
+val len : ('k, 'v) t -> int
+val hits : ('k, 'v) t -> int
+val misses : ('k, 'v) t -> int
+val evictions : ('k, 'v) t -> int

@@ -1,0 +1,105 @@
+(* Client side of the serve protocol: one synchronous request per call,
+   with capped exponential backoff plus jitter on Retry_after sheds. *)
+
+module Rng = Rader_support.Rng
+
+type t = {
+  fd : Unix.file_descr;
+  mutable next_id : int;
+  rng : Rng.t;  (* backoff jitter *)
+}
+
+let connect addr =
+  let domain, sockaddr =
+    match addr with
+    | Server.Unix_path p -> (Unix.PF_UNIX, Unix.ADDR_UNIX p)
+    | Server.Tcp (host, port) ->
+        let ip =
+          if host = "" || host = "localhost" then Unix.inet_addr_loopback
+          else Unix.inet_addr_of_string host
+        in
+        (Unix.PF_INET, Unix.ADDR_INET (ip, port))
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  match Unix.connect fd sockaddr with
+  | () -> Ok { fd; next_id = 1; rng = Rng.create 0x5eed }
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+      Error
+        (Printf.sprintf "cannot connect to %s: %s"
+           (Server.addr_to_string addr) (Unix.error_message e))
+
+let close t = try Unix.close t.fd with Unix.Unix_error (_, _, _) -> ()
+let fd t = t.fd
+
+(* One request/response round trip. Responses are matched by id; a
+   mismatch means the stream is desynchronized and is an error. *)
+let roundtrip t req =
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  match
+    Proto.send t.fd (Proto.encode_request ~id req);
+    Proto.recv t.fd
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "connection error: %s" (Unix.error_message e))
+  | Error `Eof -> Error "server closed the connection"
+  | Error (`Err e) ->
+      Error (Printf.sprintf "framing error %d: %s" e.Proto.code e.Proto.msg)
+  | Ok body -> (
+      match Proto.decode_response body with
+      | Error e ->
+          Error
+            (Printf.sprintf "undecodable response %d: %s" e.Proto.code
+               e.Proto.msg)
+      | Ok (rid, resp) ->
+          if rid <> id && rid <> 0 then
+            Error (Printf.sprintf "response id %d for request %d" rid id)
+          else Ok resp)
+
+(* Capped exponential backoff with full jitter: sleep uniform in
+   [0, min(cap, base * 2^attempt)]. *)
+let backoff_s t ~base_ms ~cap_ms ~attempt =
+  let ceiling =
+    min (float_of_int cap_ms)
+      (float_of_int base_ms *. (2.0 ** float_of_int attempt))
+  in
+  Rng.float t.rng (ceiling /. 1000.0)
+
+type outcome =
+  | Verdict of Proto.verdict
+  | Fault of string  (** server answered [Internal_fault] *)
+  | Rejected of Proto.err  (** server answered [Proto_error] *)
+  | Shed  (** still [Retry_after] once retries were exhausted *)
+
+let submit ?(retries = 5) ?(base_ms = 25) ?(cap_ms = 1000) t sub =
+  let rec go attempt =
+    match roundtrip t (Proto.Submit sub) with
+    | Error _ as e -> e
+    | Ok (Proto.Verdict v) -> Ok (Verdict v)
+    | Ok (Proto.Internal_fault msg) -> Ok (Fault msg)
+    | Ok (Proto.Proto_error e) -> Ok (Rejected e)
+    | Ok (Proto.Retry_after ms) ->
+        if attempt >= retries then Ok Shed
+        else begin
+          Thread.delay
+            (max (float_of_int ms /. 1000.0)
+               (backoff_s t ~base_ms ~cap_ms ~attempt));
+          go (attempt + 1)
+        end
+    | Ok (Proto.Health_report _ | Proto.Bye) ->
+        Error "protocol confusion: non-verdict response to Submit"
+  in
+  go 0
+
+let health t =
+  match roundtrip t Proto.Health with
+  | Error _ as e -> e
+  | Ok (Proto.Health_report json) -> Ok json
+  | Ok _ -> Error "protocol confusion: non-health response to Health"
+
+let shutdown t =
+  match roundtrip t Proto.Shutdown with
+  | Error _ as e -> e
+  | Ok Proto.Bye -> Ok ()
+  | Ok _ -> Error "protocol confusion: non-Bye response to Shutdown"

@@ -1,0 +1,37 @@
+(** Client for the serve protocol — the engine behind [rader submit].
+
+    One synchronous request per call. {!submit} retries [Retry_after]
+    sheds with capped exponential backoff and full jitter, so a fleet of
+    backing-off clients does not re-stampede a loaded server in sync. *)
+
+type t
+
+val connect : Server.addr -> (t, string) result
+val close : t -> unit
+
+(** The raw socket — used by the load driver's hostile-frame mode to
+    bypass the encoder. Not for normal clients. *)
+val fd : t -> Unix.file_descr
+
+type outcome =
+  | Verdict of Proto.verdict
+  | Fault of string  (** server answered [Internal_fault] *)
+  | Rejected of Proto.err  (** server answered [Proto_error] *)
+  | Shed  (** still [Retry_after] once retries were exhausted *)
+
+(** [submit t sub] sends and awaits the verdict, sleeping
+    [uniform(0, min(cap_ms, base_ms * 2^attempt))] (never less than the
+    server's hint) between shed retries. [Error] covers transport and
+    protocol failures only — server-side outcomes are all [Ok]. *)
+val submit :
+  ?retries:int ->
+  ?base_ms:int ->
+  ?cap_ms:int ->
+  t ->
+  Proto.submit ->
+  (outcome, string) result
+
+val health : t -> (string, string) result
+
+(** Ask the server to drain and exit (answered with [Bye]). *)
+val shutdown : t -> (unit, string) result

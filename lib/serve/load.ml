@@ -1,0 +1,216 @@
+(* Many-client load driver: N client threads fire requests at a server
+   and tally every outcome. Doubles as the S8 bench workload and as the
+   acceptance harness for the chaos criteria ("every request answered").
+
+   [malformed_rate] optionally precedes a request with a mutated copy of
+   its own encoded frame (random byte flips, truncations, oversized
+   length prefixes) — the server must answer each with a structured
+   Proto_error (or close that connection cleanly) and keep serving. *)
+
+module Rng = Rader_support.Rng
+
+type tally = {
+  mutable sent : int;
+  mutable verdicts : int;  (* complete verdicts (clean or racy) *)
+  mutable partials : int;
+  mutable cached : int;
+  mutable faults : int;
+  mutable sheds : int;  (* gave up after retries *)
+  mutable rejected : int;  (* structured Proto_error answers *)
+  mutable malformed_sent : int;
+  mutable malformed_answered : int;
+  mutable transport_errors : int;
+}
+
+let new_tally () =
+  {
+    sent = 0;
+    verdicts = 0;
+    partials = 0;
+    cached = 0;
+    faults = 0;
+    sheds = 0;
+    rejected = 0;
+    malformed_sent = 0;
+    malformed_answered = 0;
+    transport_errors = 0;
+  }
+
+let merge ~into d =
+  into.sent <- into.sent + d.sent;
+  into.verdicts <- into.verdicts + d.verdicts;
+  into.partials <- into.partials + d.partials;
+  into.cached <- into.cached + d.cached;
+  into.faults <- into.faults + d.faults;
+  into.sheds <- into.sheds + d.sheds;
+  into.rejected <- into.rejected + d.rejected;
+  into.malformed_sent <- into.malformed_sent + d.malformed_sent;
+  into.malformed_answered <- into.malformed_answered + d.malformed_answered;
+  into.transport_errors <- into.transport_errors + d.transport_errors
+
+type result = {
+  tally : tally;
+  elapsed_s : float;
+  checks_per_s : float;  (* answered submits (any outcome) per second *)
+}
+
+let answered t =
+  t.verdicts + t.partials + t.faults + t.sheds + t.rejected
+
+(* Mutate an encoded body into a hostile frame. Sent raw (with a
+   hand-built prefix) so we can also lie about the length. *)
+let send_malformed rng fd body =
+  let n = String.length body in
+  let mode = Rng.int rng 4 in
+  let raw =
+    let put_u32 b v =
+      Buffer.add_char b (Char.chr ((v lsr 24) land 0xff));
+      Buffer.add_char b (Char.chr ((v lsr 16) land 0xff));
+      Buffer.add_char b (Char.chr ((v lsr 8) land 0xff));
+      Buffer.add_char b (Char.chr (v land 0xff))
+    in
+    let b = Buffer.create (n + 4) in
+    (match mode with
+    | 0 ->
+        (* flip some bytes in the body; framing stays valid *)
+        let bytes = Bytes.of_string body in
+        for _ = 0 to 1 + Rng.int rng 4 do
+          let i = Rng.int rng n in
+          Bytes.set bytes i (Char.chr (Rng.int rng 256))
+        done;
+        put_u32 b n;
+        Buffer.add_bytes b bytes
+    | 1 ->
+        (* truncated payload: claim more than we send, then a valid
+           frame after it would be misparsed — so this closes the conn *)
+        put_u32 b (n + 32);
+        Buffer.add_string b body
+    | 2 ->
+        (* oversized length prefix, no body *)
+        put_u32 b (Proto.max_frame + 1 + Rng.int rng 1000)
+    | _ ->
+        (* bad version byte; framing stays valid *)
+        put_u32 b n;
+        Buffer.add_char b '\xff';
+        Buffer.add_string b (String.sub body 1 (n - 1)));
+    Buffer.contents b
+  in
+  (* frame-preserving modes expect a Proto_error answer; the others
+     desynchronize the stream and expect an error + close *)
+  let recoverable = mode = 0 || mode = 3 in
+  let wrote =
+    match
+      let b = Bytes.unsafe_of_string raw in
+      let len = Bytes.length b in
+      let w = ref 0 in
+      while !w < len do
+        w := !w + Unix.write fd b !w (len - !w)
+      done
+    with
+    | () -> true
+    | exception Unix.Unix_error (_, _, _) -> false
+  in
+  (recoverable, wrote)
+
+let client_thread ~addr ~requests ~seed ~malformed_rate ~retries ~make
+    ~(tally : tally) start_gate cid () =
+  let rng = Rng.create (seed + (cid * 7919)) in
+  let gmu, started = start_gate in
+  let rec wait_gate () =
+    Mutex.lock gmu;
+    let s = !started in
+    Mutex.unlock gmu;
+    if not s then begin
+      Thread.delay 0.001;
+      wait_gate ()
+    end
+  in
+  wait_gate ();
+  let cl = ref None in
+  let get_client () =
+    match !cl with
+    | Some c -> Ok c
+    | None -> (
+        match Client.connect addr with
+        | Ok c ->
+            cl := Some c;
+            Ok c
+        | Error _ as e -> e)
+  in
+  for i = 0 to requests - 1 do
+    let sub = make ((cid * requests) + i) in
+    tally.sent <- tally.sent + 1;
+    match get_client () with
+    | Error _ -> tally.transport_errors <- tally.transport_errors + 1
+    | Ok c -> (
+        (* optionally poke the server with a hostile frame first *)
+        (if malformed_rate > 0.0 && Rng.bernoulli rng malformed_rate then begin
+           tally.malformed_sent <- tally.malformed_sent + 1;
+           let body =
+             Proto.encode_request ~id:999_999 (Proto.Submit sub)
+           in
+           let recoverable, wrote = send_malformed rng (Client.fd c) body in
+           (* Only frame-valid mutations get a reply for certain. A
+              truncated payload leaves the server legitimately waiting
+              for the rest of the frame — blocking on a reply there
+              would deadlock; closing is the protocol-correct move (the
+              server sees a mid-frame EOF and discards the stream). *)
+           if wrote && recoverable then begin
+             match Proto.recv (Client.fd c) with
+             | Ok _ | Error (`Err _) | Error `Eof ->
+                 tally.malformed_answered <- tally.malformed_answered + 1
+             | exception Unix.Unix_error (_, _, _) -> ()
+           end;
+           Client.close c;
+           cl := None
+         end);
+        match get_client () with
+        | Error _ -> tally.transport_errors <- tally.transport_errors + 1
+        | Ok c -> (
+            match Client.submit ~retries c sub with
+            | Ok (Client.Verdict v) ->
+                if v.Proto.status = Proto.Partial then
+                  tally.partials <- tally.partials + 1
+                else tally.verdicts <- tally.verdicts + 1;
+                if v.Proto.cached then tally.cached <- tally.cached + 1
+            | Ok (Client.Fault _) ->
+                tally.faults <- tally.faults + 1;
+                (* the worker serving us died; the connection survived,
+                   but be conservative and reconnect *)
+                Client.close c;
+                cl := None
+            | Ok Client.Shed -> tally.sheds <- tally.sheds + 1
+            | Ok (Client.Rejected _) -> tally.rejected <- tally.rejected + 1
+            | Error _ ->
+                tally.transport_errors <- tally.transport_errors + 1;
+                Client.close c;
+                cl := None))
+  done;
+  match !cl with Some c -> Client.close c | None -> ()
+
+let run ?(seed = 42) ?(malformed_rate = 0.0) ?(retries = 5) ~addr ~clients
+    ~requests_per_client ~make () =
+  let tallies = Array.init clients (fun _ -> new_tally ()) in
+  let gate = (Mutex.create (), ref false) in
+  let threads =
+    List.init clients (fun cid ->
+        Thread.create
+          (client_thread ~addr ~requests:requests_per_client ~seed
+             ~malformed_rate ~retries ~make ~tally:tallies.(cid) gate cid)
+          ())
+  in
+  let t0 = Unix.gettimeofday () in
+  Mutex.lock (fst gate);
+  snd gate := true;
+  Mutex.unlock (fst gate);
+  List.iter Thread.join threads;
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let total = new_tally () in
+  Array.iter (fun d -> merge ~into:total d) tallies;
+  {
+    tally = total;
+    elapsed_s;
+    checks_per_s =
+      (if elapsed_s > 0.0 then float_of_int (answered total) /. elapsed_s
+       else 0.0);
+  }

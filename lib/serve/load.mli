@@ -1,0 +1,44 @@
+(** Many-client load driver for the serve daemon.
+
+    Spawns [clients] threads, each firing [requests_per_client] submits
+    built by [make] (called with a global request index), and tallies
+    every outcome. Doubles as the S8 bench workload and as the chaos
+    acceptance harness: with [malformed_rate] > 0 a request is sometimes
+    preceded by a hostile frame (random byte flips, truncated payloads,
+    oversized length prefixes) that the server must answer with a
+    structured error or a clean close — never a crash. *)
+
+type tally = {
+  mutable sent : int;
+  mutable verdicts : int;  (** complete verdicts (clean or racy) *)
+  mutable partials : int;
+  mutable cached : int;  (** of the verdicts, served from cache *)
+  mutable faults : int;  (** [Internal_fault] answers *)
+  mutable sheds : int;  (** gave up after shed retries *)
+  mutable rejected : int;  (** structured [Proto_error] answers *)
+  mutable malformed_sent : int;
+  mutable malformed_answered : int;
+  mutable transport_errors : int;  (** connect/IO/desync failures *)
+}
+
+(** [answered t] counts submits that got {e some} server answer —
+    the acceptance criterion is [answered t = t.sent] (with
+    [transport_errors = 0]). *)
+val answered : tally -> int
+
+type result = {
+  tally : tally;
+  elapsed_s : float;
+  checks_per_s : float;  (** answered submits per second *)
+}
+
+val run :
+  ?seed:int ->
+  ?malformed_rate:float ->
+  ?retries:int ->
+  addr:Server.addr ->
+  clients:int ->
+  requests_per_client:int ->
+  make:(int -> Proto.submit) ->
+  unit ->
+  result

@@ -1,0 +1,86 @@
+(** The [rader serve] daemon: a supervised, fault-isolated race-checking
+    service.
+
+    Architecture (no async runtime — Unix sockets, threads, domains):
+    an accept thread spawns a thread per connection; connection threads
+    answer [Health] inline, serve verdict-cache hits, and push [Submit]
+    jobs onto a bounded admission queue — a full queue, a draining server
+    or a degraded pool answers [Retry_after] instead of blocking; a pool
+    of supervised worker {e domains} drains the queue, each recycling one
+    engine + SP+ detector arena pair per request.
+
+    Failure model: [Engine.run_result] is total over the [Fault] taxonomy,
+    so any exception escaping a worker is detector-infrastructure failure
+    (or injected chaos). The in-flight request is answered with
+    [Internal_fault], the worker domain exits, and the supervisor
+    respawns it with a fresh arena — at most [restart_budget] respawns
+    per [restart_window_s] rolling window, after which the pool degrades
+    and sheds instead of looping on a hot fault. Every admitted request
+    is answered: verdict, partial verdict, structured fault, or
+    [Retry_after] — never silence.
+
+    See DESIGN.md §11 for the full supervision and shed policy. *)
+
+type addr = Unix_path of string | Tcp of string * int
+
+(** [parse_addr "unix:PATH"] / [parse_addr "tcp:HOST:PORT"]. *)
+val parse_addr : string -> (addr, string) result
+
+val addr_to_string : addr -> string
+
+type chaos = {
+  crash_rate : float;  (** P(worker raises) per request *)
+  stall_rate : float;  (** P(worker sleeps past the deadline) per request *)
+  chaos_seed : int;  (** per-request fates are a pure function of this *)
+}
+
+type config = {
+  addr : addr;
+  workers : int;  (** worker-domain pool size *)
+  queue_depth : int;  (** admission queue bound; beyond it, shed *)
+  max_deadline_s : float;  (** server-side cap on requested deadlines *)
+  default_deadline_s : float;  (** applied when the request names none *)
+  max_events_cap : int;  (** server-side cap on requested event budgets *)
+  restart_budget : int;  (** respawns allowed per rolling window *)
+  restart_window_s : float;
+  cache_cap : int;  (** LRU verdict-cache bound *)
+  retry_after_ms : int;  (** backoff hint carried by [Retry_after] *)
+  drain_grace_s : float;  (** drain wait before shedding leftovers *)
+  chaos_cfg : chaos option;  (** fault injection; [None] in production *)
+}
+
+val default_config : addr:addr -> config
+
+type t
+
+(** [start cfg] binds, spawns the pool, the supervisor and the accept
+    thread, and returns immediately. Enables [Rader_obs] counters for the
+    server's lifetime (restored on {!wait}). Ignores [SIGPIPE].
+    @raise Invalid_argument on a nonsensical config;
+    [Unix.Unix_error] if the address cannot be bound. *)
+val start : config -> t
+
+(** The actually-bound address — resolves [Tcp (_, 0)] to the real port. *)
+val bound_addr : t -> addr
+
+(** Route SIGTERM and SIGINT to {!request_stop} (graceful drain). *)
+val install_sigterm : t -> unit
+
+(** Begin a graceful drain: stop admission (new submits shed with
+    [Retry_after]) and release the pool once the queue empties.
+    Non-blocking; also triggered by a [Shutdown] request or SIGTERM. *)
+val request_stop : t -> unit
+
+(** Block until a stop is requested, then drain: finish or deadline-cancel
+    queued and in-flight work within [drain_grace_s] (leftovers are shed,
+    never dropped), join the pool and the supervisor, close the listener
+    and connections, restore the obs-enabled state, and return the final
+    flush — the cumulative health/obs JSON. *)
+val wait : t -> string
+
+(** [stop t] is {!request_stop} followed by {!wait}. *)
+val stop : t -> string
+
+(** Current health/readiness JSON: pool state, queue depth, restart
+    counters, request counters, cache stats, cumulative obs counters. *)
+val health_json : t -> string

@@ -9,6 +9,20 @@ module Report = Rader_core.Report
 module Sp_plus = Rader_core.Sp_plus
 module Coverage = Rader_core.Coverage
 
+(* A virtualized clock: engine deadlines read it through [Engine.create
+   ?clock], so a "worker stalls past its deadline" scenario is a pure
+   state change (advance the clock) instead of a wall-clock sleep — the
+   Stall perturbation and the serve daemon's stall tests stay
+   deterministic and instant. *)
+module Vclock = struct
+  type t = { mutable now : float }
+
+  let make ~start = { now = start }
+  let now t = t.now
+  let advance t dt = t.now <- t.now +. dt
+  let clock t () = t.now
+end
+
 type perturbation =
   | Raise_in_strand of int
   | Raise_in_reduce
@@ -17,6 +31,7 @@ type perturbation =
   | Mutating_identity
   | Invalid_spec
   | Event_budget of int
+  | Stall of int
   | Sweep_deadline
 
 let all =
@@ -30,6 +45,9 @@ let all =
     (* low enough that even a tiny program blows it, high enough that the
        engine is mid-run with live frames when it does *)
     Event_budget 10;
+    (* stall early enough that every battery program still has events (and
+       hence deadline checks) left after the virtual clock jumps *)
+    Stall 8;
     Sweep_deadline;
   ]
 
@@ -41,6 +59,7 @@ let name = function
   | Mutating_identity -> "mutating-identity"
   | Invalid_spec -> "invalid-spec"
   | Event_budget n -> Printf.sprintf "event-budget(%d)" n
+  | Stall n -> Printf.sprintf "stall(%d)" n
   | Sweep_deadline -> "sweep-deadline"
 
 type outcome = {
@@ -55,8 +74,8 @@ exception Chaos_injected
 (* Run [program] under SP+ with an optional extra (chaos) tool, through
    the contained entry point. The detector is first in the composition so
    it records each event before the chaos tool gets a chance to raise. *)
-let contained_run ?extra_tool ?max_events ~spec program =
-  let eng = Engine.create ~spec ?max_events () in
+let contained_run ?extra_tool ?max_events ?deadline ?clock ~spec program =
+  let eng = Engine.create ~spec ?max_events ?deadline ?clock () in
   let d = Sp_plus.create eng in
   let tool =
     match extra_tool with
@@ -161,6 +180,28 @@ let run_perturbed p program =
         ~spec:(Steal_spec.at_local_indices [ 1_000_003 ])
         program
   | Event_budget n -> contained_run ~max_events:n ~spec:Steal_spec.none program
+  | Stall n ->
+      (* the worker "sleeps" past its deadline: a virtual clock jumps a
+         minute forward at the n-th event, and the engine's quota check
+         cancels the run at its next deadline poll — no wall-clock sleep,
+         no flakiness *)
+      let vc = Vclock.make ~start:1.0e9 in
+      let count = ref 0 in
+      let stall_tool =
+        let tick () =
+          incr count;
+          if !count = n then Vclock.advance vc 60.0
+        in
+        {
+          Tool.null with
+          Tool.on_frame_enter =
+            (fun ~frame:_ ~parent:_ ~spawned:_ ~kind:_ -> tick ());
+          on_read = (fun ~frame:_ ~loc:_ ~view_aware:_ -> tick ());
+          on_write = (fun ~frame:_ ~loc:_ ~view_aware:_ -> tick ());
+        }
+      in
+      contained_run ~extra_tool:stall_tool ~deadline:(1.0e9 +. 30.0)
+        ~clock:(Vclock.clock vc) ~spec:Steal_spec.none program
   | Sweep_deadline ->
       (* a deadline already in the past: the sweep must stop before its
          first spec and charge every spec to the deadline *)
@@ -199,6 +240,7 @@ let ok o =
   | Mutating_identity, None -> o.races <> []
   | Invalid_spec, Some (Diag.Invalid_steal_spec _) -> true
   | Event_budget _, Some (Diag.Budget_exceeded (Diag.Max_events _)) -> true
+  | Stall _, Some (Diag.Budget_exceeded (Diag.Deadline _)) -> true
   | Sweep_deadline, Some (Diag.Budget_exceeded (Diag.Deadline _)) -> true
   | _ -> false
 

@@ -18,6 +18,22 @@
     Used by [test/test_chaos.ml] across the benchsuite and exposed on the
     CLI as [rader chaos PROGRAM]. *)
 
+(** A virtualized clock for deadline tests. Pass [Vclock.clock vc] as
+    [Engine.create ?clock] and drive quota cancellation by {!Vclock.advance}
+    instead of wall-clock sleeps — stalls become deterministic and instant.
+    Used by the {!Stall} perturbation and the serve daemon's stall
+    injection. *)
+module Vclock : sig
+  type t
+
+  val make : start:float -> t
+  val now : t -> float
+  val advance : t -> float -> unit
+
+  (** [clock t] is the [unit -> float] timebase to hand the engine. *)
+  val clock : t -> unit -> float
+end
+
 type perturbation =
   | Raise_in_strand of int
       (** raise out of instrumented code after the n-th event; expects
@@ -42,6 +58,10 @@ type perturbation =
   | Event_budget of int
       (** engine event budget far below the program's needs; expects
           [Budget_exceeded (Max_events _)] *)
+  | Stall of int
+      (** the worker "sleeps" past its deadline: a {!Vclock} jumps far
+          beyond the engine deadline at the n-th event; expects
+          [Budget_exceeded (Deadline _)] without any wall-clock delay *)
   | Sweep_deadline
       (** coverage sweep with an already-expired deadline; expects a
           partial result whose [incomplete] entries carry

@@ -67,6 +67,32 @@ let test_bad_identity () =
   | Some l -> Alcotest.failf "wrong law: %s" (Rader_core.Diag.law_name l)
   | None -> Alcotest.fail "self-check missed the broken identity"
 
+(* Stall containment, in isolation: the perturbation must deliver a
+   Deadline diagnostic through a virtual-clock jump alone — the test
+   completes instantly even though the simulated stall is 60 s. *)
+let test_stall_is_deadline () =
+  let prog =
+    (Rader_benchsuite.Suite.find ~seed:7 ~scale:0.02 "fib")
+      .Rader_benchsuite.Bench_def.cilk
+  in
+  let t0 = Unix.gettimeofday () in
+  let o = Chaos.run_one (Chaos.Stall 8) prog in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  checkb (Chaos.outcome_to_string o) true (Chaos.ok o);
+  (match o.Chaos.diag with
+  | Some (Rader_core.Diag.Budget_exceeded (Rader_core.Diag.Deadline _)) -> ()
+  | _ -> Alcotest.fail "stall did not yield a Deadline diagnostic");
+  checkb "no wall-clock sleep happened" true (elapsed < 5.0)
+
+(* The virtual clock itself: monotone state, no wall-clock coupling. *)
+let test_vclock () =
+  let vc = Chaos.Vclock.make ~start:100.0 in
+  let clk = Chaos.Vclock.clock vc in
+  Alcotest.(check (float 0.0)) "starts at start" 100.0 (clk ());
+  Chaos.Vclock.advance vc 2.5;
+  Alcotest.(check (float 0.0)) "advance adds" 102.5 (clk ());
+  Alcotest.(check (float 0.0)) "now agrees" 102.5 (Chaos.Vclock.now vc)
+
 (* The headline acceptance property: a program with BOTH an oblivious
    determinacy race and a reduce that crashes under steals. The sweep must
    report the race (from the specs that complete) AND record the crashed
@@ -113,6 +139,12 @@ let () =
           Alcotest.test_case "non-associative caught" `Quick
             test_non_associative;
           Alcotest.test_case "bad identity caught" `Quick test_bad_identity;
+        ] );
+      ( "stall",
+        [
+          Alcotest.test_case "virtual-clock stall contained as deadline"
+            `Quick test_stall_is_deadline;
+          Alcotest.test_case "vclock semantics" `Quick test_vclock;
         ] );
       ( "partial sweep",
         [

@@ -146,6 +146,90 @@ let test_update_depth_specs_elicit_identities () =
     specs;
   checkb "identity strands elicited" true !identity_seen
 
+(* Regression: deadline consistency (serve daemon prerequisite).
+
+   An expired deadline must cancel an engine run at its very first event —
+   not after the first 256-event poll window — so a spec dispatched after
+   the sweep deadline passed cannot quietly run to completion and inflate
+   the obs summary relative to the serial sweep. *)
+let busy_program ctx =
+  let r = Rmonoid.new_int_add ctx ~init:0 in
+  Cilk.parallel_for ctx ~lo:0 ~hi:64 (fun ctx i -> Rmonoid.add ctx r i);
+  Cilk.sync ctx;
+  ignore (Rmonoid.int_cell_value ctx r)
+
+let test_expired_deadline_stops_at_first_event () =
+  (* virtual clock pinned past the deadline: no wall-clock coupling *)
+  let eng = Engine.create ~deadline:1.0 ~clock:(fun () -> 2.0) () in
+  (match Engine.run_result eng busy_program with
+  | Error (Diag.Budget_exceeded (Diag.Deadline _)) -> ()
+  | Ok _ -> Alcotest.fail "expired deadline did not cancel the run"
+  | Error f -> Alcotest.failf "wrong diagnostic: %s" (Diag.to_string f));
+  let s = Engine.stats eng in
+  check "no instrumented accesses ran" 0 (s.Engine.n_reads + s.Engine.n_writes);
+  checkb "at most the root frame entered" true (s.Engine.n_frames <= 1)
+
+let test_expired_sweep_deadline_consistent_across_jobs () =
+  let run jobs =
+    Coverage.exhaustive_check ~deadline:(-1.0) ~jobs ~with_obs:true
+      busy_program
+  in
+  let check_one jobs (res : Coverage.result) =
+    let tag = Printf.sprintf "jobs=%d: " jobs in
+    check (tag ^ "no spec ran") 0 res.Coverage.n_run;
+    check
+      (tag ^ "every spec charged to the deadline")
+      res.Coverage.n_specs
+      (List.length res.Coverage.incomplete);
+    checkb (tag ^ "all incomplete entries are Deadline") true
+      (List.for_all
+         (fun (_, f) ->
+           match f with
+           | Diag.Budget_exceeded (Diag.Deadline _) -> true
+           | _ -> false)
+         res.Coverage.incomplete);
+    let o = Option.get res.Coverage.obs in
+    (* conservation: merged engine_runs = replays + the profiling run *)
+    check
+      (tag ^ "obs engine_runs = n_run + 1")
+      (res.Coverage.n_run + 1)
+      o.Coverage.obs_counters.Rader_obs.Obs.engine_runs
+  in
+  let r1 = run 1 and r2 = run 2 in
+  check_one 1 r1;
+  check_one 2 r2;
+  (* nothing ran in either sweep, so the merged counters are identical *)
+  let o1 = Option.get r1.Coverage.obs and o2 = Option.get r2.Coverage.obs in
+  checkb "merged counters byte-identical across job counts" true
+    (Rader_obs.Obs.equal o1.Coverage.obs_counters o2.Coverage.obs_counters)
+
+(* Mid-sweep deadline expiry at jobs >= 2: whichever specs end up charged
+   to the deadline, the conservation invariant engine_runs = n_run + 1 and
+   the n_run + |incomplete| = n_specs partition must hold — the dispatch
+   re-check keeps a post-expiry spec from running outside the books. *)
+let test_midsweep_deadline_conserves_obs () =
+  for trial = 0 to 9 do
+    let deadline = 0.0005 *. float_of_int (trial + 1) in
+    let res =
+      Coverage.exhaustive_check ~deadline ~jobs:2 ~with_obs:true busy_program
+    in
+    let tag = Printf.sprintf "trial %d: " trial in
+    (* every spec is accounted for: attempted (n_run, one per_spec entry
+       each) or recorded in incomplete — an attempted spec that blew its
+       own engine deadline appears in both, so this is a covering, not a
+       partition *)
+    check (tag ^ "per_spec matches n_run") res.Coverage.n_run
+      (List.length res.Coverage.per_spec);
+    checkb (tag ^ "attempted + incomplete covers the family") true
+      (res.Coverage.n_run + List.length res.Coverage.incomplete
+      >= res.Coverage.n_specs);
+    let o = Option.get res.Coverage.obs in
+    check
+      (tag ^ "obs engine_runs = n_run + 1")
+      (res.Coverage.n_run + 1)
+      o.Coverage.obs_counters.Rader_obs.Obs.engine_runs
+  done
+
 let () =
   Alcotest.run "coverage"
     [
@@ -167,5 +251,14 @@ let () =
           Alcotest.test_case "clean program" `Quick test_exhaustive_check_clean_program;
           Alcotest.test_case "update specs elicit identities" `Quick
             test_update_depth_specs_elicit_identities;
+        ] );
+      ( "deadline consistency",
+        [
+          Alcotest.test_case "expired deadline stops at first event" `Quick
+            test_expired_deadline_stops_at_first_event;
+          Alcotest.test_case "expired sweep deadline consistent across jobs"
+            `Quick test_expired_sweep_deadline_consistent_across_jobs;
+          Alcotest.test_case "mid-sweep deadline conserves obs" `Quick
+            test_midsweep_deadline_conserves_obs;
         ] );
     ]

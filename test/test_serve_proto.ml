@@ -1,0 +1,343 @@
+(* Wire-protocol robustness: the serve codec must round-trip every
+   request/response exactly, and its decoders must be total — any
+   mutated, truncated or hostile body decodes to a structured [err],
+   never an exception. Plus unit tests for the LRU verdict cache. *)
+
+module Proto = Rader_serve.Proto
+module Cache = Rader_serve.Cache
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_small_string =
+  QCheck2.Gen.(string_size ~gen:printable (int_bound 24))
+
+(* Floats that survive Int64.bits_of_float round-trips bit-exactly and
+   still exercise negatives, zero and fractions. (NaN would round-trip
+   as bits but break structural equality, so keep it out.) *)
+let gen_float =
+  QCheck2.Gen.(
+    oneof
+      [
+        return 0.0;
+        return (-1.5);
+        return 1e-9;
+        return 1e12;
+        float_bound_inclusive 1000.0;
+      ])
+
+let gen_submit =
+  let open QCheck2.Gen in
+  let* kind = oneofl [ Proto.Check; Proto.Coverage; Proto.Lint ] in
+  let* program = gen_small_string in
+  let* scale = gen_float in
+  let* seed = int_bound 1_000_000 in
+  let* spec = gen_small_string in
+  let* density = gen_float in
+  let* max_events = option (int_bound 1_000_000_000) in
+  let* deadline_s = option gen_float in
+  let* prune = bool in
+  return
+    {
+      Proto.kind;
+      program;
+      scale;
+      seed;
+      spec;
+      density;
+      max_events;
+      deadline_s;
+      prune;
+    }
+
+let gen_request =
+  let open QCheck2.Gen in
+  oneof
+    [
+      (let* s = gen_submit in
+       return (Proto.Submit s));
+      return Proto.Health;
+      return Proto.Shutdown;
+    ]
+
+let gen_verdict =
+  let open QCheck2.Gen in
+  let* status = oneofl [ Proto.Clean; Proto.Races; Proto.Partial ] in
+  let* cached = bool in
+  let* v_result = option (int_bound 1_000_000) in
+  let* n_run = int_bound 500 in
+  let* n_specs = int_bound 500 in
+  let* races = list_size (int_bound 5) gen_small_string in
+  let* failures =
+    list_size (int_bound 3) (pair gen_small_string gen_small_string)
+  in
+  return { Proto.status; cached; v_result; n_run; n_specs; races; failures }
+
+let gen_response =
+  let open QCheck2.Gen in
+  oneof
+    [
+      (let* v = gen_verdict in
+       return (Proto.Verdict v));
+      (let* ms = int_bound 10_000 in
+       return (Proto.Retry_after ms));
+      (let* msg = gen_small_string in
+       return (Proto.Internal_fault msg));
+      (let* json = gen_small_string in
+       return (Proto.Health_report json));
+      (let* code = int_bound 20 in
+       let* msg = gen_small_string in
+       return (Proto.Proto_error { Proto.code; msg }));
+      return Proto.Bye;
+    ]
+
+let gen_id = QCheck2.Gen.int_bound 0xFFFF_FFFF
+
+(* ------------------------------------------------------------------ *)
+(* Round-trip properties                                               *)
+(* ------------------------------------------------------------------ *)
+
+let prop_request_roundtrip =
+  QCheck2.Test.make ~name:"request encode/decode round-trips" ~count:500
+    QCheck2.Gen.(pair gen_id gen_request)
+    (fun (id, req) ->
+      match Proto.decode_request (Proto.encode_request ~id req) with
+      | Ok (id', req') -> id' = id && req' = req
+      | Error e ->
+          QCheck2.Test.fail_reportf "decode error %d: %s" e.Proto.code
+            e.Proto.msg)
+
+let prop_response_roundtrip =
+  QCheck2.Test.make ~name:"response encode/decode round-trips" ~count:500
+    QCheck2.Gen.(pair gen_id gen_response)
+    (fun (id, resp) ->
+      match Proto.decode_response (Proto.encode_response ~id resp) with
+      | Ok (id', resp') -> id' = id && resp' = resp
+      | Error e ->
+          QCheck2.Test.fail_reportf "decode error %d: %s" e.Proto.code
+            e.Proto.msg)
+
+(* Totality under mutation: flip random bytes / truncate / extend a
+   valid body — decode must return (never raise), and when it returns
+   [Ok] on a mutated-but-coincidentally-valid body that is fine. *)
+let gen_mutation =
+  let open QCheck2.Gen in
+  let* base = pair gen_id gen_request in
+  let* flips = list_size (int_range 1 8) (pair small_nat (int_bound 255)) in
+  let* cut = small_nat in
+  let* extend = string_size ~gen:char (int_bound 8) in
+  return (base, flips, cut, extend)
+
+let mutate body flips cut extend =
+  let n = String.length body in
+  let b = Bytes.of_string body in
+  List.iter
+    (fun (i, c) -> if n > 0 then Bytes.set b (i mod n) (Char.chr c))
+    flips;
+  let s = Bytes.to_string b in
+  let s = if cut mod 3 = 0 && n > 0 then String.sub s 0 (cut mod n) else s in
+  if String.length extend > 0 then s ^ extend else s
+
+let prop_mutation_total =
+  QCheck2.Test.make ~name:"decoders are total under byte mutation"
+    ~count:1000 gen_mutation (fun ((id, req), flips, cut, extend) ->
+      let body = mutate (Proto.encode_request ~id req) flips cut extend in
+      (match Proto.decode_request body with
+      | Ok _ | Error _ -> ()
+      | exception e ->
+          QCheck2.Test.fail_reportf "decode_request raised %s"
+            (Printexc.to_string e));
+      (match Proto.decode_response body with
+      | Ok _ | Error _ -> ()
+      | exception e ->
+          QCheck2.Test.fail_reportf "decode_response raised %s"
+            (Printexc.to_string e));
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Targeted malformed bodies                                           *)
+(* ------------------------------------------------------------------ *)
+
+let check_code what expected = function
+  | Ok _ -> Alcotest.failf "%s: decoded Ok, wanted error %d" what expected
+  | Error e ->
+      Alcotest.(check int) (what ^ " error code") expected e.Proto.code
+
+let test_targeted_malformed () =
+  let valid = Proto.encode_request ~id:7 Proto.Health in
+  (* empty body *)
+  check_code "empty" Proto.err_truncated (Proto.decode_request "");
+  (* bad version byte *)
+  let b = Bytes.of_string valid in
+  Bytes.set b 0 '\xfe';
+  check_code "bad version" Proto.err_bad_version
+    (Proto.decode_request (Bytes.to_string b));
+  (* unknown tag *)
+  let b = Bytes.of_string valid in
+  Bytes.set b 1 '\x63';
+  check_code "bad tag" Proto.err_bad_tag
+    (Proto.decode_request (Bytes.to_string b));
+  (* trailing garbage after a complete request *)
+  check_code "trailing" Proto.err_trailing
+    (Proto.decode_request (valid ^ "x"));
+  (* truncated submit: chop a full frame mid-field *)
+  let sub =
+    {
+      Proto.kind = Proto.Check;
+      program = "fig1-buggy";
+      scale = 1.0;
+      seed = 0;
+      spec = "all";
+      density = 0.5;
+      max_events = None;
+      deadline_s = None;
+      prune = false;
+    }
+  in
+  let full = Proto.encode_request ~id:9 (Proto.Submit sub) in
+  for cut = 1 to String.length full - 1 do
+    match Proto.decode_request (String.sub full 0 cut) with
+    | Ok _ -> Alcotest.failf "prefix of length %d decoded Ok" cut
+    | Error _ -> ()
+  done;
+  (* a string field claiming more bytes than the body holds must be a
+     structured error, not an allocation attempt *)
+  let lying = Bytes.of_string full in
+  (* program-string length lives right after version/tag/id/kind *)
+  Bytes.set lying 7 '\xff';
+  match Proto.decode_request (Bytes.to_string lying) with
+  | Ok _ -> Alcotest.fail "lying string length decoded Ok"
+  | Error e ->
+      Alcotest.(check bool)
+        "lying length is a structured field/truncation error" true
+        (e.Proto.code = Proto.err_bad_field
+        || e.Proto.code = Proto.err_truncated)
+
+let test_frame_io () =
+  (* send/recv over a socketpair: normal frame, oversized reject,
+     mid-frame disconnect *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let body = Proto.encode_request ~id:3 Proto.Health in
+  Proto.send a body;
+  (match Proto.recv b with
+  | Ok got -> Alcotest.(check string) "frame round-trip" body got
+  | Error _ -> Alcotest.fail "recv failed on a valid frame");
+  (* oversized length prefix is rejected before allocation *)
+  let huge = Bytes.create 4 in
+  Bytes.set huge 0 '\x7f';
+  Bytes.set huge 1 '\xff';
+  Bytes.set huge 2 '\xff';
+  Bytes.set huge 3 '\xff';
+  ignore (Unix.write a huge 0 4);
+  (match Proto.recv b with
+  | Error (`Err e) ->
+      Alcotest.(check int) "oversized code" Proto.err_bad_length e.Proto.code
+  | Ok _ -> Alcotest.fail "oversized frame accepted"
+  | Error `Eof -> Alcotest.fail "oversized frame read as EOF");
+  Unix.close a;
+  Unix.close b;
+  (* mid-frame disconnect: length prefix promises a body, then close *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let prefix = Bytes.of_string "\x00\x00\x00\x10" in
+  ignore (Unix.write a prefix 0 4);
+  ignore (Unix.write a (Bytes.of_string "abc") 0 3);
+  Unix.close a;
+  (match Proto.recv b with
+  | Error (`Err e) ->
+      Alcotest.(check int) "truncated code" Proto.err_truncated e.Proto.code
+  | Ok _ -> Alcotest.fail "truncated frame accepted"
+  | Error `Eof -> Alcotest.fail "truncated frame read as clean EOF");
+  Unix.close b;
+  (* clean close at a frame boundary is `Eof *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.close a;
+  (match Proto.recv b with
+  | Error `Eof -> ()
+  | Ok _ | Error (`Err _) -> Alcotest.fail "boundary close not EOF");
+  Unix.close b;
+  (* send refuses oversized bodies instead of emitting a bad frame *)
+  match Proto.send Unix.stdout (String.make (Proto.max_frame + 1) 'x') with
+  | () -> Alcotest.fail "oversized send accepted"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* LRU cache                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_basic () =
+  let c = Cache.create ~cap:2 in
+  Alcotest.(check (option string)) "miss" None (Cache.find c "a");
+  Cache.add c "a" "1";
+  Cache.add c "b" "2";
+  Alcotest.(check (option string)) "hit a" (Some "1") (Cache.find c "a");
+  Alcotest.(check (option string)) "hit b" (Some "2") (Cache.find c "b");
+  Alcotest.(check int) "len" 2 (Cache.len c);
+  Alcotest.(check int) "hits" 2 (Cache.hits c);
+  Alcotest.(check int) "misses" 1 (Cache.misses c)
+
+let test_cache_eviction_order () =
+  let c = Cache.create ~cap:2 in
+  Cache.add c "a" "1";
+  Cache.add c "b" "2";
+  (* touch a so b becomes LRU *)
+  ignore (Cache.find c "a");
+  Cache.add c "c" "3";
+  Alcotest.(check (option string)) "a survives" (Some "1") (Cache.find c "a");
+  Alcotest.(check (option string)) "b evicted" None (Cache.find c "b");
+  Alcotest.(check (option string)) "c present" (Some "3") (Cache.find c "c");
+  Alcotest.(check int) "one eviction" 1 (Cache.evictions c);
+  Alcotest.(check int) "len stays capped" 2 (Cache.len c)
+
+let test_cache_replace () =
+  let c = Cache.create ~cap:2 in
+  Cache.add c "a" "1";
+  Cache.add c "a" "override";
+  Alcotest.(check int) "replace keeps len" 1 (Cache.len c);
+  Alcotest.(check (option string))
+    "replaced value" (Some "override") (Cache.find c "a");
+  Alcotest.(check int) "no eviction on replace" 0 (Cache.evictions c)
+
+let test_cache_churn () =
+  (* sustained distinct keys: memory stays flat (len <= cap) and the
+     most recent cap keys are exactly the survivors *)
+  let cap = 8 in
+  let c = Cache.create ~cap in
+  for i = 0 to 99 do
+    Cache.add c (string_of_int i) i
+  done;
+  Alcotest.(check int) "len = cap" cap (Cache.len c);
+  Alcotest.(check int) "evictions" (100 - cap) (Cache.evictions c);
+  for i = 0 to 99 do
+    let expect = if i >= 100 - cap then Some i else None in
+    Alcotest.(check (option int))
+      (Printf.sprintf "key %d" i)
+      expect
+      (Cache.find c (string_of_int i))
+  done;
+  match Cache.create ~cap:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "cap 0 accepted"
+
+let () =
+  let props =
+    List.map QCheck_alcotest.to_alcotest
+      [ prop_request_roundtrip; prop_response_roundtrip; prop_mutation_total ]
+  in
+  Alcotest.run "serve protocol"
+    [
+      ("roundtrip", props);
+      ( "malformed",
+        [
+          Alcotest.test_case "targeted malformed bodies" `Quick
+            test_targeted_malformed;
+          Alcotest.test_case "frame I/O edge cases" `Quick test_frame_io;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "basic hit/miss" `Quick test_cache_basic;
+          Alcotest.test_case "eviction order" `Quick test_cache_eviction_order;
+          Alcotest.test_case "replace" `Quick test_cache_replace;
+          Alcotest.test_case "churn stays bounded" `Quick test_cache_churn;
+        ] );
+    ]
