@@ -26,6 +26,7 @@ open Rader_benchsuite
 module Obs = Rader_obs.Obs
 module Chrome_trace = Rader_obs.Chrome_trace
 module An = Rader_analysis
+module Reach = Rader_reach.Reach
 
 (* ---------- programs addressable from the CLI ---------- *)
 
@@ -97,6 +98,21 @@ let detector_arg =
           "Detector: $(b,peerset), $(b,spbags), $(b,sporder), $(b,offsetspan) \
            or $(b,sp+).")
 
+let reach_arg =
+  let backend_conv = Arg.enum [ ("dset", Reach.Dset); ("depa", Reach.Depa) ] in
+  Arg.(
+    value
+    & opt (some backend_conv) None
+    & info [ "reach" ] ~docv:"BACKEND"
+        ~doc:
+          "Precedence (SP-reachability) backend: $(b,dset) — the paper's \
+           disjoint-set bags (the default) — or $(b,depa) — DePa-style \
+           strand fingerprints answering queries in worst-case O(1). \
+           Verdicts are byte-identical either way; only the cost model \
+           changes. Applies to the $(b,sp+), $(b,peerset) and \
+           $(b,sporder) detectors ($(b,sporder) keeps its own \
+           order-maintenance labels when the flag is absent).")
+
 (* ---------- observability options (check / coverage) ---------- *)
 
 let metrics_arg =
@@ -165,8 +181,8 @@ let print_races races =
   Printf.printf "%d race(s):\n" (List.length races);
   List.iter (fun r -> Printf.printf "  %s\n" (Report.to_string r)) races
 
-let do_check program scale seed spec_str density detector max_events deadline_s
-    metrics trace_out =
+let do_check program scale seed spec_str density detector reach max_events
+    deadline_s metrics trace_out =
   let spec = parse_spec ~seed ~density spec_str in
   let prog = resolve_program ~scale program in
   let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) deadline_s in
@@ -174,19 +190,19 @@ let do_check program scale seed spec_str density detector max_events deadline_s
   let races =
     match detector with
     | `Peerset ->
-        let d = Peer_set.attach eng in
+        let d = Peer_set.attach ?reach eng in
         fun () -> Peer_set.races d
     | `Spbags ->
         let d = Sp_bags.attach eng in
         fun () -> Sp_bags.races d
     | `Sporder ->
-        let d = Sp_order.attach eng in
+        let d = Sp_order.attach ?reach eng in
         fun () -> Sp_order.races d
     | `Offsetspan ->
         let d = Offset_span.attach eng in
         fun () -> Offset_span.races d
     | `Spplus ->
-        let d = Sp_plus.attach eng in
+        let d = Sp_plus.attach ?reach eng in
         fun () -> Sp_plus.races d
   in
   let obs_on = metrics <> None || trace_out <> None in
@@ -249,12 +265,13 @@ let check_cmd =
     (Cmd.info "check" ~doc)
     Term.(
       const do_check $ program_arg $ scale_arg $ seed_arg $ spec_arg $ density_arg
-      $ detector_arg $ max_events_arg $ deadline_arg $ metrics_arg $ trace_out_arg)
+      $ detector_arg $ reach_arg $ max_events_arg $ deadline_arg $ metrics_arg
+      $ trace_out_arg)
 
 (* ---------- coverage ---------- *)
 
 let do_coverage program scale verbose max_specs max_events deadline_s jobs prune
-    metrics trace_out =
+    reach metrics trace_out =
   if jobs < 0 then begin
     Printf.eprintf "--jobs must be >= 0 (0 = one worker per core)\n";
     exit 2
@@ -263,7 +280,7 @@ let do_coverage program scale verbose max_specs max_events deadline_s jobs prune
   let with_obs = metrics <> None || trace_out <> None in
   let res =
     Coverage.exhaustive_check ?max_specs ?max_events ?deadline:deadline_s ~jobs
-      ~with_obs ~prune prog
+      ~with_obs ~prune ?reach prog
   in
   Printf.printf "profile: K=%d D=%d spawns=%d; %d steal specifications (%d run)\n"
     res.Coverage.prof.Coverage.k res.Coverage.prof.Coverage.d
@@ -393,12 +410,12 @@ let coverage_cmd =
     (Cmd.info "coverage" ~doc)
     Term.(
       const do_coverage $ program_arg $ scale_arg $ verbose_arg $ max_specs_arg
-      $ max_events_arg $ deadline_arg $ jobs_arg $ prune_arg $ metrics_arg
-      $ trace_out_arg)
+      $ max_events_arg $ deadline_arg $ jobs_arg $ prune_arg $ reach_arg
+      $ metrics_arg $ trace_out_arg)
 
 (* ---------- lint ---------- *)
 
-let do_lint program all scale json dot_out baseline write_baseline =
+let do_lint program all scale reach json dot_out baseline write_baseline =
   let programs =
     match (program, all) with
     | Some p, false -> [ p ]
@@ -422,7 +439,7 @@ let do_lint program all scale json dot_out baseline write_baseline =
             None
         | Ok ir ->
             (* every lint run doubles as a static/dynamic agreement check *)
-            (match An.Verdict.cross_check prog ir with
+            (match An.Verdict.cross_check ?reach prog ir with
             | Ok () -> ()
             | Error msg ->
                 Printf.printf "%s: %s\n" name msg;
@@ -543,8 +560,8 @@ let lint_cmd =
   Cmd.v
     (Cmd.info "lint" ~doc)
     Term.(
-      const do_lint $ lint_program_arg $ lint_all_arg $ scale_arg $ lint_json_arg
-      $ lint_dot_arg $ baseline_arg $ write_baseline_arg)
+      const do_lint $ lint_program_arg $ lint_all_arg $ scale_arg $ reach_arg
+      $ lint_json_arg $ lint_dot_arg $ baseline_arg $ write_baseline_arg)
 
 (* ---------- chaos ---------- *)
 
@@ -756,7 +773,7 @@ let addr_arg =
 
 let do_serve addr workers queue_depth max_deadline default_deadline
     max_events_cap restart_budget restart_window cache_cap retry_after_ms
-    drain_grace chaos chaos_seed =
+    drain_grace chaos chaos_seed reach =
   if workers < 1 || queue_depth < 1 then begin
     Printf.eprintf "--workers and --queue-depth must be >= 1\n";
     exit 2
@@ -775,6 +792,7 @@ let do_serve addr workers queue_depth max_deadline default_deadline
       cache_cap;
       retry_after_ms;
       drain_grace_s = drain_grace;
+      reach = Option.value reach ~default:base.Server.reach;
       chaos_cfg =
         (match chaos with
         | None -> None
@@ -874,7 +892,7 @@ let serve_cmd =
       const do_serve $ addr_arg $ workers_arg $ queue_arg $ max_deadline_arg
       $ default_deadline_arg $ max_events_cap_arg $ restart_budget_arg
       $ restart_window_arg $ cache_cap_arg $ retry_after_arg $ drain_grace_arg
-      $ chaos_arg $ chaos_seed_arg)
+      $ chaos_arg $ chaos_seed_arg $ reach_arg)
 
 let print_verdict (v : Sproto.verdict) =
   (match v.Sproto.v_result with

@@ -19,9 +19,9 @@ let view_read (ir : Ir.t) =
 
 let racy_reducers v = List.map (fun w -> w.w_reducer) v
 
-let cross_check program (ir : Ir.t) =
+let cross_check ?reach program (ir : Ir.t) =
   let eng = Engine.create () in
-  let d = Peer_set.attach eng in
+  let d = Peer_set.attach ?reach eng in
   match Engine.run_result eng program with
   | Error f -> Error ("cross-check replay failed: " ^ Diag.to_string f)
   | Ok _ ->

@@ -35,9 +35,12 @@ val view_read : Ir.t -> t
 val racy_reducers : t -> int list
 
 (** [cross_check program ir] replays [program] under the dynamic
-    {!Rader_core.Peer_set} detector (fresh engine, [Steal_spec.none]) and
-    compares racy-reducer sets with [view_read ir]. [Error] describes any
-    disagreement — a bug in one of the two implementations — or a crash
-    of the replay. *)
+    {!Rader_core.Peer_set} detector (fresh engine, [Steal_spec.none],
+    precedence backend [reach] — default [Dset]) and compares racy-reducer
+    sets with [view_read ir]. [Error] describes any disagreement — a bug
+    in one of the two implementations — or a crash of the replay. *)
 val cross_check :
-  (Rader_runtime.Engine.ctx -> int) -> Ir.t -> (unit, string) result
+  ?reach:Rader_reach.Reach.backend ->
+  (Rader_runtime.Engine.ctx -> int) ->
+  Ir.t ->
+  (unit, string) result

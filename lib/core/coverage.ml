@@ -238,7 +238,7 @@ type spec_outcome =
   | Not_run
 
 let exhaustive_check ?max_specs ?max_events ?deadline ?(jobs = 1)
-    ?(with_obs = false) ?(prune = false) program =
+    ?(with_obs = false) ?(prune = false) ?reach program =
   let abs_deadline = Option.map (fun s -> Unix.gettimeofday () +. s) deadline in
   let past_deadline () =
     match abs_deadline with
@@ -285,7 +285,7 @@ let exhaustive_check ?max_specs ?max_events ?deadline ?(jobs = 1)
         Parallel_sweep.map ~jobs ~stop:past_deadline
           ~init:(fun wid ->
             let eng = Engine.create () in
-            let det = Sp_plus.attach eng in
+            let det = Sp_plus.attach ?reach eng in
             (wid, eng, det))
           ~task:(fun (wid, eng, det) i ->
             (* Re-check the sweep deadline at dispatch: a spec handed out

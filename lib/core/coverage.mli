@@ -157,7 +157,10 @@ type result = {
     while [n_run] shrinks by [n_pruned]. Pruned specs are {e not} recorded
     in [incomplete] (their verdicts are already covered by the no-steal
     replay). If the profiling run crashed, pruning is disabled for that
-    sweep. Default false. *)
+    sweep. Default false.
+    @param reach precedence backend for the per-worker SP+ detectors
+    (default [Dset]); verdicts are backend-independent, only the cost
+    model changes. *)
 val exhaustive_check :
   ?max_specs:int ->
   ?max_events:int ->
@@ -165,6 +168,7 @@ val exhaustive_check :
   ?jobs:int ->
   ?with_obs:bool ->
   ?prune:bool ->
+  ?reach:Rader_reach.Reach.backend ->
   (Rader_runtime.Engine.ctx -> 'a) ->
   result
 

@@ -1,103 +1,43 @@
 module Engine = Rader_runtime.Engine
 module Tool = Rader_runtime.Tool
-module Bag = Rader_dsets.Bag
+module Reach = Rader_reach.Reach
 module Shadow = Rader_memory.Shadow
-module Dynarr = Rader_support.Dynarr
 module Obs = Rader_obs.Obs
 
-type bag_kind = KSS | KSP | KP
-
-type fstate = {
-  fid : int;
-  anc : int; (* F.as: spawns by ancestors, unsynced at F's creation *)
-  mutable ls : int; (* F.ls: spawns since F's last sync *)
-  ss : bag_kind Bag.t;
-  mutable sp : bag_kind Bag.t;
-  p : bag_kind Bag.t;
-}
+(* Bags and spawn counts live behind [Reach.Peer]; this module keeps the
+   reader shadows, the spawn-count comparison, the user-frame filter and
+   report collection. *)
 
 type t = {
   eng : Engine.t;
-  store : bag_kind Bag.store;
-  stack : fstate Dynarr.t;
+  reach : Reach.Peer.t;
   reader : Shadow.t; (* reducer id -> last reader frame *)
   reader_sc : Shadow.t; (* reducer id -> spawn count of last reader *)
   collector : Report.collector;
 }
 
-let create eng =
+let create ?(reach = Reach.Dset) eng =
   {
     eng;
-    store = Bag.create_store ();
-    stack = Dynarr.create ();
+    reach = Reach.Peer.create reach;
     reader = Shadow.create ();
     reader_sc = Shadow.create ();
     collector = Report.collector ();
   }
 
-let top d = Dynarr.top d.stack
-
-(* Auxiliary (update/reduce/identity) frames are not Cilk functions in the
-   peer-set sense and cannot perform reducer-reads (the engine forbids
-   it); skipping them makes the algorithm's verdicts independent of the
-   steal specification, since view-read races are defined on the user
-   dag. *)
-let on_frame_enter d ~frame ~parent:_ ~spawned ~kind:_ =
-  let anc =
-    if Dynarr.is_empty d.stack then 0
-    else begin
-      let f = top d in
-      if spawned then begin
-        (* Fig. 3, "F spawns G": bump the local-spawn count and retire the
-           SP bag into P before the child's counts are derived. *)
-        f.ls <- f.ls + 1;
-        Bag.union_into d.store ~dst:f.p ~src:f.sp
-      end;
-      f.anc + f.ls
-    end
-  in
-  let g =
-    {
-      fid = frame;
-      anc;
-      ls = 0;
-      ss = Bag.make d.store KSS [ frame ];
-      sp = Bag.make d.store KSP [];
-      p = Bag.make d.store KP [];
-    }
-  in
-  Dynarr.push d.stack g
-
-let on_frame_return d ~frame ~parent:_ ~spawned ~kind:_ =
-  let g = Dynarr.pop d.stack in
-  assert (g.fid = frame);
-  if not (Dynarr.is_empty d.stack) then begin
-    let f = top d in
-    (* Fig. 3, "G returns to F". G.SP is empty: functions sync before
-       returning. *)
-    Bag.union_into d.store ~dst:f.p ~src:g.p;
-    if spawned then Bag.union_into d.store ~dst:f.p ~src:g.ss
-    else if f.ls = 0 then Bag.union_into d.store ~dst:f.ss ~src:g.ss
-    else Bag.union_into d.store ~dst:f.sp ~src:g.ss
-  end
-
-let on_sync d ~frame =
-  let f = top d in
-  assert (f.fid = frame);
-  f.ls <- 0;
-  Bag.union_into d.store ~dst:f.p ~src:f.sp
+let backend d = Reach.Peer.backend d.reach
 
 let on_reducer_read d ~frame ~reducer =
   if Obs.enabled () then Obs.bump_peerset_query ();
-  let f = top d in
-  assert (f.fid = frame);
-  let sc = f.anc + f.ls in
+  let sc = Reach.Peer.spawn_count d.reach in
   let last = Shadow.get d.reader reducer in
   if last <> Shadow.absent then begin
+    (* Lemma 3: same peer set iff same spawn count and not in a P bag.
+       Short-circuit order matches the seed: the spawn-count shadow is
+       only consulted when the bag is not already P. *)
     let racy =
-      match Bag.find d.store last with
-      | Some bag -> Bag.payload bag = KP || Shadow.get d.reader_sc reducer <> sc
-      | None -> assert false
+      Reach.Peer.parallel_read d.reach ~reducer ~frame:last
+      || Shadow.get d.reader_sc reducer <> sc
     in
     if racy then
       Report.report d.collector
@@ -115,27 +55,38 @@ let on_reducer_read d ~frame ~reducer =
         }
   end;
   Shadow.set d.reader reducer frame;
-  Shadow.set d.reader_sc reducer sc
+  Shadow.set d.reader_sc reducer sc;
+  Reach.Peer.note_read d.reach ~reducer ~frame
 
+(* Auxiliary (update/reduce/identity) frames are not Cilk functions in the
+   peer-set sense and cannot perform reducer-reads (the engine forbids
+   it); skipping them makes the algorithm's verdicts independent of the
+   steal specification, since view-read races are defined on the user
+   dag. *)
 let tool d =
   {
     Tool.null with
     Tool.on_frame_enter =
-      (fun ~frame ~parent ~spawned ~kind ->
-        if kind = Tool.User_fn then
-          on_frame_enter d ~frame ~parent ~spawned ~kind);
+      (fun ~frame ~parent:_ ~spawned ~kind ->
+        if kind = Tool.User_fn then Reach.Peer.on_frame_enter d.reach ~frame ~spawned);
     on_frame_return =
-      (fun ~frame ~parent ~spawned ~kind ->
-        if kind = Tool.User_fn then
-          on_frame_return d ~frame ~parent ~spawned ~kind);
-    on_sync = (fun ~frame -> on_sync d ~frame);
+      (fun ~frame ~parent:_ ~spawned ~kind ->
+        if kind = Tool.User_fn then Reach.Peer.on_frame_return d.reach ~frame ~spawned);
+    on_sync = (fun ~frame -> Reach.Peer.on_sync d.reach ~frame);
     on_reducer_read = (fun ~frame ~reducer -> on_reducer_read d ~frame ~reducer);
   }
 
-let attach eng =
-  let d = create eng in
+let attach ?reach eng =
+  let d = create ?reach eng in
   Engine.set_tool eng (tool d);
   d
+
+let reset d =
+  Reach.Peer.reset d.reach;
+  Shadow.clear d.reader;
+  Shadow.clear d.reader_sc;
+  Report.clear d.collector;
+  Engine.set_tool d.eng (tool d)
 
 let races d = Report.races d.collector
 

@@ -19,22 +19,36 @@
     previous reader sits in a P bag or the spawn counts differ
     (paper Lemma 3 / Theorem 4).
 
+    The bag bookkeeping lives behind the pluggable
+    {!Rader_reach.Reach.Peer} precedence backend: [Dset] (the default) is
+    the disjoint-set machinery above, [Depa] answers the same P-bag
+    membership question from the live stack and per-frame SP generations
+    in worst-case O(1). Verdicts are identical.
+
     The detector is correct for the serial execution ([Steal_spec.none]);
     run it without steals, as Rader does for the Check-view-read-race
-    configuration. Cost: O(T α(x, x)) for x reducers (Theorem 1). *)
+    configuration. Cost: O(T α(x, x)) for x reducers (Theorem 1) under
+    [Dset], O(T) under [Depa]. *)
 
 type t
 
 (** [create eng] makes a detector bound to [eng] (for strand ids and
     labels in reports). Install with [Engine.set_tool eng (tool d)] or use
     {!attach}. *)
-val create : Rader_runtime.Engine.t -> t
+val create : ?reach:Rader_reach.Reach.backend -> Rader_runtime.Engine.t -> t
 
 (** [tool d] is the detector's event interface. *)
 val tool : t -> Rader_runtime.Tool.t
 
 (** [attach eng] creates a detector and installs it on [eng]. *)
-val attach : Rader_runtime.Engine.t -> t
+val attach : ?reach:Rader_reach.Reach.backend -> Rader_runtime.Engine.t -> t
+
+(** [backend d] is the precedence backend [d] was created with. *)
+val backend : t -> Rader_reach.Reach.backend
+
+(** [reset d] empties all detector state while keeping grown arenas and
+    re-installs [d] as its engine's tool (mirrors {!Sp_plus.reset}). *)
+val reset : t -> unit
 
 (** [races d] is the view-read races found so far, one per reducer. *)
 val races : t -> Report.t list

@@ -1,91 +1,70 @@
 module Engine = Rader_runtime.Engine
 module Tool = Rader_runtime.Tool
-module Bag = Rader_dsets.Bag
+module Reach = Rader_reach.Reach
 module Shadow = Rader_memory.Shadow
 module Dynarr = Rader_support.Dynarr
 
-type bag_kind = KS | KP
+(* The S/P/vid classification state lives behind [Reach.Sp] (either the
+   original bag/disjoint-set backend or the DePa-style fingerprint one);
+   this module keeps what is detector policy rather than precedence: the
+   frame-kind stack, the reader/writer shadow spaces, the view-awareness
+   rules and report collection. *)
 
-type payload = { bkind : bag_kind; vid : int }
-
-type fstate = {
-  fid : int;
-  fkind : Tool.frame_kind;
-  s : payload Bag.t;
-  pstack : payload Bag.t Dynarr.t;
-}
+type fstate = { fid : int; fkind : Tool.frame_kind }
 
 type t = {
   eng : Engine.t;
-  store : payload Bag.store;
+  reach : Reach.Sp.t;
   stack : fstate Dynarr.t;
   reader : Shadow.t;
   writer : Shadow.t;
   collector : Report.collector;
 }
 
-let create eng =
+let create ?(reach = Reach.Dset) eng =
   {
     eng;
-    store = Bag.create_store ();
+    reach = Reach.Sp.create reach;
     stack = Dynarr.create ();
     reader = Shadow.create ();
     writer = Shadow.create ();
     collector = Report.collector ();
   }
 
-let top d = Dynarr.top d.stack
+let backend d = Reach.Sp.backend d.reach
 
-let top_vid f = (Bag.payload (Dynarr.top f.pstack)).vid
+let top d = Dynarr.top d.stack
 
 let on_frame_enter d ~frame ~kind =
   (* Fig. 6, "F spawns or calls G": G's S bag and initial P bag inherit the
      view ID of F's top P bag (0 for the root frame). *)
-  let vid = if Dynarr.is_empty d.stack then 0 else top_vid (top d) in
-  let s = Bag.make d.store { bkind = KS; vid } [ frame ] in
-  let pstack = Dynarr.create () in
-  Dynarr.push pstack (Bag.make d.store { bkind = KP; vid } []);
-  Dynarr.push d.stack { fid = frame; fkind = kind; s; pstack }
+  Reach.Sp.on_frame_enter d.reach ~frame;
+  Dynarr.push d.stack { fid = frame; fkind = kind }
 
 let on_frame_return d ~frame ~spawned =
   let g = Dynarr.pop d.stack in
   assert (g.fid = frame);
-  if not (Dynarr.is_empty d.stack) then begin
-    let f = top d in
-    (* G has synced: its P stack holds a single empty bag; only G.S moves.
-       A returning Reduce invocation joins the P bag whose views it just
-       merged (it is in series with those descendants but parallel to the
-       sync block's later regions, paper §6); spawned children join the
-       top P bag; called children are serial with F. *)
-    if g.fkind = Tool.Reduce_fn || spawned then
-      Bag.union_into d.store ~dst:(Dynarr.top f.pstack) ~src:g.s
-    else Bag.union_into d.store ~dst:f.s ~src:g.s
-  end
+  (* G has synced: its P stack holds a single empty bag; only G.S moves.
+     A returning Reduce invocation joins the P bag whose views it just
+     merged (it is in series with those descendants but parallel to the
+     sync block's later regions, paper §6); spawned children join the
+     top P bag; called children are serial with F. *)
+  Reach.Sp.on_frame_return d.reach ~frame
+    ~parallel:(g.fkind = Tool.Reduce_fn || spawned)
 
 let on_sync d ~frame =
-  let f = top d in
-  assert (f.fid = frame);
-  assert (Dynarr.length f.pstack = 1);
-  let p = Dynarr.pop f.pstack in
-  Bag.union_into d.store ~dst:f.s ~src:p;
-  let svid = (Bag.payload f.s).vid in
-  Dynarr.push f.pstack (Bag.make d.store { bkind = KP; vid = svid } [])
+  assert ((top d).fid = frame);
+  Reach.Sp.on_sync d.reach ~frame
 
-let on_steal d ~frame ~region =
-  let f = top d in
-  assert (f.fid = frame);
-  Dynarr.push f.pstack (Bag.make d.store { bkind = KP; vid = region } [])
+let on_steal d ~frame ~region = Reach.Sp.on_steal d.reach ~frame ~region
 
 let on_reduce d ~frame ~into_region:_ ~from_region:_ =
-  let f = top d in
-  assert (f.fid = frame);
-  let p = Dynarr.pop f.pstack in
-  Bag.union_into d.store ~dst:(Dynarr.top f.pstack) ~src:p
+  Reach.Sp.on_reduce d.reach ~frame
 
-(* Shadow-entry classification: the bag currently holding the recorded
-   frame, if it is a P bag, together with its vid. *)
-let find_bag d frame_id =
-  if frame_id = Shadow.absent then None else Bag.find d.store frame_id
+(* Shadow-entry classification, anchored at the current strand. *)
+let classify d frame_id =
+  if frame_id = Shadow.absent then Reach.Sp.Serial
+  else Reach.Sp.classify d.reach frame_id
 
 let report d ~loc ~first_frame ~first_access ~second_access ~frame ~view_aware ~detail =
   Report.report d.collector
@@ -102,65 +81,47 @@ let report d ~loc ~first_frame ~first_access ~second_access ~frame ~view_aware ~
       detail;
     }
 
-let on_read d ~frame ~loc ~view_aware =
-  let f = top d in
-  let w = Shadow.get d.writer loc in
-  (match find_bag d w with
-  | Some bag when (Bag.payload bag).bkind = KP ->
+let check d ~loc ~frame ~view_aware ~first_frame ~first_access ~second_access =
+  match classify d first_frame with
+  | Reach.Sp.Serial -> ()
+  | Reach.Sp.Parallel pv ->
       if not view_aware then
-        report d ~loc ~first_frame:w ~first_access:Report.Write
-          ~second_access:Report.Read ~frame ~view_aware ~detail:""
+        report d ~loc ~first_frame ~first_access ~second_access ~frame ~view_aware
+          ~detail:""
       else begin
-        let cur = top_vid f in
-        let pv = (Bag.payload bag).vid in
+        let cur = Reach.Sp.cur_view d.reach in
         if pv <> cur then
-          report d ~loc ~first_frame:w ~first_access:Report.Write
-            ~second_access:Report.Read ~frame ~view_aware
+          report d ~loc ~first_frame ~first_access ~second_access ~frame ~view_aware
             ~detail:(Printf.sprintf "parallel views %d vs %d" pv cur)
       end
-  | _ -> ());
-  (* Shadow update. *)
+
+(* Shadow update: keep the recorded access unless it is serial with the
+   current strand, or this is a reduce strand overwriting an entry of its
+   own view (which the reduce serializes with). *)
+let may_update d ~view_aware recorded =
+  match classify d recorded with
+  | Reach.Sp.Serial -> true
+  | Reach.Sp.Parallel pv ->
+      view_aware
+      && (top d).fkind = Tool.Reduce_fn
+      && pv = Reach.Sp.cur_view d.reach
+
+let on_read d ~frame ~loc ~view_aware =
+  check d ~loc ~frame ~view_aware
+    ~first_frame:(Shadow.get d.writer loc)
+    ~first_access:Report.Write ~second_access:Report.Read;
   let r = Shadow.get d.reader loc in
-  let update =
-    match find_bag d r with
-    | None -> true
-    | Some bag ->
-        let p = Bag.payload bag in
-        p.bkind = KS
-        || (view_aware && f.fkind = Tool.Reduce_fn && p.vid = top_vid f)
-  in
-  if update then Shadow.set d.reader loc frame
+  if may_update d ~view_aware r then Shadow.set d.reader loc frame
 
 let on_write d ~frame ~loc ~view_aware =
-  let f = top d in
-  let check ~first_frame ~first_access =
-    match find_bag d first_frame with
-    | Some bag when (Bag.payload bag).bkind = KP ->
-        if not view_aware then
-          report d ~loc ~first_frame ~first_access ~second_access:Report.Write
-            ~frame ~view_aware ~detail:""
-        else begin
-          let cur = top_vid f in
-          let pv = (Bag.payload bag).vid in
-          if pv <> cur then
-            report d ~loc ~first_frame ~first_access ~second_access:Report.Write
-              ~frame ~view_aware
-              ~detail:(Printf.sprintf "parallel views %d vs %d" pv cur)
-        end
-    | _ -> ()
-  in
-  check ~first_frame:(Shadow.get d.reader loc) ~first_access:Report.Read;
-  check ~first_frame:(Shadow.get d.writer loc) ~first_access:Report.Write;
+  check d ~loc ~frame ~view_aware
+    ~first_frame:(Shadow.get d.reader loc)
+    ~first_access:Report.Read ~second_access:Report.Write;
+  check d ~loc ~frame ~view_aware
+    ~first_frame:(Shadow.get d.writer loc)
+    ~first_access:Report.Write ~second_access:Report.Write;
   let w = Shadow.get d.writer loc in
-  let update =
-    match find_bag d w with
-    | None -> true
-    | Some bag ->
-        let p = Bag.payload bag in
-        p.bkind = KS
-        || (view_aware && f.fkind = Tool.Reduce_fn && p.vid = top_vid f)
-  in
-  if update then Shadow.set d.writer loc frame
+  if may_update d ~view_aware w then Shadow.set d.writer loc frame
 
 let tool d =
   {
@@ -178,18 +139,18 @@ let tool d =
     on_reducer_read = (fun ~frame:_ ~reducer:_ -> ());
   }
 
-let attach eng =
-  let d = create eng in
+let attach ?reach eng =
+  let d = create ?reach eng in
   Engine.set_tool eng (tool d);
   d
 
-(* Recycle the detector alongside an [Engine.reset]: the bag store's
-   union-find, the frame stack, both shadow spaces and the report
-   collector are emptied but keep their grown arenas, and the detector
-   re-arms itself as its engine's tool (the reset engine reverted to
+(* Recycle the detector alongside an [Engine.reset]: the precedence
+   backend, the frame stack, both shadow spaces and the report collector
+   are emptied but keep their grown arenas, and the detector re-arms
+   itself as its engine's tool (the reset engine reverted to
    [Tool.null]). *)
 let reset d =
-  Bag.clear_store d.store;
+  Reach.Sp.reset d.reach;
   Dynarr.clear d.stack;
   Shadow.clear d.reader;
   Shadow.clear d.writer;

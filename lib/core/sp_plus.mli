@@ -19,23 +19,34 @@
       tree. A reduce strand may also overwrite a shadow entry whose bag
       shares its vid, since the reduce serializes with those strands.
 
+    The S/P/vid bookkeeping itself lives behind the pluggable
+    {!Rader_reach.Reach.Sp} precedence backend: [Dset] (the default) is
+    the bag/disjoint-set machinery above, [Depa] answers the same queries
+    from fork-path fingerprints in worst-case O(1) per query. Verdicts are
+    identical; only the cost model changes.
+
     Correct for the execution named by the steal specification
     (paper §6); cost O((T + Mτ) α(v, v)) for M steals and reduce cost τ
-    (Theorem 5). Combine with {!Coverage} for the §7 guarantee. *)
+    (Theorem 5) under [Dset], O(T + Mτ) under [Depa]. Combine with
+    {!Coverage} for the §7 guarantee. *)
 
 type t
 
-val create : Rader_runtime.Engine.t -> t
+val create : ?reach:Rader_reach.Reach.backend -> Rader_runtime.Engine.t -> t
 val tool : t -> Rader_runtime.Tool.t
-val attach : Rader_runtime.Engine.t -> t
+val attach : ?reach:Rader_reach.Reach.backend -> Rader_runtime.Engine.t -> t
 
-(** [reset d] empties all detector state (bag store, frame stack, shadow
-    spaces, collected reports) while keeping the grown arenas, and
-    re-installs [d] as its engine's tool. Call right after
+(** [backend d] is the precedence backend [d] was created with. *)
+val backend : t -> Rader_reach.Reach.backend
+
+(** [reset d] empties all detector state (precedence backend, frame
+    stack, shadow spaces, collected reports) while keeping the grown
+    arenas, and re-installs [d] as its engine's tool. Call right after
     [Engine.reset] on the same engine to replay another steal
     specification without reallocating — one [attach]+[reset] pair per
     spec is observationally identical to a fresh engine+detector pair. *)
 val reset : t -> unit
+
 val races : t -> Report.t list
 val found : t -> bool
 

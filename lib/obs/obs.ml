@@ -41,6 +41,10 @@ type counters = {
   mutable shadow_updates : int;
   (* Peer-Set reducer-read checks *)
   mutable peerset_queries : int;
+  (* Reach fingerprint backend (DePa-style order maintenance) *)
+  mutable reach_fp_queries : int; (* precedence queries answered *)
+  mutable reach_fp_words : int; (* fingerprint words compared *)
+  mutable reach_epoch_ops : int; (* view-epoch records + survivor-search steps *)
 }
 
 let zero () =
@@ -66,6 +70,9 @@ let zero () =
     shadow_lookups = 0;
     shadow_updates = 0;
     peerset_queries = 0;
+    reach_fp_queries = 0;
+    reach_fp_words = 0;
+    reach_epoch_ops = 0;
   }
 
 (* The field list below is the single source of truth for every derived
@@ -97,6 +104,11 @@ let fields : (string * (counters -> int) * (counters -> int -> unit)) list =
     ("shadow_lookups", (fun c -> c.shadow_lookups), fun c v -> c.shadow_lookups <- v);
     ("shadow_updates", (fun c -> c.shadow_updates), fun c v -> c.shadow_updates <- v);
     ("peerset_queries", (fun c -> c.peerset_queries), fun c v -> c.peerset_queries <- v);
+    ( "reach_fp_queries",
+      (fun c -> c.reach_fp_queries),
+      fun c v -> c.reach_fp_queries <- v );
+    ("reach_fp_words", (fun c -> c.reach_fp_words), fun c v -> c.reach_fp_words <- v);
+    ("reach_epoch_ops", (fun c -> c.reach_epoch_ops), fun c v -> c.reach_epoch_ops <- v);
   ]
 
 let to_assoc c = List.map (fun (name, get, _) -> (name, get c)) fields
@@ -122,6 +134,8 @@ let dset_ops c = c.dset_finds + c.dset_unions + c.dset_compress_steps
 let shadow_ops c = c.shadow_lookups + c.shadow_updates
 
 let bag_ops c = c.bag_makes + c.bag_unions + c.bag_finds
+
+let reach_ops c = c.reach_fp_words + c.reach_epoch_ops
 
 (* ---------- enable flag + per-domain current record ---------- *)
 
@@ -188,6 +202,15 @@ let bump_shadow_update () =
 let bump_peerset_query () =
   let c = cur () in
   c.peerset_queries <- c.peerset_queries + 1
+
+let bump_reach_query ~words =
+  let c = cur () in
+  c.reach_fp_queries <- c.reach_fp_queries + 1;
+  c.reach_fp_words <- c.reach_fp_words + words
+
+let bump_reach_epoch ~steps =
+  let c = cur () in
+  c.reach_epoch_ops <- c.reach_epoch_ops + steps
 
 (* Engine flushes a whole run at once (zero per-event overhead: the engine
    already maintains these counts for [Engine.stats]). *)

@@ -43,6 +43,13 @@ type counters = {
   mutable shadow_lookups : int;
   mutable shadow_updates : int;
   mutable peerset_queries : int;  (** Peer-Set reducer-read checks *)
+  mutable reach_fp_queries : int;
+      (** precedence queries answered by the fingerprint (depa) backend *)
+  mutable reach_fp_words : int;
+      (** fingerprint words compared — the worst-case O(⌈depth/w⌉) term *)
+  mutable reach_epoch_ops : int;
+      (** view-epoch bookkeeping: records at frame return plus survivor
+          binary-search steps at query time *)
 }
 
 val zero : unit -> counters
@@ -67,6 +74,10 @@ val dset_ops : counters -> int
 
 val shadow_ops : counters -> int
 val bag_ops : counters -> int
+
+(** Fingerprint-backend work: words compared plus epoch bookkeeping — the
+    depa-backend analogue of {!dset_ops}[ + ]{!bag_ops}. *)
+val reach_ops : counters -> int
 
 (** {1 Enabling and reading} *)
 
@@ -106,6 +117,12 @@ val bump_bag_find : unit -> unit
 val bump_shadow_lookup : unit -> unit
 val bump_shadow_update : unit -> unit
 val bump_peerset_query : unit -> unit
+
+(** One fingerprint precedence query that compared [words] words. *)
+val bump_reach_query : words:int -> unit
+
+(** [steps] view-epoch operations (records or survivor-search steps). *)
+val bump_reach_epoch : steps:int -> unit
 
 (** [note_engine_run ...] flushes one whole engine run's event counts
     (the engine already maintains them for [Engine.stats], so per-event

@@ -1,0 +1,705 @@
+module Bag = Rader_dsets.Bag
+module Dynarr = Rader_support.Dynarr
+module Obs = Rader_obs.Obs
+
+type backend = Dset | Depa
+
+let all = [ Dset; Depa ]
+
+let show = function Dset -> "dset" | Depa -> "depa"
+
+let parse = function
+  | "dset" -> Ok Dset
+  | "depa" -> Ok Depa
+  | s -> Error (Printf.sprintf "unknown reachability backend %S (expected dset|depa)" s)
+
+let doc_alts = "dset|depa"
+
+(* ---------------------------------------------------------------------- *)
+(* Fork-path fingerprints (shared by the depa backends).
+
+   A frame's fingerprint is the sequence of child ordinals along its path
+   from the root, each ordinal [i] encoded as the Elias-gamma code of
+   [i+1] and packed MSB-first into 62-bit words. Gamma codes are
+   prefix-free, so one fingerprint's bit string is a prefix of another's
+   iff its path is an ancestor path — and the first differing bit sits
+   inside the gamma code of the first diverging child, which a word XOR
+   plus an in-word decode recovers in O(1) per word.
+
+   Codes never straddle words: a code that does not fit the current
+   word's remaining bits starts at bit 0 of a fresh word (the tail of the
+   old word is zero padding), and [word_lvl.(j)] records the path level
+   of the first code starting in word [j], so any word can be decoded
+   from its own bit 0 without touching earlier words. Fingerprints are
+   immutable; extension copies the word array (one or two words for every
+   benchmark in the suite) — which is also what makes concurrent readers
+   safe: a query never mutates, and never observes a half-built code. *)
+
+let word_bits = 62
+
+type fp = {
+  words : int array;
+  word_lvl : int array; (* word -> level of the first code starting there *)
+  nbits : int; (* position where the next code would start *)
+  ncodes : int; (* path depth *)
+}
+
+let fp_root = { words = [||]; word_lvl = [||]; nbits = 0; ncodes = 0 }
+
+let bits_len v =
+  let n = ref 0 and v = ref v in
+  while !v <> 0 do
+    incr n;
+    v := !v lsr 1
+  done;
+  !n
+
+let fp_extend fp ~ord =
+  let v = ord + 1 in
+  let l = bits_len v in
+  let clen = (2 * l) - 1 in
+  if clen > word_bits then invalid_arg "Reach: child ordinal out of range";
+  let nw = Array.length fp.words in
+  let j = fp.nbits / word_bits and off = fp.nbits mod word_bits in
+  if j < nw && off + clen <= word_bits then begin
+    let words = Array.copy fp.words in
+    words.(j) <- words.(j) lor (v lsl (word_bits - off - clen));
+    (* word_lvl is immutable and unchanged: share it *)
+    { words; word_lvl = fp.word_lvl; nbits = fp.nbits + clen; ncodes = fp.ncodes + 1 }
+  end
+  else begin
+    let words = Array.make (nw + 1) 0 in
+    Array.blit fp.words 0 words 0 nw;
+    words.(nw) <- v lsl (word_bits - clen);
+    let word_lvl = Array.make (nw + 1) 0 in
+    Array.blit fp.word_lvl 0 word_lvl 0 nw;
+    word_lvl.(nw) <- fp.ncodes;
+    { words; word_lvl; nbits = (nw * word_bits) + clen; ncodes = fp.ncodes + 1 }
+  end
+
+(* Ordinal encoded by code [idx] of [fp]. Requires [idx < fp.ncodes]. *)
+let code_at fp idx =
+  let wl = fp.word_lvl in
+  let lo = ref 0 and hi = ref (Array.length wl - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if wl.(mid) <= idx then lo := mid else hi := mid - 1
+  done;
+  let w = fp.words.(!lo) in
+  let t = ref wl.(!lo) and off = ref 0 in
+  let res = ref 0 in
+  (try
+     while true do
+       let z = ref 0 in
+       while (w lsr (word_bits - 1 - (!off + !z))) land 1 = 0 do
+         incr z
+       done;
+       let l = !z + 1 in
+       let e = !off + (2 * l) - 1 in
+       if !t = idx then begin
+         res := (w lsr (word_bits - e)) land ((1 lsl l) - 1);
+         raise Exit
+       end;
+       off := e;
+       incr t
+     done
+   with Exit -> ());
+  !res - 1
+
+type div = Prefix | Diverge of { level : int; uord : int }
+
+(* [divergence u v] relates recorded path [u] to current path [v]:
+   [Prefix] iff [u]'s codes are a prefix of [v]'s (ancestor-or-self), else
+   the first diverging level plus [u]'s child ordinal there. Also returns
+   the number of words examined, for the cost counters. *)
+let divergence u v =
+  let nu = Array.length u.words and nv = Array.length v.words in
+  let n = if nu < nv then nu else nv in
+  let j = ref 0 in
+  while !j < n && u.words.(!j) = v.words.(!j) do
+    incr j
+  done;
+  let touched = if !j < n then !j + 1 else max 1 !j in
+  if !j = n then
+    if u.ncodes <= v.ncodes then (Prefix, touched)
+    else (Diverge { level = v.ncodes; uord = code_at u v.ncodes }, touched)
+  else begin
+    let j = !j in
+    (* offset (MSB-first) of the first differing bit *)
+    let db =
+      let b = ref (-1) and x = ref (u.words.(j) lxor v.words.(j)) in
+      while !x <> 0 do
+        incr b;
+        x := !x lsr 1
+      done;
+      word_bits - 1 - !b
+    in
+    let w = u.words.(j) in
+    let t = ref u.word_lvl.(j) and off = ref 0 in
+    let res = ref Prefix in
+    (try
+       while true do
+         if !t >= u.ncodes then raise Exit (* all of [u] matched: prefix *)
+         else if j + 1 < Array.length u.word_lvl && u.word_lvl.(j + 1) = !t then begin
+           (* [u]'s code [t] spilled to the next word while [v]'s fit
+              here, so the two codes differ in length, hence in value *)
+           res := Diverge { level = !t; uord = code_at u !t };
+           raise Exit
+         end;
+         let z = ref 0 in
+         while (w lsr (word_bits - 1 - (!off + !z))) land 1 = 0 do
+           incr z
+         done;
+         let l = !z + 1 in
+         let e = !off + (2 * l) - 1 in
+         if e > db then begin
+           res :=
+             Diverge
+               { level = !t; uord = ((w lsr (word_bits - e)) land ((1 lsl l) - 1)) - 1 };
+           raise Exit
+         end;
+         off := e;
+         incr t
+       done
+     with Exit -> ());
+    (!res, touched)
+  end
+
+(* ---------------------------------------------------------------------- *)
+
+module Sp = struct
+  type cls = Serial | Parallel of int
+
+  (* -------- dset backend: the seed's bag machinery, verbatim -------- *)
+
+  type bag_kind = KS | KP
+
+  type payload = { bkind : bag_kind; vid : int }
+
+  type dframe = { dfid : int; s : payload Bag.t; dpstack : payload Bag.t Dynarr.t }
+
+  type dstate = { store : payload Bag.store; dstack : dframe Dynarr.t }
+
+  let d_top_vid f = (Bag.payload (Dynarr.top f.dpstack)).vid
+
+  let d_enter st ~frame =
+    let vid =
+      if Dynarr.is_empty st.dstack then 0 else d_top_vid (Dynarr.top st.dstack)
+    in
+    let s = Bag.make st.store { bkind = KS; vid } [ frame ] in
+    let dpstack = Dynarr.create () in
+    Dynarr.push dpstack (Bag.make st.store { bkind = KP; vid } []);
+    Dynarr.push st.dstack { dfid = frame; s; dpstack }
+
+  let d_return st ~frame ~parallel =
+    let g = Dynarr.pop st.dstack in
+    assert (g.dfid = frame);
+    if not (Dynarr.is_empty st.dstack) then begin
+      let f = Dynarr.top st.dstack in
+      if parallel then Bag.union_into st.store ~dst:(Dynarr.top f.dpstack) ~src:g.s
+      else Bag.union_into st.store ~dst:f.s ~src:g.s
+    end
+
+  let d_sync st ~frame =
+    let f = Dynarr.top st.dstack in
+    assert (f.dfid = frame);
+    assert (Dynarr.length f.dpstack = 1);
+    let p = Dynarr.pop f.dpstack in
+    Bag.union_into st.store ~dst:f.s ~src:p;
+    let svid = (Bag.payload f.s).vid in
+    Dynarr.push f.dpstack (Bag.make st.store { bkind = KP; vid = svid } [])
+
+  let d_steal st ~frame ~region =
+    let f = Dynarr.top st.dstack in
+    assert (f.dfid = frame);
+    Dynarr.push f.dpstack (Bag.make st.store { bkind = KP; vid = region } [])
+
+  let d_reduce st ~frame =
+    let f = Dynarr.top st.dstack in
+    assert (f.dfid = frame);
+    let p = Dynarr.pop f.dpstack in
+    Bag.union_into st.store ~dst:(Dynarr.top f.dpstack) ~src:p
+
+  let d_classify st u =
+    match Bag.find st.store u with
+    | None -> Serial
+    | Some bag ->
+        let p = Bag.payload bag in
+        if p.bkind = KP then Parallel p.vid else Serial
+
+  (* -------- depa backend: fingerprints + view epochs -------- *)
+
+  type zframe = {
+    mutable zfid : int;
+    mutable zfp : fp;
+    mutable entry_vid : int;
+    mutable ord : int; (* child ordinal in the parent; -1 for the root *)
+    mutable nchildren : int; (* next child ordinal *)
+    mutable base_ord : int; (* [nchildren] at the last sync *)
+    child_ep : int Dynarr.t; (* ordinal - base_ord -> epoch, -1 if serial *)
+    ep : int Dynarr.t; (* live view epochs, increasing bottom to top *)
+    vd : int Dynarr.t; (* view ids, parallel to [ep] *)
+  }
+
+  type zstate = {
+    mutable next_epoch : int;
+    zstack : zframe Dynarr.t;
+    zpool : zframe Dynarr.t; (* recycled records: frames are LIFO *)
+    ftab : fp option Dynarr.t; (* frame id -> fingerprint *)
+  }
+
+  let fresh_epoch st =
+    let e = st.next_epoch in
+    st.next_epoch <- e + 1;
+    e
+
+  let z_alloc st =
+    if Dynarr.is_empty st.zpool then
+      {
+        zfid = -1;
+        zfp = fp_root;
+        entry_vid = 0;
+        ord = -1;
+        nchildren = 0;
+        base_ord = 0;
+        child_ep = Dynarr.create ();
+        ep = Dynarr.create ();
+        vd = Dynarr.create ();
+      }
+    else begin
+      let g = Dynarr.pop st.zpool in
+      Dynarr.clear g.child_ep;
+      Dynarr.clear g.ep;
+      Dynarr.clear g.vd;
+      g
+    end
+
+  let z_enter st ~frame =
+    let zfp, vid, ord =
+      if Dynarr.is_empty st.zstack then (fp_root, 0, -1)
+      else begin
+        let f = Dynarr.top st.zstack in
+        let ord = f.nchildren in
+        f.nchildren <- ord + 1;
+        (fp_extend f.zfp ~ord, Dynarr.top f.vd, ord)
+      end
+    in
+    let g = z_alloc st in
+    g.zfid <- frame;
+    g.zfp <- zfp;
+    g.entry_vid <- vid;
+    g.ord <- ord;
+    g.nchildren <- 0;
+    g.base_ord <- 0;
+    Dynarr.push g.ep (fresh_epoch st);
+    Dynarr.push g.vd vid;
+    Dynarr.push st.zstack g;
+    Dynarr.ensure st.ftab (frame + 1) None;
+    Dynarr.set st.ftab frame (Some zfp)
+
+  let z_return st ~frame ~parallel =
+    let g = Dynarr.pop st.zstack in
+    assert (g.zfid = frame);
+    if not (Dynarr.is_empty st.zstack) then begin
+      let f = Dynarr.top st.zstack in
+      (* Children run one at a time and in ordinal order, so the record
+         for ordinal [g.ord] lands exactly at the end of [child_ep]. *)
+      assert (g.ord - f.base_ord = Dynarr.length f.child_ep);
+      Dynarr.push f.child_ep (if parallel then Dynarr.top f.ep else -1);
+      if Obs.enabled () then Obs.bump_reach_epoch ~steps:1
+    end;
+    Dynarr.push st.zpool g
+
+  let z_sync st ~frame =
+    let f = Dynarr.top st.zstack in
+    assert (f.zfid = frame);
+    assert (Dynarr.length f.ep = 1);
+    f.base_ord <- f.nchildren;
+    Dynarr.clear f.child_ep;
+    Dynarr.clear f.ep;
+    Dynarr.clear f.vd;
+    (* like the seed's post-sync refresh: the S bag's vid is always the
+       frame's entry vid (union keeps the destination payload) *)
+    Dynarr.push f.ep (fresh_epoch st);
+    Dynarr.push f.vd f.entry_vid;
+    if Obs.enabled () then Obs.bump_reach_epoch ~steps:1
+
+  let z_steal st ~frame ~region =
+    let f = Dynarr.top st.zstack in
+    assert (f.zfid = frame);
+    Dynarr.push f.ep (fresh_epoch st);
+    Dynarr.push f.vd region;
+    if Obs.enabled () then Obs.bump_reach_epoch ~steps:1
+
+  let z_reduce st ~frame =
+    let f = Dynarr.top st.zstack in
+    assert (f.zfid = frame);
+    assert (Dynarr.length f.ep >= 2);
+    ignore (Dynarr.pop f.ep);
+    ignore (Dynarr.pop f.vd);
+    if Obs.enabled () then Obs.bump_reach_epoch ~steps:1
+
+  (* View id surviving for recorded epoch [e] in frame [a]: the largest
+     still-live epoch <= e (reduce pops epochs from the top, so the views
+     a popped epoch's members merged into is exactly the one below). *)
+  let z_survivor a e =
+    let lo = ref 0 and hi = ref (Dynarr.length a.ep - 1) and steps = ref 1 in
+    while !lo < !hi do
+      incr steps;
+      let mid = (!lo + !hi + 1) / 2 in
+      if Dynarr.get a.ep mid <= e then lo := mid else hi := mid - 1
+    done;
+    if Obs.enabled () then Obs.bump_reach_epoch ~steps:!steps;
+    Dynarr.get a.vd !lo
+
+  let z_classify st u =
+    if u >= Dynarr.length st.ftab then Serial
+    else
+      match Dynarr.get st.ftab u with
+      | None -> Serial
+      | Some ufp -> (
+          let v = Dynarr.top st.zstack in
+          let d, words = divergence ufp v.zfp in
+          if Obs.enabled () then Obs.bump_reach_query ~words;
+          match d with
+          | Prefix -> Serial (* ancestor-or-self of the current frame *)
+          | Diverge { level; uord } ->
+              (* lowest common ancestor of [u] and the current point: it is
+                 on the live stack at depth [level] *)
+              let a = Dynarr.get st.zstack level in
+              if uord < a.base_ord then Serial (* joined before [a]'s last sync *)
+              else begin
+                let idx = uord - a.base_ord in
+                (* the diverging child cannot be [a]'s running child (that
+                   one is on the current path), so its return is recorded *)
+                assert (idx < Dynarr.length a.child_ep);
+                match Dynarr.get a.child_ep idx with
+                | -1 -> Serial (* called child: its subtree joined a.S *)
+                | e -> Parallel (z_survivor a e)
+              end)
+
+  (* -------- dispatch -------- *)
+
+  type t = Sp_dset of dstate | Sp_depa of zstate
+
+  let create = function
+    | Dset -> Sp_dset { store = Bag.create_store (); dstack = Dynarr.create () }
+    | Depa ->
+        Sp_depa
+          {
+            next_epoch = 0;
+            zstack = Dynarr.create ();
+            zpool = Dynarr.create ();
+            ftab = Dynarr.create ();
+          }
+
+  let backend = function Sp_dset _ -> Dset | Sp_depa _ -> Depa
+
+  let reset = function
+    | Sp_dset st ->
+        Bag.clear_store st.store;
+        Dynarr.clear st.dstack
+    | Sp_depa st ->
+        st.next_epoch <- 0;
+        Dynarr.iter (fun g -> Dynarr.push st.zpool g) st.zstack;
+        Dynarr.clear st.zstack;
+        Dynarr.clear st.ftab
+
+  let on_frame_enter t ~frame =
+    match t with Sp_dset st -> d_enter st ~frame | Sp_depa st -> z_enter st ~frame
+
+  let on_frame_return t ~frame ~parallel =
+    match t with
+    | Sp_dset st -> d_return st ~frame ~parallel
+    | Sp_depa st -> z_return st ~frame ~parallel
+
+  let on_sync t ~frame =
+    match t with Sp_dset st -> d_sync st ~frame | Sp_depa st -> z_sync st ~frame
+
+  let on_steal t ~frame ~region =
+    match t with
+    | Sp_dset st -> d_steal st ~frame ~region
+    | Sp_depa st -> z_steal st ~frame ~region
+
+  let on_reduce t ~frame =
+    match t with Sp_dset st -> d_reduce st ~frame | Sp_depa st -> z_reduce st ~frame
+
+  let classify t u =
+    match t with Sp_dset st -> d_classify st u | Sp_depa st -> z_classify st u
+
+  let cur_view = function
+    | Sp_dset st -> d_top_vid (Dynarr.top st.dstack)
+    | Sp_depa st -> Dynarr.top (Dynarr.top st.zstack).vd
+end
+
+(* ---------------------------------------------------------------------- *)
+
+module Peer = struct
+  (* -------- dset backend: the seed's three bags, verbatim -------- *)
+
+  type bag_kind = KSS | KSP | KP
+
+  type dframe = {
+    dfid : int;
+    danc : int;
+    mutable dls : int;
+    ss : bag_kind Bag.t;
+    sp : bag_kind Bag.t;
+    p : bag_kind Bag.t;
+  }
+
+  type dstate = { store : bag_kind Bag.store; dstack : dframe Dynarr.t }
+
+  let d_enter st ~frame ~spawned =
+    let anc =
+      if Dynarr.is_empty st.dstack then 0
+      else begin
+        let f = Dynarr.top st.dstack in
+        if spawned then begin
+          f.dls <- f.dls + 1;
+          Bag.union_into st.store ~dst:f.p ~src:f.sp
+        end;
+        f.danc + f.dls
+      end
+    in
+    Dynarr.push st.dstack
+      {
+        dfid = frame;
+        danc = anc;
+        dls = 0;
+        ss = Bag.make st.store KSS [ frame ];
+        sp = Bag.make st.store KSP [];
+        p = Bag.make st.store KP [];
+      }
+
+  let d_return st ~frame ~spawned =
+    let g = Dynarr.pop st.dstack in
+    assert (g.dfid = frame);
+    if not (Dynarr.is_empty st.dstack) then begin
+      let f = Dynarr.top st.dstack in
+      Bag.union_into st.store ~dst:f.p ~src:g.p;
+      if spawned then Bag.union_into st.store ~dst:f.p ~src:g.ss
+      else if f.dls = 0 then Bag.union_into st.store ~dst:f.ss ~src:g.ss
+      else Bag.union_into st.store ~dst:f.sp ~src:g.ss
+    end
+
+  let d_sync st ~frame =
+    let f = Dynarr.top st.dstack in
+    assert (f.dfid = frame);
+    f.dls <- 0;
+    Bag.union_into st.store ~dst:f.p ~src:f.sp
+
+  let d_parallel st ~frame =
+    match Bag.find st.store frame with
+    | Some bag -> Bag.payload bag = KP
+    | None -> assert false
+
+  (* -------- depa backend: no bags at all --------
+
+     Replay is depth-first, so a frame's [ls] and its SP generation are
+     frozen for the whole lifetime of any one child: whether a returning
+     child's SS folds into the parent's SS (pure: called with ls = 0), SP
+     (called with ls > 0) or P (spawned) is already determined at the
+     child's entry. Each frame therefore knows, at entry, the top [root]
+     of its maximal pure chain; a recorded read is
+
+     - KSS while that root is still on the live stack,
+     - KP as soon as a spawned root has returned (its SS went straight to
+       the grandparent's P),
+     - KSP while a called-impure root is dead but its parent Q is live and
+       has not retired its SP bag since — which we detect with a per-frame
+       SP-generation counter [spe], bumped exactly when the seed unions
+       SP into P (every spawned-child entry and every sync),
+     - KP otherwise (Q retired SP, or Q itself returned — the implicit
+       pre-return sync retires it). *)
+
+  type pframe = {
+    mutable pfid : int;
+    mutable panc : int;
+    mutable pls : int;
+    mutable pspawned : bool;
+    mutable root_id : int; (* top of this frame's maximal pure chain *)
+    mutable root_depth : int;
+    mutable par_spe : int; (* parent's [spe] at entry *)
+    mutable spe : int; (* SP-bag generation *)
+  }
+
+  type pread = {
+    mutable read_frame : int;
+    mutable r_id : int; (* pure-chain root of the reading frame *)
+    mutable r_depth : int;
+    mutable r_spawned : bool;
+    mutable q_id : int; (* the root's parent, -1 at the root frame *)
+    mutable q_spe : int; (* Q's SP generation at the root's entry *)
+  }
+
+  type pstate = {
+    pstack : pframe Dynarr.t;
+    ppool : pframe Dynarr.t;
+    rtab : pread option Dynarr.t; (* reducer id -> last-read classification *)
+  }
+
+  let p_alloc st =
+    if Dynarr.is_empty st.ppool then
+      {
+        pfid = -1;
+        panc = 0;
+        pls = 0;
+        pspawned = false;
+        root_id = -1;
+        root_depth = 0;
+        par_spe = 0;
+        spe = 0;
+      }
+    else Dynarr.pop st.ppool
+
+  let p_enter st ~frame ~spawned =
+    let depth = Dynarr.length st.pstack in
+    let anc, root_id, root_depth, par_spe =
+      if depth = 0 then (0, frame, 0, 0)
+      else begin
+        let f = Dynarr.top st.pstack in
+        if spawned then begin
+          f.pls <- f.pls + 1;
+          f.spe <- f.spe + 1 (* seed: SP retires into P here *)
+        end;
+        let pure = (not spawned) && f.pls = 0 in
+        ( f.panc + f.pls,
+          (if pure then f.root_id else frame),
+          (if pure then f.root_depth else depth),
+          f.spe )
+      end
+    in
+    let g = p_alloc st in
+    g.pfid <- frame;
+    g.panc <- anc;
+    g.pls <- 0;
+    g.pspawned <- spawned;
+    g.root_id <- root_id;
+    g.root_depth <- root_depth;
+    g.par_spe <- par_spe;
+    g.spe <- 0;
+    Dynarr.push st.pstack g
+
+  let p_return st ~frame ~spawned:_ =
+    let g = Dynarr.pop st.pstack in
+    assert (g.pfid = frame);
+    Dynarr.push st.ppool g
+
+  let p_sync st ~frame =
+    let f = Dynarr.top st.pstack in
+    assert (f.pfid = frame);
+    f.pls <- 0;
+    f.spe <- f.spe + 1
+
+  let p_note_read st ~reducer ~frame =
+    let u = Dynarr.top st.pstack in
+    assert (u.pfid = frame);
+    Dynarr.ensure st.rtab (reducer + 1) None;
+    let r =
+      match Dynarr.get st.rtab reducer with
+      | Some r -> r
+      | None ->
+          let r =
+            {
+              read_frame = -1;
+              r_id = -1;
+              r_depth = 0;
+              r_spawned = false;
+              q_id = -1;
+              q_spe = 0;
+            }
+          in
+          Dynarr.set st.rtab reducer (Some r);
+          r
+    in
+    let root = Dynarr.get st.pstack u.root_depth in
+    assert (root.pfid = u.root_id);
+    r.read_frame <- frame;
+    r.r_id <- u.root_id;
+    r.r_depth <- u.root_depth;
+    r.r_spawned <- root.pspawned;
+    r.q_id <-
+      (if u.root_depth > 0 then (Dynarr.get st.pstack (u.root_depth - 1)).pfid else -1);
+    r.q_spe <- root.par_spe;
+    if Obs.enabled () then Obs.bump_reach_epoch ~steps:1
+
+  let p_parallel st ~reducer ~frame =
+    let r =
+      match
+        (if reducer < Dynarr.length st.rtab then Dynarr.get st.rtab reducer else None)
+      with
+      | Some r -> r
+      | None -> assert false
+    in
+    assert (r.read_frame = frame);
+    if Obs.enabled () then Obs.bump_reach_query ~words:1;
+    let n = Dynarr.length st.pstack in
+    if r.r_depth < n && (Dynarr.get st.pstack r.r_depth).pfid = r.r_id then
+      false (* root still live: the read is in a live SS chain *)
+    else if r.r_spawned then true (* spawned root returned: SS went to P *)
+    else begin
+      (* called-impure root returned into Q's SP bag: parallel once Q has
+         retired that SP generation (spawn or sync) or returned itself *)
+      let qd = r.r_depth - 1 in
+      not
+        (qd >= 0 && qd < n
+        &&
+        let q = Dynarr.get st.pstack qd in
+        q.pfid = r.q_id && q.spe = r.q_spe)
+    end
+
+  (* -------- dispatch -------- *)
+
+  type t = Peer_dset of dstate | Peer_depa of pstate
+
+  let create = function
+    | Dset -> Peer_dset { store = Bag.create_store (); dstack = Dynarr.create () }
+    | Depa ->
+        Peer_depa
+          { pstack = Dynarr.create (); ppool = Dynarr.create (); rtab = Dynarr.create () }
+
+  let backend = function Peer_dset _ -> Dset | Peer_depa _ -> Depa
+
+  let reset = function
+    | Peer_dset st ->
+        Bag.clear_store st.store;
+        Dynarr.clear st.dstack
+    | Peer_depa st ->
+        Dynarr.iter (fun g -> Dynarr.push st.ppool g) st.pstack;
+        Dynarr.clear st.pstack;
+        Dynarr.clear st.rtab
+
+  let on_frame_enter t ~frame ~spawned =
+    match t with
+    | Peer_dset st -> d_enter st ~frame ~spawned
+    | Peer_depa st -> p_enter st ~frame ~spawned
+
+  let on_frame_return t ~frame ~spawned =
+    match t with
+    | Peer_dset st -> d_return st ~frame ~spawned
+    | Peer_depa st -> p_return st ~frame ~spawned
+
+  let on_sync t ~frame =
+    match t with Peer_dset st -> d_sync st ~frame | Peer_depa st -> p_sync st ~frame
+
+  let spawn_count = function
+    | Peer_dset st ->
+        let f = Dynarr.top st.dstack in
+        f.danc + f.dls
+    | Peer_depa st ->
+        let f = Dynarr.top st.pstack in
+        f.panc + f.pls
+
+  let note_read t ~reducer ~frame =
+    match t with
+    | Peer_dset _ -> ignore (reducer, frame)
+    | Peer_depa st -> p_note_read st ~reducer ~frame
+
+  let parallel_read t ~reducer ~frame =
+    match t with
+    | Peer_dset st ->
+        ignore reducer;
+        d_parallel st ~frame
+    | Peer_depa st -> p_parallel st ~reducer ~frame
+end

@@ -32,6 +32,7 @@ module Report = Rader_core.Report
 module Demos = Rader_benchsuite.Demos
 module An = Rader_analysis
 module Rng = Rader_support.Rng
+module Reach = Rader_reach.Reach
 
 type addr = Unix_path of string | Tcp of string * int
 
@@ -73,6 +74,7 @@ type config = {
   retry_after_ms : int;
   drain_grace_s : float;
   chaos_cfg : chaos option;
+  reach : Reach.backend;
 }
 
 let default_config ~addr =
@@ -89,6 +91,7 @@ let default_config ~addr =
     retry_after_ms = 50;
     drain_grace_s = 10.0;
     chaos_cfg = None;
+    reach = Reach.Dset;
   }
 
 type conn = { fd : Unix.file_descr; cmu : Mutex.t; mutable alive : bool }
@@ -175,8 +178,11 @@ let answer t conn ~id resp =
 
 (* ---------- the verdict cache ---------- *)
 
-let cache_key (s : Proto.submit) =
-  Printf.sprintf "%d|%s|%h|%d|%s|%h|%s|%s|%b"
+(* The precedence backend cannot change a verdict, but it is part of the
+   key anyway: a stale entry computed under another backend would make
+   "verdicts byte-identical per backend" unfalsifiable from the outside. *)
+let cache_key ~reach (s : Proto.submit) =
+  Printf.sprintf "%s|%d|%s|%h|%d|%s|%h|%s|%s|%b" (Reach.show reach)
     (match s.kind with Proto.Check -> 0 | Proto.Coverage -> 1 | Proto.Lint -> 2)
     s.program s.scale s.seed s.spec s.density
     (match s.max_events with None -> "-" | Some n -> string_of_int n)
@@ -227,10 +233,10 @@ let serve_check (eng, det) prog ~spec ~max_events ~deadline =
           failures = [ (Diag.class_name f, Diag.to_string f) ];
         }
 
-let serve_coverage prog ~max_events ~remaining_s ~prune =
+let serve_coverage prog ~max_events ~remaining_s ~prune ~reach =
   let res =
     Coverage.exhaustive_check ~max_events ~deadline:remaining_s ~jobs:1 ~prune
-      prog
+      ~reach prog
   in
   let races = List.map Report.to_string res.Coverage.reports in
   let failures =
@@ -320,6 +326,7 @@ let serve_job t arena job =
         | Proto.Coverage ->
             serve_coverage prog ~max_events:job.eff_max_events
               ~remaining_s:(abs_deadline -. now) ~prune:sub.prune
+              ~reach:t.cfg.reach
         | Proto.Lint -> serve_lint prog ~program_name:sub.program)
 
 (* ---------- workers ---------- *)
@@ -354,7 +361,7 @@ let store_verdict t key resp =
 
 let worker_body t =
   let eng = Engine.create () in
-  let det = Sp_plus.attach eng in
+  let det = Sp_plus.attach ~reach:t.cfg.reach eng in
   let continue = ref true in
   while !continue do
     match dequeue t with
@@ -366,7 +373,7 @@ let worker_body t =
             Mutex.lock t.omu;
             Obs.add ~into:t.obs_totals (Obs.since snap);
             Mutex.unlock t.omu;
-            store_verdict t (cache_key job.sub) resp;
+            store_verdict t (cache_key ~reach:t.cfg.reach job.sub) resp;
             ignore (answer t job.jconn ~id:job.req_id resp);
             job_done t
         | exception e ->
@@ -482,13 +489,16 @@ let health_json t =
   Printf.sprintf
     "{\"pool\":{\"workers\":%d,\"live\":%d,\"degraded\":%b,\"restarts\":%d},\
      \"queue\":{\"depth\":%d,\"cap\":%d,\"in_flight\":%d},\"draining\":%b,\
+     \"reach\":\"%s\",\
      \"requests\":{\"admitted\":%d,\"answered\":%d,\"shed\":%d,\"faults\":%d,\
      \"proto_errors\":%d,\"dropped_replies\":%d,\"cache_served\":%d},\
      \"cache\":{\"len\":%d,\"cap\":%d,\"hits\":%d,\"misses\":%d,\
      \"evictions\":%d},\"obs\":%s}"
     t.cfg.workers live degraded restarts qdepth t.cfg.queue_depth in_flight
-    stopping admitted answered shed faults proto_errors dropped cache_served
-    clen t.cfg.cache_cap chits cmisses cevict obs
+    stopping
+    (Reach.show t.cfg.reach)
+    admitted answered shed faults proto_errors dropped cache_served clen
+    t.cfg.cache_cap chits cmisses cevict obs
 
 (* ---------- admission (connection threads) ---------- *)
 
@@ -511,7 +521,7 @@ let admit t conn ~id sub =
   let resp =
     if t.stopping || degraded then Some (Proto.Retry_after t.cfg.retry_after_ms)
     else
-      match Cache.find t.cache (cache_key sub) with
+      match Cache.find t.cache (cache_key ~reach:t.cfg.reach sub) with
       | Some v ->
           t.cache_served <- t.cache_served + 1;
           Some (Proto.Verdict { v with Proto.cached = true })

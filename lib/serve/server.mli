@@ -47,6 +47,11 @@ type config = {
   retry_after_ms : int;  (** backoff hint carried by [Retry_after] *)
   drain_grace_s : float;  (** drain wait before shedding leftovers *)
   chaos_cfg : chaos option;  (** fault injection; [None] in production *)
+  reach : Rader_reach.Reach.backend;
+      (** precedence backend for every worker's SP+ detector and for
+          coverage sweeps (default [Dset]). Verdicts are
+          backend-independent; the backend id is still part of the
+          verdict-cache key and reported by {!health_json}. *)
 }
 
 val default_config : addr:addr -> config

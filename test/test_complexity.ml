@@ -113,6 +113,58 @@ let test_peerset_reducer_loop () =
          (n, events, ratio))
   |> assert_flat "peerset/reducer-loop" ~cap:2.0 ~max_growth:1.5
 
+(* The depa backend replaces the disjoint sets with DePa-style
+   fingerprints: queries touch O(1) fingerprint words and epoch-table
+   slots in the worst case, with no amortized path compression behind
+   the bound. Its counters (reach ops) must stay flat across the same
+   geometric sweeps — and the dset/bag counters must stay at exactly
+   zero, or the backends are not actually disjoint cost models. *)
+
+let depa_attach eng = Sp_plus.attach ~reach:Rader_reach.Reach.Depa eng
+let depa_peer_attach eng = Peer_set.attach ~reach:Rader_reach.Reach.Depa eng
+
+let test_depa_spplus_fib () =
+  [ 10; 13; 16; 19 ]
+  |> List.map (fun n ->
+         let events, ratio =
+           measure ~attach:depa_attach
+             ~ops:(fun c -> Obs.reach_ops c + Obs.shadow_ops c)
+             (fun ctx -> ignore (fib ctx n))
+         in
+         (n, events, ratio))
+  |> assert_flat "sp+[depa]/fib" ~cap:2.0 ~max_growth:1.5
+
+let test_depa_spplus_reducer_loop () =
+  [ 64; 256; 1024; 4096 ]
+  |> List.map (fun n ->
+         let events, ratio =
+           measure ~attach:depa_attach
+             ~ops:(fun c -> Obs.reach_ops c + Obs.shadow_ops c)
+             (reducer_loop n)
+         in
+         (n, events, ratio))
+  |> assert_flat "sp+[depa]/reducer-loop" ~cap:4.0 ~max_growth:1.5
+
+let test_depa_does_no_dset_work () =
+  let c = delta_of ~attach:depa_attach (reducer_loop 512) in
+  checkb "depa SP+ did reach work" true (Obs.reach_ops c > 0);
+  checkb "depa SP+ does zero disjoint-set work" true (Obs.dset_ops c = 0);
+  checkb "depa SP+ does zero bag work" true (Obs.bag_ops c = 0);
+  let c = delta_of ~attach:depa_peer_attach (reducer_loop 512) in
+  checkb "depa Peer-Set does zero disjoint-set work" true
+    (Obs.dset_ops c = 0 && Obs.bag_ops c = 0)
+
+let test_depa_peerset_reducer_loop () =
+  [ 64; 256; 1024; 4096 ]
+  |> List.map (fun n ->
+         let events, ratio =
+           measure ~attach:depa_peer_attach
+             ~ops:(fun c -> Obs.reach_ops c + Obs.shadow_ops c)
+             (reducer_loop n)
+         in
+         (n, events, ratio))
+  |> assert_flat "peerset[depa]/reducer-loop" ~cap:2.0 ~max_growth:1.5
+
 (* path compression is what makes the bounds amortized: verify it actually
    fires on a workload deep enough to build long find paths, and that its
    total cost stays within the linear budget *)
@@ -135,5 +187,15 @@ let () =
             test_peerset_reducer_loop;
           Alcotest.test_case "path compression amortizes" `Quick
             test_compression_amortizes;
+        ] );
+      ( "depa-bounds",
+        [
+          Alcotest.test_case "sp+[depa] on fib" `Quick test_depa_spplus_fib;
+          Alcotest.test_case "sp+[depa] on reducer loop" `Quick
+            test_depa_spplus_reducer_loop;
+          Alcotest.test_case "peerset[depa] on reducer loop" `Quick
+            test_depa_peerset_reducer_loop;
+          Alcotest.test_case "depa does no dset work" `Quick
+            test_depa_does_no_dset_work;
         ] );
     ]

@@ -156,6 +156,39 @@ let test_case_for program prog spec_name () =
           true false
       end
 
+(* --- backend verdict parity over the same corpus ----------------------- *)
+
+(* The goldens pin the raw event stream, which no precedence backend can
+   perturb (backends are pure observers). What a backend COULD perturb is
+   the verdict computed from that stream — so the same corpus also pins
+   "dset and depa produce byte-identical race reports". *)
+
+module Core = Rader_core
+
+let sp_plus_verdict ~reach spec program =
+  let eng = Engine.create ~spec () in
+  let d = Core.Sp_plus.attach ~reach eng in
+  ignore (Engine.run_result eng program);
+  List.map Core.Report.to_string (Core.Sp_plus.races d)
+
+let peer_set_verdict ~reach program =
+  let eng = Engine.create () in
+  let d = Core.Peer_set.attach ~reach eng in
+  ignore (Engine.run_result eng program);
+  List.map Core.Report.to_string (Core.Peer_set.races d)
+
+let parity_case_for name prog spec_name () =
+  let spec = List.assoc spec_name specs in
+  let program ctx = ignore (prog ctx) in
+  Alcotest.(check (list string))
+    (Printf.sprintf "%s under %s: SP+ dset vs depa" name spec_name)
+    (sp_plus_verdict ~reach:Rader_reach.Reach.Dset spec program)
+    (sp_plus_verdict ~reach:Rader_reach.Reach.Depa spec program);
+  Alcotest.(check (list string))
+    "Peer-Set dset vs depa"
+    (peer_set_verdict ~reach:Rader_reach.Reach.Dset program)
+    (peer_set_verdict ~reach:Rader_reach.Reach.Depa program)
+
 let () =
   let cases =
     List.concat_map
@@ -169,4 +202,20 @@ let () =
           specs_used)
       corpus
   in
-  Alcotest.run "golden" [ ("event-sequence fingerprints", cases) ]
+  let parity_cases =
+    List.concat_map
+      (fun (program, prog, specs_used) ->
+        List.map
+          (fun spec_name ->
+            Alcotest.test_case
+              (Printf.sprintf "%s under %s" program spec_name)
+              `Quick
+              (parity_case_for program prog spec_name))
+          specs_used)
+      corpus
+  in
+  Alcotest.run "golden"
+    [
+      ("event-sequence fingerprints", cases);
+      ("reach-backend verdict parity", parity_cases);
+    ]

@@ -6,6 +6,7 @@
 
 open Rader_runtime
 open Rader_core
+module Reach = Rader_reach.Reach
 
 let check = Alcotest.(check int)
 let checkb = Alcotest.(check bool)
@@ -38,15 +39,27 @@ let fingerprint (res : Coverage.result) =
 
 let fp_equal what a b = checkb (what ^ ": parallel = serial") true (a = b)
 
+(* The serial dset sweep is the single reference; every other
+   (backend, jobs) combination — including depa at jobs=1 — must produce
+   the identical fingerprint, which covers both "parallel = serial" and
+   "verdicts are precedence-backend-independent" in one sweep. *)
 let check_all_jobs ?max_specs ?max_events what program =
   let serial = fingerprint (Coverage.exhaustive_check ?max_specs ?max_events ~jobs:1 program) in
   List.iter
-    (fun jobs ->
-      let par =
-        fingerprint (Coverage.exhaustive_check ?max_specs ?max_events ~jobs program)
-      in
-      fp_equal (Printf.sprintf "%s, jobs=%d" what jobs) serial par)
-    [ 2; 4; 0 (* 0 = one per core *) ];
+    (fun reach ->
+      List.iter
+        (fun jobs ->
+          if not (reach = Reach.Dset && jobs = 1) then
+            let par =
+              fingerprint
+                (Coverage.exhaustive_check ?max_specs ?max_events ~jobs ~reach
+                   program)
+            in
+            fp_equal
+              (Printf.sprintf "%s, jobs=%d, reach=%s" what jobs (Reach.show reach))
+              serial par)
+        [ 1; 2; 4; 0 (* 0 = one per core *) ])
+    Reach.all;
   serial
 
 (* --- workloads ------------------------------------------------------- *)

@@ -1,0 +1,236 @@
+(* The two Reach backends must be observationally identical: same
+   Serial/Parallel classification (including the surviving view id) after
+   every event of any legal event sequence, and — end to end — the same
+   verdicts from SP+ and Peer-Set on generated programs under arbitrary
+   steal specifications. The event sequences come from the real engine
+   replaying random programs, which guarantees legality (proper nesting,
+   reduces before syncs, steals after spawned returns) while still
+   exercising every event type. *)
+
+open Rader_runtime
+open Rader_core
+module Reach = Rader_reach.Reach
+module G = Rader_testkit.Gen_program
+module Dynarr = Rader_support.Dynarr
+
+let qtest ?(count = 150) name gen prop =
+  QCheck2.Test.make ~name ~count ~print:G.print gen prop
+
+(* programs paired with a steal spec: print only the program (specs are
+   reproducible from the seed embedded in the generator). *)
+let qtest_spec ?(count = 150) name gen prop =
+  QCheck2.Test.make ~name ~count ~print:(fun (p, _) -> G.print p) gen prop
+
+let gen_spec =
+  let open QCheck2.Gen in
+  let* seed = int_bound 10_000 in
+  let* density = float_bound_inclusive 1.0 in
+  let* policy =
+    oneof
+      [
+        return Steal_spec.Reduce_eagerly;
+        return Steal_spec.Reduce_at_sync;
+        (let* modulus = int_range 1 3 in
+         let* amount = int_range 1 2 in
+         return
+           (Steal_spec.Reduce_schedule (fun k -> if k mod modulus = 0 then amount else 0)));
+      ]
+  in
+  return (Steal_spec.random ~policy ~seed ~density ())
+
+let show_cls = function
+  | Reach.Sp.Serial -> "S"
+  | Reach.Sp.Parallel v -> Printf.sprintf "P(%d)" v
+
+(* Drive both Sp backends from one engine run and compare the full
+   classification map (every frame seen so far, against the current
+   point) after every event. *)
+let mirror_run p spec =
+  let a = Reach.Sp.create Reach.Dset and b = Reach.Sp.create Reach.Depa in
+  let seen = Dynarr.create () in
+  let depth = ref 0 in
+  let failure = ref None in
+  let check ev =
+    if !depth > 0 && !failure = None then begin
+      let va = Reach.Sp.cur_view a and vb = Reach.Sp.cur_view b in
+      if va <> vb then
+        failure := Some (Printf.sprintf "%s: cur_view %d vs %d" ev va vb)
+      else
+        Dynarr.iter
+          (fun f ->
+            if !failure = None then begin
+              let ca = Reach.Sp.classify a f and cb = Reach.Sp.classify b f in
+              if ca <> cb then
+                failure :=
+                  Some
+                    (Printf.sprintf "%s: classify %d: %s vs %s" ev f (show_cls ca)
+                       (show_cls cb))
+            end)
+          seen
+    end
+  in
+  let tool =
+    {
+      Tool.null with
+      Tool.on_frame_enter =
+        (fun ~frame ~parent:_ ~spawned:_ ~kind:_ ->
+          Reach.Sp.on_frame_enter a ~frame;
+          Reach.Sp.on_frame_enter b ~frame;
+          Dynarr.push seen frame;
+          incr depth;
+          check "enter");
+      on_frame_return =
+        (fun ~frame ~parent:_ ~spawned ~kind ->
+          let parallel = kind = Tool.Reduce_fn || spawned in
+          Reach.Sp.on_frame_return a ~frame ~parallel;
+          Reach.Sp.on_frame_return b ~frame ~parallel;
+          decr depth;
+          check "return");
+      on_sync =
+        (fun ~frame ->
+          Reach.Sp.on_sync a ~frame;
+          Reach.Sp.on_sync b ~frame;
+          check "sync");
+      on_steal =
+        (fun ~frame ~region ->
+          Reach.Sp.on_steal a ~frame ~region;
+          Reach.Sp.on_steal b ~frame ~region;
+          check "steal");
+      on_reduce =
+        (fun ~frame ~into_region:_ ~from_region:_ ->
+          Reach.Sp.on_reduce a ~frame;
+          Reach.Sp.on_reduce b ~frame;
+          check "reduce");
+    }
+  in
+  let eng = Engine.create ~spec () in
+  Engine.set_tool eng tool;
+  ignore (Engine.run eng (G.interpret p));
+  !failure
+
+let prop_sp_backends_agree =
+  qtest_spec ~count:250 "Reach.Sp: dset = depa after every event"
+    QCheck2.Gen.(pair (G.gen ~with_reducers:true ~racy:true) gen_spec)
+    (fun (p, spec) ->
+      match mirror_run p spec with
+      | None -> true
+      | Some msg -> QCheck2.Test.fail_reportf "backends disagree: %s" msg)
+
+(* End-to-end: SP+ verdicts (reports rendered to strings, racy loc sets)
+   are byte-identical between backends, under the serial schedule and
+   under generated steal specs. Together with the count below this is the
+   >= 240 generated-program cross-check of the acceptance criteria. *)
+let sp_plus_verdict reach p spec =
+  let eng = Engine.create ~spec () in
+  let d = Sp_plus.attach ~reach eng in
+  ignore (Engine.run eng (G.interpret p));
+  (List.map Report.to_string (Sp_plus.races d), Sp_plus.racy_locs d)
+
+let prop_sp_plus_verdicts_identical =
+  qtest_spec ~count:300 "SP+: dset and depa verdicts byte-identical"
+    QCheck2.Gen.(pair (G.gen ~with_reducers:true ~racy:true) gen_spec)
+    (fun (p, spec) ->
+      List.for_all
+        (fun spec ->
+          let ra, la = sp_plus_verdict Reach.Dset p spec
+          and rb, lb = sp_plus_verdict Reach.Depa p spec in
+          if ra <> rb || la <> lb then
+            QCheck2.Test.fail_reportf "SP+ verdicts differ:\n dset: %s\n depa: %s"
+              (String.concat "; " ra) (String.concat "; " rb)
+          else true)
+        [ Steal_spec.none; spec ])
+
+let peer_verdict reach p =
+  let eng = Engine.create () in
+  let d = Peer_set.attach ~reach eng in
+  ignore (Engine.run eng (G.interpret p));
+  List.map Report.to_string (Peer_set.races d)
+
+let prop_peer_verdicts_identical =
+  qtest ~count:300 "Peer-Set: dset and depa verdicts byte-identical"
+    (G.gen ~with_reducers:true ~racy:true)
+    (fun p ->
+      let ra = peer_verdict Reach.Dset p and rb = peer_verdict Reach.Depa p in
+      if ra <> rb then
+        QCheck2.Test.fail_reportf "Peer-Set verdicts differ:\n dset: %s\n depa: %s"
+          (String.concat "; " ra) (String.concat "; " rb)
+      else true)
+
+(* SP-order's optional Reach oracle (both backends, queried at frame
+   granularity) must reproduce the English/Hebrew label verdicts
+   exactly — on reducer-free programs, where SP-order is sound. *)
+let sp_order_verdict reach p spec =
+  let eng = Engine.create ~spec () in
+  let d = Sp_order.attach ?reach eng in
+  ignore (Engine.run eng (G.interpret p));
+  List.map Report.to_string (Sp_order.races d)
+
+let prop_sp_order_oracles_identical =
+  qtest_spec ~count:200 "SP-order: label and Reach oracles agree"
+    QCheck2.Gen.(pair (G.gen ~with_reducers:false ~racy:true) gen_spec)
+    (fun (p, spec) ->
+      List.for_all
+        (fun spec ->
+          let reference = sp_order_verdict None p spec in
+          List.for_all
+            (fun reach ->
+              let got = sp_order_verdict (Some reach) p spec in
+              if got <> reference then
+                QCheck2.Test.fail_reportf
+                  "SP-order verdicts differ under %s:\n labels: %s\n reach: %s"
+                  (Reach.show reach)
+                  (String.concat "; " reference)
+                  (String.concat "; " got)
+              else true)
+            Reach.all)
+        [ Steal_spec.none; spec ])
+
+(* Detector reset must restore both backends to a pristine state: a
+   reset replay yields the same verdicts as a fresh detector. *)
+let prop_reset_equals_fresh =
+  qtest_spec ~count:100 "Sp_plus reset = fresh (both backends)"
+    QCheck2.Gen.(pair (G.gen ~with_reducers:true ~racy:true) gen_spec)
+    (fun (p, spec) ->
+      List.for_all
+        (fun reach ->
+          let eng = Engine.create ~spec () in
+          let d = Sp_plus.attach ~reach eng in
+          ignore (Engine.run eng (G.interpret p));
+          let first = List.map Report.to_string (Sp_plus.races d) in
+          Engine.reset ~spec eng;
+          Sp_plus.reset d;
+          ignore (Engine.run eng (G.interpret p));
+          let second = List.map Report.to_string (Sp_plus.races d) in
+          first = second)
+        [ Reach.Dset; Reach.Depa ])
+
+let parse_tests () =
+  Alcotest.(check (list string))
+    "round trip" [ "dset"; "depa" ]
+    (List.map Reach.show Reach.all);
+  (match Reach.parse "depa" with
+  | Ok Reach.Depa -> ()
+  | _ -> Alcotest.fail "parse depa");
+  (match Reach.parse "dset" with
+  | Ok Reach.Dset -> ()
+  | _ -> Alcotest.fail "parse dset");
+  match Reach.parse "nope" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "parse nope should fail"
+
+let () =
+  let props =
+    List.map QCheck_alcotest.to_alcotest
+      [
+        prop_sp_backends_agree;
+        prop_sp_plus_verdicts_identical;
+        prop_peer_verdicts_identical;
+        prop_sp_order_oracles_identical;
+        prop_reset_equals_fresh;
+      ]
+  in
+  Alcotest.run "reach"
+    [
+      ("backend-agreement", props);
+      ("backend-enum", [ Alcotest.test_case "parse/show" `Quick parse_tests ]);
+    ]
