@@ -26,6 +26,10 @@
    - S9: precedence-backend comparison — detector ops/event and Fig. 8
      overhead for the dset (disjoint-set) vs depa (DePa fingerprint)
      reachability backends, same verdicts by construction;
+   - S10: online throughput — events/sec through the real work-stealing
+     runtime (effects scheduler, Chase-Lev deques, lock-striped shadows)
+     at 1/2/4 worker domains, and the detection overhead relative to the
+     serial detector stack on the same program;
    plus a bechamel micro-benchmark group per figure table.
 
    Besides the printed tables, the harness persists a perf trajectory to
@@ -889,6 +893,112 @@ let s9_print s9rows =
     ];
   Tablefmt.print t
 
+(* ---------- S10: online throughput (real work-stealing runtime) ---------- *)
+
+(* Events/sec through the Online runtime — effects scheduler, Chase-Lev
+   deques, lock-striped shadows, fingerprint oracle — at 1/2/4 worker
+   domains, against the serial detector stack (Engine + SP+ + Peer-Set,
+   same depa backend) on the same program. The structural steal set is a
+   pure function of (program, seed, density), so every row checks the
+   same SP tree; what varies across rows is only genuine parallel
+   execution. [x serial] is wall-clock relative to the serial stack —
+   the price (or win) of detecting on-the-fly instead of replaying. *)
+
+module Online = Rader_sched.Online
+
+type s10_row = { s10_workers : int; s10_s : float; s10_events : int }
+
+type s10_prog = {
+  s10_name : string;
+  s10_serial_s : float;
+  s10_serial_events : int;
+  s10_rows : s10_row list;
+}
+
+let s10_worker_counts = [ 1; 2; 4 ]
+
+let s10_online_throughput () =
+  let s10_scale = if fast then 0.25 else 1.0 in
+  let prog name =
+    match Demos.resolve ~scale:s10_scale name with
+    | Ok p -> p
+    | Error m -> failwith m
+  in
+  List.map
+    (fun name ->
+      Printf.printf "timing %-10s [online] ...%!" name;
+      let p = prog name in
+      let serial_run () =
+        let eng = Engine.create () in
+        ignore (Sp_plus.attach ~reach:Reach.Depa eng);
+        ignore (Peer_set.attach ~reach:Reach.Depa eng);
+        Engine.run eng p
+      in
+      let serial_s = measure serial_run in
+      let _, serial_delta = Obs.with_enabled serial_run in
+      let rows =
+        List.map
+          (fun workers ->
+            let cfg = Online.default ~workers ~seed:1 () in
+            let events = ref 0 in
+            let s =
+              measure (fun () ->
+                  let o = Online.run cfg p in
+                  events := o.Online.events;
+                  match o.Online.value with
+                  | Ok v -> v
+                  | Error f -> failwith ("S10: online run failed: " ^ Fault.to_string f))
+            in
+            { s10_workers = workers; s10_s = s; s10_events = !events })
+          s10_worker_counts
+      in
+      Printf.printf " done\n%!";
+      {
+        s10_name = name;
+        s10_serial_s = serial_s;
+        s10_serial_events = serial_delta.Obs.events;
+        s10_rows = rows;
+      })
+    [ "fib"; "wordcount" ]
+
+let s10_print progs =
+  Printf.printf
+    "\nS10: online throughput — events/sec on the real work-stealing\n\
+     runtime at 1/2/4 worker domains, vs the serial detector stack\n\
+     (SP+ + Peer-Set, depa backend) on the same program\n\
+     ----------------------------------------------------------------\n";
+  let t =
+    Tablefmt.create
+      [ "Program"; "workers"; "events"; "events/s"; "speedup"; "x serial" ]
+  in
+  List.iter
+    (fun p ->
+      Tablefmt.add_row t
+        [
+          p.s10_name;
+          "serial";
+          string_of_int p.s10_serial_events;
+          Printf.sprintf "%.3g"
+            (float_of_int p.s10_serial_events /. p.s10_serial_s);
+          "";
+          "1.00";
+        ];
+      let w1 = (List.hd p.s10_rows).s10_s in
+      List.iter
+        (fun r ->
+          Tablefmt.add_row t
+            [
+              p.s10_name;
+              string_of_int r.s10_workers;
+              string_of_int r.s10_events;
+              Printf.sprintf "%.3g" (float_of_int r.s10_events /. r.s10_s);
+              Printf.sprintf "%.2f" (w1 /. r.s10_s);
+              Printf.sprintf "%.2f" (r.s10_s /. p.s10_serial_s);
+            ])
+        p.s10_rows)
+    progs;
+  Tablefmt.print t
+
 (* ---------- bechamel micro-benchmarks: one Test.make per table ---------- *)
 
 let bechamel_tables () =
@@ -976,7 +1086,7 @@ let rec emit_json buf = function
         fields;
       Buffer.add_char buf '}'
 
-let bench_json rows (s4 : s4_data) s6rows s7rows (s8 : s8_data) s9rows =
+let bench_json rows (s4 : s4_data) s6rows s7rows (s8 : s8_data) s9rows s10progs =
   let overhead_grid base =
     Obj
       (List.map
@@ -1068,9 +1178,35 @@ let bench_json rows (s4 : s4_data) s6rows s7rows (s8 : s8_data) s9rows =
                ] ))
          s7rows)
   in
+  let s10_json =
+    Obj
+      (List.map
+         (fun p ->
+           ( p.s10_name,
+             Obj
+               [
+                 ("serial_detector_s", Num p.s10_serial_s);
+                 ("serial_events", Int p.s10_serial_events);
+                 ( "by_workers",
+                   Obj
+                     (List.map
+                        (fun r ->
+                          ( string_of_int r.s10_workers,
+                            Obj
+                              [
+                                ("seconds", Num r.s10_s);
+                                ("events", Int r.s10_events);
+                                ( "events_per_s",
+                                  Num (float_of_int r.s10_events /. r.s10_s) );
+                                ("x_serial", Num (r.s10_s /. p.s10_serial_s));
+                              ] ))
+                        p.s10_rows) );
+               ] ))
+         s10progs)
+  in
   Obj
     [
-      ("schema", Str "rader-bench/5");
+      ("schema", Str "rader-bench/6");
       ("scale", Num scale);
       ("fast", Bool fast);
       ("ncores", Int s4.s4_ncores);
@@ -1134,11 +1270,12 @@ let bench_json rows (s4 : s4_data) s6rows s7rows (s8 : s8_data) s9rows =
                   ("shed_pct", Num (s8_shed_pct s8));
                 ] );
           ] );
+      ("s10_online_throughput", s10_json);
     ]
 
-let write_bench_json rows s4 s6rows s7rows s8 s9rows =
+let write_bench_json rows s4 s6rows s7rows s8 s9rows s10progs =
   let buf = Buffer.create 4096 in
-  emit_json buf (bench_json rows s4 s6rows s7rows s8 s9rows);
+  emit_json buf (bench_json rows s4 s6rows s7rows s8 s9rows s10progs);
   Buffer.add_char buf '\n';
   let oc = open_out "BENCH_rader.json" in
   Buffer.output_buffer oc buf;
@@ -1168,6 +1305,8 @@ let () =
   s8_print s8;
   let s9rows = s9_backend_comparison rows s6rows in
   s9_print s9rows;
-  write_bench_json rows s4 s6rows s7rows s8 s9rows;
+  let s10progs = s10_online_throughput () in
+  s10_print s10progs;
+  write_bench_json rows s4 s6rows s7rows s8 s9rows s10progs;
   if not skip_bechamel then bechamel_tables ();
   Printf.printf "\ndone.\n"

@@ -30,6 +30,28 @@ let racy_read ctx =
   Cilk.sync ctx;
   v
 
+(* A fib spawn tree whose leaves all bump one shared cell: every pair of
+   leaves in sibling subtrees is a structural determinacy race, so any
+   detector — serial, simulated or online — must flag it on every
+   schedule, while the returned value (plain fib) stays deterministic.
+   The online CI smoke keys on this program. *)
+let fib_racy ~scale ctx =
+  let n = 8 + int_of_float (scale *. 4.) in
+  let hits = Cell.make_in ctx ~label:"fib.hits" 0 in
+  let rec go ctx k =
+    if k < 2 then begin
+      Cell.write ctx hits (Cell.read ctx hits + 1);
+      k
+    end
+    else begin
+      let a = Cilk.spawn ctx (fun ctx -> go ctx (k - 1)) in
+      let b = go ctx (k - 2) in
+      Cilk.sync ctx;
+      Cilk.get ctx a + b
+    end
+  in
+  Cilk.call ctx (fun ctx -> go ctx n)
+
 (* Word count with a dictionary reducer (examples/wordcount.ml as an
    addressable program): associative monoid over count maps, clean under
    every schedule. *)
@@ -80,7 +102,15 @@ let minimax ~scale ctx =
       | None -> -1)
 
 let demo_names =
-  [ "fig1-buggy"; "fig1-fixed"; "racy-read"; "nqueens"; "wordcount"; "minimax" ]
+  [
+    "fig1-buggy";
+    "fig1-fixed";
+    "racy-read";
+    "fib-racy";
+    "nqueens";
+    "wordcount";
+    "minimax";
+  ]
 
 let names () = demo_names @ Suite.names
 
@@ -89,6 +119,7 @@ let resolve ?seed ~scale name : (Engine.ctx -> int, string) result =
   | "fig1-buggy" -> Ok (fig1 ~buggy:true)
   | "fig1-fixed" -> Ok (fig1 ~buggy:false)
   | "racy-read" -> Ok racy_read
+  | "fib-racy" -> Ok (fib_racy ~scale)
   | "wordcount" -> Ok (wordcount ~scale)
   | "minimax" -> Ok (minimax ~scale)
   | "nqueens" ->

@@ -14,6 +14,11 @@ val fig1 : buggy:bool -> Engine.ctx -> int
     Peer-Set exists to catch. *)
 val racy_read : Engine.ctx -> int
 
+(** A fib spawn tree whose leaves all bump one shared cell: a structural
+    determinacy race on every schedule, with a deterministic return value
+    (plain fib). The online CI smoke keys on it. *)
+val fib_racy : scale:float -> Engine.ctx -> int
+
 (** Dictionary-reducer word count; clean under every schedule. *)
 val wordcount : scale:float -> Engine.ctx -> int
 

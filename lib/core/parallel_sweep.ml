@@ -13,7 +13,17 @@
 
 type stats = { jobs : int; n_tasks : int; n_skipped : int }
 
-let default_jobs () = Domain.recommended_domain_count ()
+(* RADER_FORCE_DOMAINS overrides the probed core count: CI runners are
+   often single-core, which would silently collapse every default-jobs
+   sweep to the inline path and leave the cross-domain code untested.
+   Setting it to N makes jobs<=0 callers spawn N workers regardless. *)
+let default_jobs () =
+  match Sys.getenv_opt "RADER_FORCE_DOMAINS" with
+  | Some s when (match int_of_string_opt (String.trim s) with
+                | Some n -> n >= 1
+                | None -> false) ->
+      int_of_string (String.trim s)
+  | _ -> Domain.recommended_domain_count ()
 
 let map ?(jobs = 1) ?(stop = fun () -> false) ~init ~task ~skipped n =
   if n < 0 then invalid_arg "Parallel_sweep.map: negative task count";

@@ -16,7 +16,12 @@ type stats = {
   n_skipped : int;  (** tasks given to [skipped] because [stop] was true *)
 }
 
-(** [default_jobs ()] is [Domain.recommended_domain_count ()]. *)
+(** [default_jobs ()] is [Domain.recommended_domain_count ()], unless the
+    [RADER_FORCE_DOMAINS] environment variable holds a positive integer
+    [N], in which case it is [N] — the escape hatch that keeps the
+    cross-domain paths exercised on single-core CI runners, where the
+    probed count would collapse every default-jobs sweep to the inline
+    path. *)
 val default_jobs : unit -> int
 
 (** [map ~init ~task ~skipped n] runs [task st i] for every

@@ -1,0 +1,60 @@
+(** Structural steal traces of online work-stealing runs, and their
+    conversion to serial {!Rader_runtime.Steal_spec} values.
+
+    The online runtime ([Rader_sched.Online]) decides which spawned
+    continuations count as stolen {e structurally} — a seeded hash of the
+    spawning frame's fork path and the spawn's per-frame ordinal — so the
+    steal {e set} is a pure function of (program, seed, density) even
+    though task placement across workers is timing-dependent. This module
+    names each such steal by coordinates that survive the translation to
+    a serial replay:
+
+    - the spawning frame's {e user path}: the list of user-child ordinals
+      (spawned and called children both count, auxiliary view-aware
+      frames do not) from the root to the frame;
+    - the spawn's {e per-frame ordinal}: how many spawns the frame had
+      performed before this one, across all its sync blocks.
+
+    [to_spec] replays the program serially once (recorded, no steals),
+    rebuilds every frame's user path from the frame log, maps each trace
+    entry to its global spawn index, and returns the equivalent
+    [Steal_spec.by_spawn_index] specification under the at-sync reduce
+    policy (the online runtime merges regions only at syncs) — so every
+    online run can be re-checked deterministically by the serial SP+
+    detector under exactly the schedule the runtime realized. *)
+
+type entry = {
+  e_path : int list;  (** user-child ordinals, root → spawning frame *)
+  e_ord : int;  (** per-frame spawn ordinal (0-based, across blocks) *)
+}
+
+type t = {
+  workers : int;
+  seed : int;
+  density : float;
+  entries : entry list;  (** canonically sorted, duplicates impossible *)
+}
+
+(** [make ~workers ~seed ~density entries] sorts [entries] canonically
+    (lexicographic path, then ordinal). *)
+val make : workers:int -> seed:int -> density:float -> entry list -> t
+
+val n_steals : t -> int
+
+(** One line per entry, plus a header — stable across runs of the same
+    (program, seed, density), so traces can be diffed and archived as CI
+    artifacts. *)
+val to_string : t -> string
+
+(** Parses {!to_string}'s format. *)
+val of_string : string -> (t, string) result
+
+(** [to_spec trace program] is the serial steal specification stealing
+    exactly [trace]'s continuations, with [`Reduce_at_sync`] policy, or
+    [Error] if an entry names a frame or spawn the serial execution does
+    not have (a trace from a different program), or if the profiling
+    replay itself fails. *)
+val to_spec :
+  t ->
+  (Rader_runtime.Engine.ctx -> 'a) ->
+  (Rader_runtime.Steal_spec.t, string) result

@@ -52,6 +52,15 @@ type frame = {
 
 type state = Fresh | Running | Done
 
+type 'a future = {
+  mutable value : 'a option;
+  owner : int;
+  born_block : int;
+  (* Online mode: filled by the child's executor, read by the parent
+     frame's executor strictly after the join — the publication happens
+     through the runtime's join lock, so no atomic is needed here. *)
+}
+
 type t = {
   mutable tool : Tool.t;
   mutable spec : Steal_spec.t;
@@ -93,11 +102,37 @@ type t = {
   mutable c_reads : int;
   mutable c_writes : int;
   mutable c_reducer_reads : int;
+  (* Online mode: when [Some ops], the DSL entry points dispatch to the
+     installed work-stealing runtime instead of the serial interpreter.
+     The serial path is untouched (one [None] branch per call). *)
+  mutable online : online_ops option;
+  contract_mu : Mutex.t; (* contract log guard; contended only online *)
 }
 
-and ctx = { eng : t; frame : frame }
+and ctx = { eng : t; frame : frame; ost : Obj.t }
+(* [ost] is the online runtime's per-execution-segment state (opaque to
+   the engine); [online_dummy_frame] fills [frame] in online contexts so
+   the record layout is shared. Serial contexts carry [no_ost]. *)
 
-type 'a future = { mutable value : 'a option; owner : int; born_block : int }
+and online_ops = {
+  oo_spawn : 'a. ctx -> (ctx -> 'a) -> 'a future;
+  oo_get : 'a. ctx -> 'a future -> 'a;
+  oo_sync : ctx -> unit;
+  oo_call : 'a. ctx -> (ctx -> 'a) -> 'a;
+  oo_run_aux : 'a. reducer:int -> ctx -> Tool.frame_kind -> (ctx -> 'a) -> 'a;
+  oo_emit_read : ctx -> int -> unit;
+  oo_emit_write : ctx -> int -> unit;
+  oo_emit_reducer_read : ctx -> int -> unit;
+  oo_register_reducer :
+    merge:(ctx -> from_region:int -> into_region:int -> unit) -> int;
+  oo_alloc_locs : label:string -> int -> int;
+  oo_current_region : ctx -> int;
+  oo_current_frame : ctx -> int;
+  oo_view_find : ctx -> region:int -> reducer:int -> Obj.t option;
+  oo_view_set : ctx -> region:int -> reducer:int -> Obj.t -> unit;
+}
+
+let no_ost = Obj.repr ()
 
 let create ?(tool = Tool.null) ?(spec = Steal_spec.none) ?(record = false)
     ?max_events ?deadline ?(clock = Unix.gettimeofday) () =
@@ -137,6 +172,8 @@ let create ?(tool = Tool.null) ?(spec = Steal_spec.none) ?(record = false)
     c_reads = 0;
     c_writes = 0;
     c_reducer_reads = 0;
+    online = None;
+    contract_mu = Mutex.create ();
   }
 
 let set_tool t tool =
@@ -186,7 +223,8 @@ let reset ?(tool = Tool.null) ?(spec = Steal_spec.none) ?(record = false)
   t.c_reduce_calls <- 0;
   t.c_reads <- 0;
   t.c_writes <- 0;
-  t.c_reducer_reads <- 0
+  t.c_reducer_reads <- 0;
+  t.online <- None
 
 let dag_kind_of_frame_kind = function
   | Tool.User_fn -> Dag.User
@@ -280,7 +318,8 @@ let do_sync ctx =
   fr.cur_node <-
     new_strand t ~frame:fr.fid ~kind:Dag.User ~view:base.rid ~label:"sync" ~preds
 
-let sync ctx = do_sync ctx
+let sync ctx =
+  match ctx.eng.online with Some o -> o.oo_sync ctx | None -> do_sync ctx
 
 let fresh_frame t ~parent ~spawned ~kind ~entry_rid =
   let fid = t.next_fid in
@@ -320,9 +359,9 @@ let run_child ctx ~spawned f =
   fr.cur_node <-
     new_strand t ~frame:fr.fid ~kind:Dag.User ~view:entry_rid ~label:"enter"
       ~preds:[ pf.cur_node ];
-  let result = f { eng = t; frame = fr } in
+  let result = f { eng = t; frame = fr; ost = no_ost } in
   (* Cilk functions implicitly sync before returning. *)
-  do_sync { eng = t; frame = fr };
+  do_sync { eng = t; frame = fr; ost = no_ost };
   fr.alive <- false;
   t.active_frames <- List.tl t.active_frames;
   t.tool.on_frame_return ~frame:fr.fid ~parent:pf.fid ~spawned ~kind:Tool.User_fn;
@@ -333,7 +372,7 @@ let fr_continue t pf ~preds =
     new_strand t ~frame:pf.fid ~kind:Dag.User ~view:(cur_region pf) ~label:"cont"
       ~preds
 
-let call ctx f =
+let serial_call ctx f =
   let t = ctx.eng in
   let pf = ctx.frame in
   let result, child_last = run_child ctx ~spawned:false f in
@@ -341,7 +380,10 @@ let call ctx f =
   fr_continue t pf ~preds:[ child_last ];
   result
 
-let spawn ctx f =
+let call ctx f =
+  match ctx.eng.online with Some o -> o.oo_call ctx f | None -> serial_call ctx f
+
+let serial_spawn ctx f =
   let t = ctx.eng in
   let pf = ctx.frame in
   let spawn_strand = pf.cur_node in
@@ -391,7 +433,12 @@ let spawn ctx f =
     Dynarr.push t.spawn_log (info.Steal_spec.spawn_index, spawn_strand, pf.cur_node);
   fut
 
-let get ctx fut =
+let spawn ctx f =
+  match ctx.eng.online with
+  | Some o -> o.oo_spawn ctx f
+  | None -> serial_spawn ctx f
+
+let serial_get ctx fut =
   let fr = ctx.frame in
   check_alive fr;
   if fr.fid <> fut.owner then
@@ -400,6 +447,12 @@ let get ctx fut =
     err "future read before sync (the spawned child may still be running)";
   match fut.value with Some v -> v | None -> err "future has no value"
 
+let get ctx fut =
+  match ctx.eng.online with Some o -> o.oo_get ctx fut | None -> serial_get ctx fut
+
+(* Built from the dispatching [spawn]/[call]/[sync], so the same
+   divide-and-conquer tree runs identically under the serial interpreter
+   and the online work-stealing runtime. *)
 let parallel_for ?(grain = 1) ctx ~lo ~hi body =
   if grain < 1 then invalid_arg "parallel_for: grain must be >= 1";
   if hi > lo then begin
@@ -414,7 +467,7 @@ let parallel_for ?(grain = 1) ctx ~lo ~hi body =
       for i = !lo to hi0 - 1 do
         body ctx i
       done;
-      do_sync ctx
+      sync ctx
     in
     call ctx (fun ctx -> go ctx lo hi)
   end
@@ -440,7 +493,7 @@ let run t main =
     ~kind:Tool.User_fn;
   root.cur_node <-
     new_strand t ~frame:root.fid ~kind:Dag.User ~view:0 ~label:"main" ~preds:[];
-  let ctx = { eng = t; frame = root } in
+  let ctx = { eng = t; frame = root; ost = no_ost } in
   let result = main ctx in
   do_sync ctx;
   root.alive <- false;
@@ -480,7 +533,11 @@ let unwind t =
   t.state <- Done;
   flush_obs t
 
-let report_contract_violation t cv = t.contract_log <- cv :: t.contract_log
+(* Mutex-guarded: online reducer self-checks report from worker domains. *)
+let report_contract_violation t cv =
+  Mutex.lock t.contract_mu;
+  t.contract_log <- cv :: t.contract_log;
+  Mutex.unlock t.contract_mu
 let contract_violations t = List.rev t.contract_log
 
 (* Post-run spec check: if the spec never fired and its shape names
@@ -535,9 +592,18 @@ let run_result t main =
 (* -------- introspection -------- *)
 
 let engine ctx = ctx.eng
-let current_frame ctx = ctx.frame.fid
+
+let current_frame ctx =
+  match ctx.eng.online with
+  | Some o -> o.oo_current_frame ctx
+  | None -> ctx.frame.fid
+
 let current_strand t = t.strand_counter - 1
-let current_region ctx = cur_region ctx.frame
+
+let current_region ctx =
+  match ctx.eng.online with
+  | Some o -> o.oo_current_region ctx
+  | None -> cur_region ctx.frame
 
 let stats t =
   {
@@ -564,9 +630,12 @@ let frames t = Dynarr.to_list t.frames_log
 
 (* -------- low-level hooks -------- *)
 
-let alloc_locs t ~label n = Loc.alloc_range t.registry ~label n
+let alloc_locs t ~label n =
+  match t.online with
+  | Some o -> o.oo_alloc_locs ~label n
+  | None -> Loc.alloc_range t.registry ~label n
 
-let emit_read ctx loc =
+let serial_emit_read ctx loc =
   let fr = ctx.frame in
   let t = ctx.eng in
   check_alive fr;
@@ -584,7 +653,12 @@ let emit_read ctx loc =
         a_view_aware = view_aware;
       }
 
-let emit_write ctx loc =
+let emit_read ctx loc =
+  match ctx.eng.online with
+  | Some o -> o.oo_emit_read ctx loc
+  | None -> serial_emit_read ctx loc
+
+let serial_emit_write ctx loc =
   let fr = ctx.frame in
   let t = ctx.eng in
   check_alive fr;
@@ -602,7 +676,12 @@ let emit_write ctx loc =
         a_view_aware = view_aware;
       }
 
-let emit_reducer_read ctx reducer =
+let emit_write ctx loc =
+  match ctx.eng.online with
+  | Some o -> o.oo_emit_write ctx loc
+  | None -> serial_emit_write ctx loc
+
+let serial_emit_reducer_read ctx reducer =
   let fr = ctx.frame in
   let t = ctx.eng in
   require_user fr "reducer read (create/get/set)";
@@ -610,7 +689,12 @@ let emit_reducer_read ctx reducer =
   t.c_reducer_reads <- t.c_reducer_reads + 1;
   if t.record then Dynarr.push t.rreads_log (reducer, fr.cur_node)
 
-let run_aux_frame ?(reducer = -1) ctx kind f =
+let emit_reducer_read ctx reducer =
+  match ctx.eng.online with
+  | Some o -> o.oo_emit_reducer_read ctx reducer
+  | None -> serial_emit_reducer_read ctx reducer
+
+let serial_run_aux_frame ?(reducer = -1) ctx kind f =
   let t = ctx.eng in
   let pf = ctx.frame in
   require_user pf "reducer operation";
@@ -630,7 +714,7 @@ let run_aux_frame ?(reducer = -1) ctx kind f =
       ~label:(Tool.frame_kind_name kind)
       ~preds;
   if t.record then Dynarr.push t.aux_log (kind, reducer, fr.cur_node);
-  let result = f { eng = t; frame = fr } in
+  let result = f { eng = t; frame = fr; ost = no_ost } in
   fr.alive <- false;
   t.active_frames <- List.tl t.active_frames;
   t.tool.on_frame_return ~frame:fr.fid ~parent:pf.fid ~spawned:false ~kind;
@@ -641,7 +725,75 @@ let run_aux_frame ?(reducer = -1) ctx kind f =
   else fr_continue t pf ~preds:[ fr.cur_node ];
   result
 
+let run_aux_frame ?(reducer = -1) ctx kind f =
+  match ctx.eng.online with
+  | Some o -> o.oo_run_aux ~reducer ctx kind f
+  | None -> serial_run_aux_frame ~reducer ctx kind f
+
 let register_reducer t ~merge =
-  let id = Dynarr.length t.reducer_merges in
-  Dynarr.push t.reducer_merges merge;
-  id
+  match t.online with
+  | Some o -> o.oo_register_reducer ~merge
+  | None ->
+      let id = Dynarr.length t.reducer_merges in
+      Dynarr.push t.reducer_merges merge;
+      id
+
+(* -------- online-runtime hooks (see Rader_sched.Online) -------- *)
+
+(* The engine value doubles as the online run's shell: it owns the location
+   registry and labels, the contract log and the reducer-merge dispatch,
+   while every DSL entry point above forwards to the installed ops. The
+   shell never enters [Running] state — the online runtime drives frames
+   itself — so [loc_label], [contract_violations] and friends keep working
+   on it after the run. *)
+
+let set_online t ops =
+  if t.state <> Fresh then err "Engine.set_online: engine already running";
+  t.online <- Some ops
+
+let clear_online t = t.online <- None
+let is_online ctx = ctx.eng.online <> None
+
+(* A placeholder serial frame for online contexts: every dispatching entry
+   point branches on [online] before touching [ctx.frame], so this record
+   is never read. One shared value is fine — it is immutable in practice. *)
+let online_dummy_frame =
+  lazy
+    (let regions = Dynarr.create () in
+     Dynarr.push regions { rid = 0; tails = [] };
+     {
+       fid = -1;
+       depth = 0;
+       kind = Tool.User_fn;
+       spawned = false;
+       parent_fid = -1;
+       alive = true;
+       sync_block = 0;
+       local_cont_index = 0;
+       steals_in_block = 0;
+       regions;
+       cur_node = -1;
+     })
+
+let online_ctx t ost = { eng = t; frame = Lazy.force online_dummy_frame; ost }
+let ctx_ost ctx = ctx.ost
+
+let online_view_find ctx ~region ~reducer =
+  match ctx.eng.online with
+  | Some o -> o.oo_view_find ctx ~region ~reducer
+  | None -> invalid_arg "Engine.online_view_find: not an online context"
+
+let online_view_set ctx ~region ~reducer v =
+  match ctx.eng.online with
+  | Some o -> o.oo_view_set ctx ~region ~reducer v
+  | None -> invalid_arg "Engine.online_view_set: not an online context"
+
+let online_future_make ~owner ~born_block = { value = None; owner; born_block }
+let online_future_fill fut v = fut.value <- Some v
+let online_future_peek fut = fut.value
+let future_owner fut = fut.owner
+let future_born_block fut = fut.born_block
+
+(* Serial raw registry access, bypassing the online dispatch — the online
+   ops implement [oo_alloc_locs] with this under their own lock. *)
+let raw_alloc_locs t ~label n = Loc.alloc_range t.registry ~label n

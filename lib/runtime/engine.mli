@@ -249,3 +249,77 @@ val failure_origin : t -> Fault.origin
     [into] view, calling {!run_aux_frame} for any user code it runs. *)
 val register_reducer :
   t -> merge:(ctx -> from_region:int -> into_region:int -> unit) -> int
+
+(** {1 Online mode} — the hook surface behind [Rader_sched.Online].
+
+    A genuinely parallel work-stealing runtime cannot reuse the serial
+    interpreter's bodies (one frame stack, one strand counter, serial
+    region stacks), but user programs and the reducer library are written
+    against {e this} module's DSL. [set_online] therefore installs an
+    {!online_ops} record on an engine value and every DSL entry point —
+    [spawn]/[sync]/[call]/[get]/[parallel_for], the emit hooks,
+    [run_aux_frame], [alloc_locs], [register_reducer], [current_region] /
+    [current_frame] — dispatches to it, so the same [(ctx -> 'a)] program
+    runs unchanged on OCaml 5 domains. The engine value then acts only as
+    the run's shell (location registry and labels, contract log); it never
+    enters the [Running] state. *)
+
+type online_ops = {
+  oo_spawn : 'a. ctx -> (ctx -> 'a) -> 'a future;
+  oo_get : 'a. ctx -> 'a future -> 'a;
+  oo_sync : ctx -> unit;
+  oo_call : 'a. ctx -> (ctx -> 'a) -> 'a;
+  oo_run_aux : 'a. reducer:int -> ctx -> Tool.frame_kind -> (ctx -> 'a) -> 'a;
+  oo_emit_read : ctx -> int -> unit;
+  oo_emit_write : ctx -> int -> unit;
+  oo_emit_reducer_read : ctx -> int -> unit;
+  oo_register_reducer :
+    merge:(ctx -> from_region:int -> into_region:int -> unit) -> int;
+  oo_alloc_locs : label:string -> int -> int;
+  oo_current_region : ctx -> int;
+  oo_current_frame : ctx -> int;
+  oo_view_find : ctx -> region:int -> reducer:int -> Obj.t option;
+  oo_view_set : ctx -> region:int -> reducer:int -> Obj.t -> unit;
+}
+
+(** [set_online t ops] turns [t] into an online shell. Only before any
+    run. @raise Cilk_error otherwise. *)
+val set_online : t -> online_ops -> unit
+
+(** [clear_online t] uninstalls the ops (end of the online run). *)
+val clear_online : t -> unit
+
+(** [is_online ctx] — does this context dispatch to an online runtime?
+    The reducer library branches on this to route view storage through
+    {!online_view_find}/{!online_view_set} instead of its serial
+    per-reducer hash table. *)
+val is_online : ctx -> bool
+
+(** [online_ctx t ost] is a context carrying the runtime's opaque
+    per-segment state [ost]; retrieve it with {!ctx_ost}. *)
+val online_ctx : t -> Obj.t -> ctx
+
+val ctx_ost : ctx -> Obj.t
+
+(** Per-region reducer-view storage, dispatched to the runtime (regions
+    own their view tables online; the serial engine keeps views inside
+    each reducer instead). Values are [Obj.t]-erased: each reducer id's
+    entries are written and read only by that reducer's typed closures. *)
+val online_view_find : ctx -> region:int -> reducer:int -> Obj.t option
+
+val online_view_set : ctx -> region:int -> reducer:int -> Obj.t -> unit
+
+(** Future plumbing for the online runtime: the runtime allocates the
+    future at spawn, the child's executor fills it, and [oo_get] reads it
+    back after validating the owner-frame / post-sync discipline. *)
+val online_future_make : owner:int -> born_block:int -> 'a future
+
+val online_future_fill : 'a future -> 'a -> unit
+val online_future_peek : 'a future -> 'a option
+val future_owner : 'a future -> int
+val future_born_block : 'a future -> int
+
+(** [raw_alloc_locs t ~label n] allocates from the registry directly,
+    bypassing online dispatch — how the online ops implement
+    [oo_alloc_locs] under their own lock. *)
+val raw_alloc_locs : t -> label:string -> int -> int

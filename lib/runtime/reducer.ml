@@ -58,6 +58,25 @@ let check_associativity ctx monoid lc a b =
       "((a ⊗ b) ⊗ c) differs from (a ⊗ (b ⊗ c)) on observed views \
        (c = a ⊗ b)"
 
+(* View storage dispatch. Serially each reducer owns its region->view
+   table. Online the regions themselves own the view tables (they are
+   created/merged/discarded by the work-stealing runtime, which also
+   guarantees single-owner access), so reads and writes route through the
+   engine's online hooks with an [Obj.t]-erased payload: every entry under
+   this reducer's id is written and read back only by this function's own
+   closures, at the one type ['v]. *)
+let view_find ctx ~rid ~views region =
+  if Engine.is_online ctx then
+    match Engine.online_view_find ctx ~region ~reducer:rid with
+    | None -> None
+    | Some o -> Some (Obj.obj o)
+  else Hashtbl.find_opt views region
+
+let view_set ctx ~rid ~views region v =
+  if Engine.is_online ctx then
+    Engine.online_view_set ctx ~region ~reducer:rid (Obj.repr v)
+  else Hashtbl.replace views region v
+
 let create ctx ?self_check monoid ~init =
   let eng = Engine.engine ctx in
   let views : (int, 'v) Hashtbl.t = Hashtbl.create 8 in
@@ -69,15 +88,18 @@ let create ctx ?self_check monoid ~init =
      during the computation, long after the slot is filled. *)
   let rid_slot = ref (-1) in
   let merge mctx ~from_region ~into_region =
-    match Hashtbl.find_opt views from_region with
+    match view_find mctx ~rid:!rid_slot ~views from_region with
     | None -> ()
     | Some v_from -> (
-        Hashtbl.remove views from_region;
-        match Hashtbl.find_opt views into_region with
+        (* Online the dying region's whole view table is discarded by the
+           runtime after its merges, so only the serial table needs the
+           explicit removal. *)
+        if not (Engine.is_online mctx) then Hashtbl.remove views from_region;
+        match view_find mctx ~rid:!rid_slot ~views into_region with
         | None ->
             (* The surviving region never materialized a view: its lazy
                identity absorbs [v_from] without running user code. *)
-            Hashtbl.replace views into_region v_from
+            view_set mctx ~rid:!rid_slot ~views into_region v_from
         | Some v_into ->
             (match self_check with
             | Some lc when !samples_left > 0 ->
@@ -89,7 +111,7 @@ let create ctx ?self_check monoid ~init =
               Engine.run_aux_frame ~reducer:!rid_slot mctx Tool.Reduce_fn
                 (fun c -> monoid.reduce c v_into v_from)
             in
-            Hashtbl.replace views into_region combined)
+            view_set mctx ~rid:!rid_slot ~views into_region combined)
   in
   let rid = Engine.register_reducer eng ~merge in
   rid_slot := rid;
@@ -98,21 +120,21 @@ let create ctx ?self_check monoid ~init =
   | Some lc when lc.lc_samples > 0 -> check_identity_laws ctx monoid lc init
   | _ -> ());
   let creation_region = Engine.current_region ctx in
-  Hashtbl.replace views creation_region init;
+  view_set ctx ~rid ~views creation_region init;
   { rid; monoid; views; creation_region }
 
 (* The view of the current region, materializing an identity view on
    demand (Cilk creates views lazily at the first access after a steal). *)
 let current_view ctx r =
   let region = Engine.current_region ctx in
-  match Hashtbl.find_opt r.views region with
+  match view_find ctx ~rid:r.rid ~views:r.views region with
   | Some v -> v
   | None ->
       let v =
         Engine.run_aux_frame ~reducer:r.rid ctx Tool.Identity_fn (fun c ->
             r.monoid.identity c)
       in
-      Hashtbl.replace r.views region v;
+      view_set ctx ~rid:r.rid ~views:r.views region v;
       v
 
 let get_value ctx r =
@@ -121,12 +143,12 @@ let get_value ctx r =
 
 let set_value ctx r v =
   Engine.emit_reducer_read ctx r.rid;
-  Hashtbl.replace r.views (Engine.current_region ctx) v
+  view_set ctx ~rid:r.rid ~views:r.views (Engine.current_region ctx) v
 
 let update ctx r f =
   let v = current_view ctx r in
   let v' = Engine.run_aux_frame ~reducer:r.rid ctx Tool.Update_fn (fun c -> f c v) in
-  Hashtbl.replace r.views (Engine.current_region ctx) v'
+  view_set ctx ~rid:r.rid ~views:r.views (Engine.current_region ctx) v'
 
 let id r = r.rid
 let name r = r.monoid.name

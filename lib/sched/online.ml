@@ -1,0 +1,818 @@
+open Rader_runtime
+module Fp = Rader_reach.Reach.Fp
+module Report = Rader_core.Report
+module Steal_trace = Rader_core.Steal_trace
+module Ws_deque = Rader_support.Ws_deque
+module Dynarr = Rader_support.Dynarr
+module Obs = Rader_obs.Obs
+
+type config = {
+  workers : int;
+  seed : int;
+  density : float;
+  reach : Rader_reach.Reach.backend;
+  max_events : int option;
+  deadline : float option;
+  clock : (unit -> float) option;
+}
+
+let default ?(workers = 2) ?(seed = 1) ?(density = 0.5) () =
+  {
+    workers;
+    seed;
+    density;
+    reach = Rader_reach.Reach.Depa;
+    max_events = None;
+    deadline = None;
+    clock = None;
+  }
+
+type outcome = {
+  value : (int, Fault.failure) result;
+  races : Report.t list;
+  trace : Steal_trace.t;
+  n_structural_steals : int;
+  n_tasks : int;
+  n_deque_steals : int;
+  n_parks : int;
+  events : int;
+  counters : Obs.counters option;
+}
+
+(* Raised inside worker tasks once another worker has recorded the run's
+   first failure: unwinds the task quietly, reported by nobody. *)
+exception Cancelled
+
+let err fmt = Printf.ksprintf (fun s -> raise (Engine.Cilk_error s)) fmt
+
+(* ---------- runtime data structures ---------- *)
+
+(* A view region. Created at root entry and at every structural steal;
+   owns the reducer views that live in it ([reducer id -> view]). The
+   Cilk view invariant gives single-owner access: at any moment exactly
+   one serial chain of strands runs "in" a region, so its table needs no
+   lock — region {e handoff} (spawn publication, sync join, merge) is
+   ordered by the deque atomics and the frame lock. *)
+type oregion = { orid : int; oviews : (int, Obj.t) Hashtbl.t }
+
+(* One live user frame. Structural fields ([rs], [rpath], [phash],
+   [cum_entry], [fid], [base]) are written once at creation; the mutable
+   counters are only ever touched by the frame's current executor (frame
+   bodies are a single logical thread even when their segments migrate
+   across workers); [outstanding]/[parked] are the sync join state,
+   guarded by [lock]. *)
+type ofr = {
+  fid : int;
+  rs : Fp.frame;
+  mutable seq : int;  (* per-frame child-creation counter *)
+  mutable block : int;  (* current sync block *)
+  mutable nuser : int;  (* user children created (spawn + call) *)
+  mutable nspawns : int;  (* spawns performed, across blocks *)
+  mutable ls : int;  (* spawns since the last sync (Peer-Set [ls]) *)
+  cum_entry : int;  (* chain-spawn stamp at frame entry *)
+  sc_entry : int;  (* serial spawn count at frame entry (Peer-Set [anc]) *)
+  mutable region : oregion;  (* current view region *)
+  base : oregion;  (* entry region: everything merges back here *)
+  mutable opens : oregion list;  (* steal-opened regions, newest first *)
+  lock : Mutex.t;
+  mutable outstanding : int;  (* stolen children not yet returned *)
+  mutable parked : (unit -> unit) option;  (* suspended sync resumption *)
+  rpath : int list;  (* user-child ordinals, frame -> root (reversed) *)
+  phash : int;  (* rolling structural hash of [rpath] *)
+}
+
+(* The [Obj.t] payload behind [Engine.ctx]: which frame, and whether we
+   are inside a view-aware auxiliary callback of it. *)
+type ost = { fr : ofr; aux_kind : Tool.frame_kind }
+
+let ost_of ctx : ost = Obj.obj (Engine.ctx_ost ctx)
+
+let point_of (o : ost) =
+  let fr = o.fr in
+  {
+    Fp.p_frame = fr.rs;
+    p_block = fr.block;
+    p_seq = fr.seq;
+    p_rid = fr.region.orid;
+    p_cum = fr.cum_entry + fr.nspawns;
+  }
+
+(* ---------- lock-striped shadow spaces ---------- *)
+
+let n_stripes = 64
+
+(* Determinacy shadow: serially-last writer plus serially-least and
+   -greatest readers per location. The SP-order retention lemma (if x is
+   parallel to a dropped reader r with min <= r <= max in serial order,
+   then x is parallel to min or to max) makes the racy-location set
+   independent of the order workers reach the table. *)
+type dslot = {
+  mutable w : (Fp.point * bool) option;  (* point, view_aware *)
+  mutable rmin : (Fp.point * bool) option;
+  mutable rmax : (Fp.point * bool) option;
+}
+
+(* Peer-Set shadow: serially-least/-greatest reducer-read per reducer,
+   each with its serial spawn count (the number of outstanding spawns on
+   the reading frame's ancestor chain — Lemma 3's peer-set key). *)
+type pslot = {
+  mutable pmin : (Fp.point * int) option;
+  mutable pmax : (Fp.point * int) option;
+}
+
+type 'slot stripes = { mus : Mutex.t array; tbls : (int, 'slot) Hashtbl.t array }
+
+let stripes () =
+  {
+    mus = Array.init n_stripes (fun _ -> Mutex.create ());
+    tbls = Array.init n_stripes (fun _ -> Hashtbl.create 64);
+  }
+
+let with_slot st key ~fresh f =
+  let i = key land (n_stripes - 1) in
+  Mutex.lock st.mus.(i);
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock st.mus.(i))
+    (fun () ->
+      let slot =
+        match Hashtbl.find_opt st.tbls.(i) key with
+        | Some s -> s
+        | None ->
+            let s = fresh () in
+            Hashtbl.add st.tbls.(i) key s;
+            s
+      in
+      f slot)
+
+(* ---------- the runtime ---------- *)
+
+type rt = {
+  eng : Engine.t;
+  cfg : config;
+  clock : unit -> float;
+  deques : (unit -> unit) Ws_deque.t array;
+  finished : bool Atomic.t;
+  cancel : bool Atomic.t;
+  fail_mu : Mutex.t;
+  mutable failure : Fault.failure option;  (* first failure wins *)
+  result : int option Atomic.t;
+  events : int Atomic.t;
+  next_fid : int Atomic.t;
+  next_rid : int Atomic.t;
+  merges_mu : Mutex.t;
+  merges : (Engine.ctx -> from_region:int -> into_region:int -> unit) Dynarr.t;
+  alloc_mu : Mutex.t;
+  dshadow : dslot stripes;
+  pshadow : pslot stripes;
+  races_mu : Mutex.t;
+  races : Report.collector;
+  trace_mu : Mutex.t;
+  trace : Steal_trace.entry Dynarr.t;
+  n_struct : int Atomic.t;
+  n_tasks : int Atomic.t;
+  n_deque_steals : int Atomic.t;
+  n_parks : int Atomic.t;
+}
+
+let origin_of rt =
+  {
+    Fault.o_frame = -1;
+    o_kind = Tool.User_fn;
+    o_depth = -1;
+    o_strand = -1;
+    o_spec =
+      Printf.sprintf "online(seed=%d,density=%g)" rt.cfg.seed rt.cfg.density;
+  }
+
+let record_failure rt f =
+  Mutex.lock rt.fail_mu;
+  if rt.failure = None then rt.failure <- Some f;
+  Mutex.unlock rt.fail_mu;
+  Atomic.set rt.cancel true
+
+let contain rt = function
+  | Cancelled -> ()
+  | Fault.Stop b -> record_failure rt (Fault.Budget_exceeded b)
+  | Engine.Cilk_error m ->
+      record_failure rt (Fault.Engine_invariant { what = m; origin = origin_of rt })
+  | e ->
+      let backtrace = Printexc.get_backtrace () in
+      record_failure rt
+        (Fault.User_program_exn
+           { exn = Printexc.to_string e; backtrace; origin = origin_of rt })
+
+(* Global event budget: cancellation, event cap, deadline (checked every
+   64 events, same cadence class as the serial engine's). *)
+let bump rt =
+  if Atomic.get rt.cancel then raise Cancelled;
+  let n = 1 + Atomic.fetch_and_add rt.events 1 in
+  (match rt.cfg.max_events with
+  | Some m when n > m -> raise (Fault.Stop (Fault.Max_events m))
+  | _ -> ());
+  match rt.cfg.deadline with
+  | Some dl when (n land 63 = 0 || n = 1) && rt.clock () > dl ->
+      raise (Fault.Stop (Fault.Deadline dl))
+  | _ -> ()
+
+let fresh_region rt =
+  { orid = Atomic.fetch_and_add rt.next_rid 1; oviews = Hashtbl.create 4 }
+
+let mk_frame rt ~rs ~cum_entry ~sc_entry ~region ~rpath ~phash =
+  {
+    fid = Atomic.fetch_and_add rt.next_fid 1;
+    rs;
+    seq = 0;
+    block = 0;
+    nuser = 0;
+    nspawns = 0;
+    ls = 0;
+    cum_entry;
+    sc_entry;
+    region;
+    base = region;
+    opens = [];
+    lock = Mutex.create ();
+    outstanding = 0;
+    parked = None;
+    rpath;
+    phash;
+  }
+
+(* ---------- structural steal decisions ---------- *)
+
+(* [Hashtbl.hash] is deterministic across runs and domains, which is all
+   the decision needs; the victim-selection rng (placement only) is the
+   seeded one. *)
+let child_phash parent_phash ord = Hashtbl.hash (parent_phash, ord, 0x9e3779b9)
+
+let steal_decision rt fr sord =
+  let h = Hashtbl.hash (rt.cfg.seed, fr.phash, sord, 0x85ebca6b) land 0xffffff in
+  float_of_int h < rt.cfg.density *. 16777216.
+
+(* ---------- worker identity and task queue ---------- *)
+
+let wid_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> -1)
+
+let push_my rt task =
+  let w = Domain.DLS.get wid_key in
+  Ws_deque.push rt.deques.(w) task
+
+(* ---------- detection ---------- *)
+
+let report_determinacy rt loc =
+  Mutex.lock rt.races_mu;
+  Report.report rt.races
+    {
+      Report.kind = Report.Determinacy_race;
+      subject = loc;
+      subject_label = Engine.loc_label rt.eng loc;
+      first_frame = -1;
+      first_access = Report.Write;
+      second_frame = -1;
+      second_access = Report.Write;
+      second_strand = -1;
+      second_view_aware = false;
+      detail =
+        "online: structurally parallel accesses, at least one a write \
+         (endpoints not attributed; replay the steal trace serially for \
+         them)";
+    };
+  Mutex.unlock rt.races_mu
+
+let report_view_read rt reducer =
+  Mutex.lock rt.races_mu;
+  Report.report rt.races
+    {
+      Report.kind = Report.View_read_race;
+      subject = reducer;
+      subject_label = Printf.sprintf "reducer #%d" reducer;
+      first_frame = -1;
+      first_access = Report.Reducer_read;
+      second_frame = -1;
+      second_access = Report.Reducer_read;
+      second_strand = -1;
+      second_view_aware = false;
+      detail = "online: reducer-reads with different peer sets";
+    };
+  Mutex.unlock rt.races_mu
+
+(* SP+ determinacy rule on a (stored, current) pair: parallel, and — when
+   the serially-later endpoint is view-aware — operating on views that
+   are still distinct at the later endpoint ([earlier_entry_rid] is the
+   earlier side's surviving region under the at-sync policy). *)
+let determinacy_races (sp, s_aware) (cp, c_aware) =
+  match Fp.relate sp cp with
+  | Fp.Serial _ -> false
+  | Fp.Parallel { a_before_b; earlier_entry_rid } ->
+      let later_rid, later_aware =
+        if a_before_b then (cp.Fp.p_rid, c_aware) else (sp.Fp.p_rid, s_aware)
+      in
+      (not later_aware) || earlier_entry_rid <> later_rid
+
+(* Peer-Set rule (Lemma 3): two reads have the same peer set iff they
+   have the same serial spawn count and neither is in a P bag relative
+   to the other. SP-parallel implies P-bag membership, and a spawn-count
+   mismatch is racy outright; what we drop is the remaining bag case (an
+   SP-serial pair whose earlier read sits in a returned spawned subtree
+   yet whose counts coincide) — an under-approximation, so no false
+   positives. Both kept tests are arrival-order independent: counts by
+   the connected-compare-graph argument, parallelism because detection
+   order is a linear extension of the SP order (a read executes only
+   after all its SP predecessors), so the first completed parallel pair
+   always has one endpoint retained as the serial max. *)
+let peer_races (sp, ssc) (cp, csc) =
+  match Fp.relate sp cp with
+  | Fp.Parallel _ -> true
+  | Fp.Serial _ -> ssc <> csc
+
+let shadow_read rt loc pt aware =
+  with_slot rt.dshadow loc
+    ~fresh:(fun () -> { w = None; rmin = None; rmax = None })
+    (fun s ->
+      (match s.w with
+      | Some wr when determinacy_races wr (pt, aware) -> report_determinacy rt loc
+      | _ -> ());
+      (match s.rmin with
+      | None -> s.rmin <- Some (pt, aware)
+      | Some (m, _) ->
+          if Fp.serial_before pt m then s.rmin <- Some (pt, aware));
+      match s.rmax with
+      | None -> s.rmax <- Some (pt, aware)
+      | Some (m, _) -> if Fp.serial_before m pt then s.rmax <- Some (pt, aware))
+
+let shadow_write rt loc pt aware =
+  with_slot rt.dshadow loc
+    ~fresh:(fun () -> { w = None; rmin = None; rmax = None })
+    (fun s ->
+      let cur = (pt, aware) in
+      let races = function
+        | Some stored when determinacy_races stored cur -> true
+        | _ -> false
+      in
+      if races s.w || races s.rmin || races s.rmax then report_determinacy rt loc;
+      match s.w with
+      | None -> s.w <- Some cur
+      | Some (wp, _) -> if Fp.serial_before wp pt then s.w <- Some cur)
+
+let peer_read rt reducer pt sc =
+  with_slot rt.pshadow reducer
+    ~fresh:(fun () -> { pmin = None; pmax = None })
+    (fun s ->
+      let cur = (pt, sc) in
+      let races = function
+        | Some sp when peer_races sp cur -> true
+        | _ -> false
+      in
+      if races s.pmin || races s.pmax then report_view_read rt reducer;
+      (match s.pmin with
+      | None -> s.pmin <- Some cur
+      | Some (m, _) -> if Fp.serial_before pt m then s.pmin <- Some cur);
+      match s.pmax with
+      | None -> s.pmax <- Some cur
+      | Some (m, _) -> if Fp.serial_before m pt then s.pmax <- Some cur)
+
+(* ---------- effects ---------- *)
+
+type _ Effect.t +=
+  | Spawned : (unit -> unit) -> unit Effect.t
+        (* publish my continuation as a stealable task, then run the
+           child (child-first discipline) *)
+  | Park : ofr -> unit Effect.t
+        (* suspend until the frame's last outstanding child returns *)
+
+(* Run a fresh computation under the scheduler's handler. Continuation
+   tasks are resumed bare ([Effect.Deep.continue]): deep handlers travel
+   with the continuation, so their effects and exceptions still land
+   here. *)
+let run_comp rt (f : unit -> unit) : unit =
+  Effect.Deep.match_with f ()
+    {
+      retc = (fun () -> ());
+      exnc = (fun e -> contain rt e);
+      effc =
+        (fun (type b) (eff : b Effect.t) ->
+          match eff with
+          | Spawned child ->
+              Some
+                (fun (k : (b, unit) Effect.Deep.continuation) ->
+                  push_my rt (fun () -> Effect.Deep.continue k ());
+                  child ())
+          | Park fr ->
+              Some
+                (fun (k : (b, unit) Effect.Deep.continuation) ->
+                  Mutex.lock fr.lock;
+                  if fr.outstanding = 0 then begin
+                    Mutex.unlock fr.lock;
+                    Effect.Deep.continue k ()
+                  end
+                  else begin
+                    fr.parked <- Some (fun () -> Effect.Deep.continue k ());
+                    Mutex.unlock fr.lock;
+                    Atomic.incr rt.n_parks;
+                    if Obs.enabled () then Obs.bump_online_park ()
+                  end)
+          | _ -> None);
+    }
+
+let child_done rt parent =
+  Mutex.lock parent.lock;
+  parent.outstanding <- parent.outstanding - 1;
+  let resume =
+    if parent.outstanding = 0 then (
+      let p = parent.parked in
+      parent.parked <- None;
+      p)
+    else None
+  in
+  Mutex.unlock parent.lock;
+  match resume with Some tk -> push_my rt tk | None -> ()
+
+(* ---------- region merging (at-sync policy) ---------- *)
+
+(* Fold the steal-opened regions back into the frame's entry region,
+   newest first — the same merge order as the serial engine's repeated
+   [merge_top_two] at a sync. Runs on the frame's executor after every
+   child has joined, so the regions involved have no other owner. *)
+let merge_regions rt ctx fr =
+  let do_merge ~from ~into =
+    fr.region <- into;
+    let closures =
+      Mutex.lock rt.merges_mu;
+      let l = Dynarr.to_list rt.merges in
+      Mutex.unlock rt.merges_mu;
+      l
+    in
+    List.iter
+      (fun merge -> merge ctx ~from_region:from.orid ~into_region:into.orid)
+      closures;
+    Hashtbl.reset from.oviews
+  in
+  let rec go = function
+    | [] -> ()
+    | [ r1 ] -> do_merge ~from:r1 ~into:fr.base
+    | r1 :: (r2 :: _ as rest) ->
+        do_merge ~from:r1 ~into:r2;
+        go rest
+  in
+  go fr.opens;
+  fr.opens <- [];
+  fr.region <- fr.base
+
+let frame_sync rt ctx fr =
+  bump rt;
+  Mutex.lock fr.lock;
+  let pending = fr.outstanding > 0 in
+  Mutex.unlock fr.lock;
+  if pending then Effect.perform (Park fr);
+  merge_regions rt ctx fr;
+  fr.block <- fr.block + 1;
+  fr.ls <- 0
+
+(* ---------- DSL operations ---------- *)
+
+let user_ctx rt fr = Engine.online_ctx rt.eng (Obj.repr { fr; aux_kind = Tool.User_fn })
+
+let require_user o what =
+  if o.aux_kind <> Tool.User_fn then
+    err "%s is not allowed inside view-aware (update/reduce/identity) code" what
+
+(* Run [f] as a child User_fn frame of [child], including the implicit
+   sync, fill its future, then run [after] (join bookkeeping for stolen
+   children, nothing for inline ones). *)
+let child_main rt child fut f ~after =
+  bump rt;
+  let cctx = user_ctx rt child in
+  let v = f cctx in
+  frame_sync rt cctx child;
+  Engine.online_future_fill fut v;
+  after ()
+
+let spawn_impl : type a. rt -> Engine.ctx -> (Engine.ctx -> a) -> a Engine.future =
+ fun rt ctx f ->
+  let o = ost_of ctx in
+  require_user o "spawn";
+  let fr = o.fr in
+  bump rt;
+  let ord = fr.nuser in
+  fr.nuser <- ord + 1;
+  let sord = fr.nspawns in
+  fr.nspawns <- sord + 1;
+  fr.ls <- fr.ls + 1;
+  let seq = fr.seq in
+  fr.seq <- seq + 1;
+  let entry_region = fr.region in
+  let cum_entry = fr.cum_entry + fr.nspawns in
+  (* A spawned child's entry count includes its own spawn (Peer-Set's
+     [anc] is read after the parent's [ls] bump). *)
+  let sc_entry = fr.sc_entry + fr.ls in
+  let rs =
+    Fp.child fr.rs ~ord ~spawned:true ~block:fr.block ~seq
+      ~rid_entry:entry_region.orid ~cum_entry
+  in
+  let child =
+    mk_frame rt ~rs ~cum_entry ~sc_entry ~region:entry_region
+      ~rpath:(ord :: fr.rpath)
+      ~phash:(child_phash fr.phash ord)
+  in
+  let fut = Engine.online_future_make ~owner:fr.fid ~born_block:fr.block in
+  if steal_decision rt fr sord then begin
+    Mutex.lock rt.trace_mu;
+    Dynarr.push rt.trace
+      { Steal_trace.e_path = List.rev fr.rpath; e_ord = sord };
+    Mutex.unlock rt.trace_mu;
+    Atomic.incr rt.n_struct;
+    Mutex.lock fr.lock;
+    fr.outstanding <- fr.outstanding + 1;
+    Mutex.unlock fr.lock;
+    (* The continuation resumes in a fresh region, exactly as if stolen:
+       switch the frame's region before publishing the continuation. *)
+    let nr = fresh_region rt in
+    fr.opens <- nr :: fr.opens;
+    fr.region <- nr;
+    Effect.perform
+      (Spawned
+         (fun () ->
+           run_comp rt (fun () ->
+               child_main rt child fut f ~after:(fun () -> child_done rt fr))))
+  end
+  else
+    (* Not stolen: the child runs to completion on this worker before the
+       continuation — its parks suspend the whole serial chain, which is
+       the continuation's serial position anyway. *)
+    child_main rt child fut f ~after:(fun () -> ());
+  fut
+
+let call_impl : type a. rt -> Engine.ctx -> (Engine.ctx -> a) -> a =
+ fun rt ctx f ->
+  let o = ost_of ctx in
+  require_user o "call";
+  let fr = o.fr in
+  bump rt;
+  let ord = fr.nuser in
+  fr.nuser <- ord + 1;
+  let seq = fr.seq in
+  fr.seq <- seq + 1;
+  let cum_entry = fr.cum_entry + fr.nspawns in
+  let sc_entry = fr.sc_entry + fr.ls in
+  let rs =
+    Fp.child fr.rs ~ord ~spawned:false ~block:fr.block ~seq
+      ~rid_entry:fr.region.orid ~cum_entry
+  in
+  let child =
+    mk_frame rt ~rs ~cum_entry ~sc_entry ~region:fr.region
+      ~rpath:(ord :: fr.rpath)
+      ~phash:(child_phash fr.phash ord)
+  in
+  bump rt;
+  let cctx = user_ctx rt child in
+  let v = f cctx in
+  frame_sync rt cctx child;
+  v
+
+let get_impl : type a. rt -> Engine.ctx -> a Engine.future -> a =
+ fun _rt ctx fut ->
+  let o = ost_of ctx in
+  if o.fr.fid <> Engine.future_owner fut then
+    err "future read from a frame other than the spawning one";
+  if o.fr.block <= Engine.future_born_block fut then
+    err "future read before sync (the spawned child may still be running)";
+  match Engine.online_future_peek fut with
+  | Some v -> v
+  | None -> err "future has no value"
+
+let sync_impl rt ctx =
+  let o = ost_of ctx in
+  require_user o "sync";
+  frame_sync rt ctx o.fr
+
+let run_aux_impl : type a.
+    rt -> reducer:int -> Engine.ctx -> Tool.frame_kind -> (Engine.ctx -> a) -> a
+    =
+ fun rt ~reducer:_ ctx kind f ->
+  let o = ost_of ctx in
+  bump rt;
+  f (Engine.online_ctx rt.eng (Obj.repr { fr = o.fr; aux_kind = kind }))
+
+let emit_read_impl rt ctx loc =
+  let o = ost_of ctx in
+  bump rt;
+  match o.aux_kind with
+  | Tool.Reduce_fn -> ()
+  | k -> shadow_read rt loc (point_of o) (k <> Tool.User_fn)
+
+let emit_write_impl rt ctx loc =
+  let o = ost_of ctx in
+  bump rt;
+  match o.aux_kind with
+  | Tool.Reduce_fn -> ()
+  | k -> shadow_write rt loc (point_of o) (k <> Tool.User_fn)
+
+let emit_reducer_read_impl rt ctx red =
+  let o = ost_of ctx in
+  bump rt;
+  if o.aux_kind = Tool.User_fn then
+    peer_read rt red (point_of o) (o.fr.sc_entry + o.fr.ls)
+
+let register_reducer_impl rt ~merge =
+  Mutex.lock rt.merges_mu;
+  let id = Dynarr.length rt.merges in
+  Dynarr.push rt.merges merge;
+  Mutex.unlock rt.merges_mu;
+  id
+
+let alloc_locs_impl rt ~label n =
+  Mutex.lock rt.alloc_mu;
+  let base = Engine.raw_alloc_locs rt.eng ~label n in
+  Mutex.unlock rt.alloc_mu;
+  base
+
+(* Resolve a region id against the frame's reachable regions: its current
+   region, its entry region, and its steal-opened regions. Merge closures
+   only ever name regions of the frame performing the sync, and ordinary
+   reducer operations name the current region, so this never needs a
+   global table. *)
+let region_lookup (o : ost) rid =
+  let fr = o.fr in
+  if fr.region.orid = rid then fr.region
+  else if fr.base.orid = rid then fr.base
+  else
+    match List.find_opt (fun r -> r.orid = rid) fr.opens with
+    | Some r -> r
+    | None -> err "view region %d is not reachable from the current frame" rid
+
+(* ---------- worker loop ---------- *)
+
+let exec rt task =
+  Atomic.incr rt.n_tasks;
+  if Obs.enabled () then Obs.bump_online_task ();
+  task ()
+
+let stopped rt = Atomic.get rt.finished || Atomic.get rt.cancel
+
+let worker rt w first =
+  Domain.DLS.set wid_key w;
+  (match first with Some tk -> exec rt tk | None -> ());
+  (* Victim choice only affects placement, never the verdict. *)
+  let rng = Rader_support.Rng.create (rt.cfg.seed + (w * 7919) + 1) in
+  let p = Array.length rt.deques in
+  while not (stopped rt) do
+    match Ws_deque.pop rt.deques.(w) with
+    | Some tk -> exec rt tk
+    | None ->
+        if p > 1 then begin
+          let v = (w + 1 + Rader_support.Rng.int rng (p - 1)) mod p in
+          match Ws_deque.steal rt.deques.(v) with
+          | Some tk ->
+              Atomic.incr rt.n_deque_steals;
+              if Obs.enabled () then Obs.bump_online_deque_steal ();
+              exec rt tk
+          | None -> Domain.cpu_relax ()
+        end
+        else Domain.cpu_relax ()
+  done
+
+(* ---------- entry point ---------- *)
+
+let race_summary races =
+  let subjects kind =
+    List.filter_map
+      (fun r -> if r.Report.kind = kind then Some r.Report.subject else None)
+      races
+    |> List.sort_uniq compare |> List.map string_of_int |> String.concat ";"
+  in
+  Printf.sprintf "determinacy=[%s] view-read=[%s]"
+    (subjects Report.Determinacy_race)
+    (subjects Report.View_read_race)
+
+let run cfg program =
+  if cfg.workers < 1 then invalid_arg "Online.run: workers must be >= 1";
+  if not (cfg.density >= 0. && cfg.density <= 1.) then
+    invalid_arg "Online.run: density must be in [0, 1]";
+  if cfg.reach <> Rader_reach.Reach.Depa then
+    invalid_arg
+      "Online.run: the dset backend is serially anchored (replay-only); \
+       online detection requires --reach depa";
+  let eng = Engine.create () in
+  let rt =
+    {
+      eng;
+      cfg;
+      clock = (match cfg.clock with Some c -> c | None -> Unix.gettimeofday);
+      deques = Array.init cfg.workers (fun _ -> Ws_deque.create ());
+      finished = Atomic.make false;
+      cancel = Atomic.make false;
+      fail_mu = Mutex.create ();
+      failure = None;
+      result = Atomic.make None;
+      events = Atomic.make 0;
+      next_fid = Atomic.make 0;
+      next_rid = Atomic.make 0;
+      merges_mu = Mutex.create ();
+      merges = Dynarr.create ();
+      alloc_mu = Mutex.create ();
+      dshadow = stripes ();
+      pshadow = stripes ();
+      races_mu = Mutex.create ();
+      races = Report.collector ();
+      trace_mu = Mutex.create ();
+      trace = Dynarr.create ();
+      n_struct = Atomic.make 0;
+      n_tasks = Atomic.make 0;
+      n_deque_steals = Atomic.make 0;
+      n_parks = Atomic.make 0;
+    }
+  in
+  Engine.set_online eng
+    {
+      Engine.oo_spawn = (fun ctx f -> spawn_impl rt ctx f);
+      oo_get = (fun ctx fut -> get_impl rt ctx fut);
+      oo_sync = (fun ctx -> sync_impl rt ctx);
+      oo_call = (fun ctx f -> call_impl rt ctx f);
+      oo_run_aux = (fun ~reducer ctx kind f -> run_aux_impl rt ~reducer ctx kind f);
+      oo_emit_read = (fun ctx loc -> emit_read_impl rt ctx loc);
+      oo_emit_write = (fun ctx loc -> emit_write_impl rt ctx loc);
+      oo_emit_reducer_read = (fun ctx red -> emit_reducer_read_impl rt ctx red);
+      oo_register_reducer = (fun ~merge -> register_reducer_impl rt ~merge);
+      oo_alloc_locs = (fun ~label n -> alloc_locs_impl rt ~label n);
+      oo_current_region = (fun ctx -> (ost_of ctx).fr.region.orid);
+      oo_current_frame = (fun ctx -> (ost_of ctx).fr.fid);
+      oo_view_find =
+        (fun ctx ~region ~reducer ->
+          let o = ost_of ctx in
+          let r = region_lookup o region in
+          Hashtbl.find_opt r.oviews reducer);
+      oo_view_set =
+        (fun ctx ~region ~reducer v ->
+          let o = ost_of ctx in
+          let r = region_lookup o region in
+          Hashtbl.replace r.oviews reducer v);
+    };
+  let base = fresh_region rt in
+  let root =
+    mk_frame rt ~rs:(Fp.root ()) ~cum_entry:0 ~sc_entry:0 ~region:base
+      ~rpath:[] ~phash:0
+  in
+  let root_task () =
+    run_comp rt (fun () ->
+        let ctx = user_ctx rt root in
+        let v = program ctx in
+        frame_sync rt ctx root;
+        Atomic.set rt.result (Some v);
+        Atomic.set rt.finished true)
+  in
+  let obs_on = Obs.enabled () in
+  let merged = if obs_on then Some (Obs.zero ()) else None in
+  let merge_mu = Mutex.create () in
+  let body w first () =
+    let snap = if obs_on then Some (Obs.snapshot ()) else None in
+    worker rt w first;
+    match (snap, merged) with
+    | Some snap, Some into ->
+        let delta = Obs.since snap in
+        Mutex.lock merge_mu;
+        Obs.add ~into delta;
+        Mutex.unlock merge_mu
+    | _ -> ()
+  in
+  let others =
+    Array.init (cfg.workers - 1) (fun i ->
+        Domain.spawn (fun () -> body (i + 1) None ()))
+  in
+  body 0 (Some root_task) ();
+  Array.iter Domain.join others;
+  Engine.clear_online eng;
+  let value =
+    match rt.failure with
+    | Some f -> Error f
+    | None -> (
+        match Atomic.get rt.result with
+        | Some v -> Ok v
+        | None ->
+            Error
+              (Fault.Engine_invariant
+                 {
+                   what = "online run finished without a result";
+                   origin = origin_of rt;
+                 }))
+  in
+  let races =
+    List.sort
+      (fun a b ->
+        match compare a.Report.kind b.Report.kind with
+        | 0 -> compare a.Report.subject b.Report.subject
+        | c -> c)
+      (Report.races rt.races)
+  in
+  {
+    value;
+    races;
+    trace =
+      Steal_trace.make ~workers:cfg.workers ~seed:cfg.seed ~density:cfg.density
+        (Dynarr.to_list rt.trace);
+    n_structural_steals = Atomic.get rt.n_struct;
+    n_tasks = Atomic.get rt.n_tasks;
+    n_deque_steals = Atomic.get rt.n_deque_steals;
+    n_parks = Atomic.get rt.n_parks;
+    events = Atomic.get rt.events;
+    counters = merged;
+  }

@@ -1,0 +1,100 @@
+(* Chase–Lev work-stealing deque (Chase & Lev, SPAA'05; Lê et al.,
+   PPoPP'13) on OCaml 5 atomics, in the style of domainslib's ws_deque.
+
+   One domain — the owner — pushes and pops at the bottom; any other
+   domain steals from the top. [top] only ever increases (stealers and
+   the owner's race-resolution CAS advance it); [bottom] is written only
+   by the owner. The circular buffer holds one atomic cell per slot and
+   is grown (owner-only) by installing a fresh buffer: in-flight stealers
+   that loaded the old buffer still read correct values because the owner
+   never overwrites an index smaller than the current [bottom] and the
+   CAS on [top] decides ownership of each element exactly once. OCaml's
+   [Atomic] operations are sequentially consistent, which is the memory
+   model the textbook proof assumes. *)
+
+type 'a buffer = { mask : int; cells : 'a option Atomic.t array }
+
+let make_buffer cap =
+  { mask = cap - 1; cells = Array.init cap (fun _ -> Atomic.make None) }
+
+let buf_get buf i = Atomic.get buf.cells.(i land buf.mask)
+let buf_set buf i v = Atomic.set buf.cells.(i land buf.mask) v
+
+type 'a t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  buf : 'a buffer Atomic.t;
+}
+
+let create ?(capacity = 32) () =
+  let cap = ref 1 in
+  while !cap < capacity do
+    cap := !cap * 2
+  done;
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    buf = Atomic.make (make_buffer !cap);
+  }
+
+let size d =
+  let b = Atomic.get d.bottom and t = Atomic.get d.top in
+  max 0 (b - t)
+
+let grow d ~top ~bottom =
+  let old = Atomic.get d.buf in
+  let nbuf = make_buffer (2 * (old.mask + 1)) in
+  for i = top to bottom - 1 do
+    buf_set nbuf i (buf_get old i)
+  done;
+  Atomic.set d.buf nbuf;
+  nbuf
+
+(* Owner only. *)
+let push d v =
+  let b = Atomic.get d.bottom in
+  let t = Atomic.get d.top in
+  let buf = Atomic.get d.buf in
+  let buf = if b - t > buf.mask then grow d ~top:t ~bottom:b else buf in
+  buf_set buf b (Some v);
+  Atomic.set d.bottom (b + 1)
+
+(* Owner only. LIFO end — the task most recently pushed. *)
+let pop d =
+  let b = Atomic.get d.bottom - 1 in
+  Atomic.set d.bottom b;
+  let t = Atomic.get d.top in
+  if b < t then begin
+    (* Empty: restore the canonical empty state. *)
+    Atomic.set d.bottom t;
+    None
+  end
+  else begin
+    let buf = Atomic.get d.buf in
+    let v = buf_get buf b in
+    if b > t then begin
+      buf_set buf b None;
+      v
+    end
+    else begin
+      (* Last element: race with stealers for it via the top CAS. *)
+      let won = Atomic.compare_and_set d.top t (t + 1) in
+      Atomic.set d.bottom (t + 1);
+      if won then begin
+        buf_set buf b None;
+        v
+      end
+      else None
+    end
+  end
+
+(* Any domain. FIFO end — the oldest task. *)
+let steal d =
+  let t = Atomic.get d.top in
+  let b = Atomic.get d.bottom in
+  if t >= b then None
+  else begin
+    let buf = Atomic.get d.buf in
+    let v = buf_get buf t in
+    if Atomic.compare_and_set d.top t (t + 1) then v else None
+  end

@@ -1,0 +1,37 @@
+(** Chase–Lev work-stealing deque on OCaml 5 atomics.
+
+    The concurrent double-ended queue at the heart of a randomized
+    work-stealing runtime (Blumofe & Leiserson; Chase & Lev SPAA'05):
+    exactly one domain — the {e owner} — pushes and pops at the bottom
+    (LIFO, preserving the serial depth-first order locally), while any
+    number of thief domains {!steal} from the top (FIFO, taking the
+    shallowest — largest — piece of work). All three operations are
+    lock-free; [push]/[pop] are O(1) with no atomic read-modify-write in
+    the common case, and [steal] is a single CAS.
+
+    Discipline: {!push} and {!pop} must only ever be called from the
+    owning domain; {!steal} may be called from anywhere. A [steal] that
+    loses its CAS race returns [None] rather than retrying — the caller's
+    steal loop picks a new victim, which is what a randomized scheduler
+    wants anyway. *)
+
+type 'a t
+
+(** [create ()] is an empty deque. [capacity] (default 32, rounded up to
+    a power of two) sizes the initial ring; the buffer grows as needed. *)
+val create : ?capacity:int -> unit -> 'a t
+
+(** [push d v] appends [v] at the bottom. Owner only. *)
+val push : 'a t -> 'a -> unit
+
+(** [pop d] removes and returns the most recently pushed element, or
+    [None] if the deque is empty. Owner only. *)
+val pop : 'a t -> 'a option
+
+(** [steal d] removes and returns the oldest element, or [None] if the
+    deque is empty {e or} the CAS race was lost. Any domain. *)
+val steal : 'a t -> 'a option
+
+(** [size d] is a racy estimate of the current length (exact when
+    quiescent). *)
+val size : 'a t -> int

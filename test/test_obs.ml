@@ -130,6 +130,29 @@ let test_phases_reported () =
   checkb "phase times nonnegative" true
     (List.for_all (fun (_, s) -> s >= 0.0) o.Coverage.obs_phases)
 
+(* --- counters under forced domains ------------------------------------ *)
+
+(* The RADER_FORCE_DOMAINS hatch makes the default-jobs sweep spawn
+   domains even on a single-core runner; the merged counters must still
+   be byte-identical to the serial reference (per-domain DLS deltas
+   folded in spec order). *)
+let test_conservation_forced_domains () =
+  let prior = Sys.getenv_opt "RADER_FORCE_DOMAINS" in
+  let restore () =
+    Unix.putenv "RADER_FORCE_DOMAINS" (Option.value prior ~default:"")
+  in
+  Fun.protect ~finally:restore (fun () ->
+      Unix.putenv "RADER_FORCE_DOMAINS" "2";
+      let serial =
+        Coverage.exhaustive_check ~jobs:1 ~with_obs:true planted_reduce_race
+      in
+      let forced =
+        Coverage.exhaustive_check ~jobs:0 ~with_obs:true planted_reduce_race
+      in
+      checkb "forced-domain merged counters = serial" true
+        (Obs.to_assoc (obs_of forced).Coverage.obs_counters
+        = Obs.to_assoc (obs_of serial).Coverage.obs_counters))
+
 (* --- enabling obs does not change verdicts ---------------------------- *)
 
 let test_obs_does_not_change_verdicts () =
@@ -262,6 +285,8 @@ let () =
           Alcotest.test_case "crashing program" `Quick test_conservation_crashing;
           Alcotest.test_case "budgeted sweeps" `Quick test_conservation_budgeted;
           Alcotest.test_case "phases reported" `Quick test_phases_reported;
+          Alcotest.test_case "forced domains" `Quick
+            test_conservation_forced_domains;
           Alcotest.test_case "verdicts unchanged" `Quick
             test_obs_does_not_change_verdicts;
         ] );

@@ -198,6 +198,38 @@ let test_map_task_exception_propagates () =
       | exception Failure msg -> Alcotest.(check string) "poisoned" "boom" msg)
     [ 1; 2; 4 ]
 
+(* RADER_FORCE_DOMAINS pins default_jobs regardless of the probed core
+   count, so the jobs<=0 path genuinely spawns domains on single-core CI
+   runners. The sweep under the forced default must still match the
+   serial reference. *)
+let test_force_domains_env () =
+  let prior = Sys.getenv_opt "RADER_FORCE_DOMAINS" in
+  let restore () =
+    Unix.putenv "RADER_FORCE_DOMAINS" (Option.value prior ~default:"")
+  in
+  Fun.protect ~finally:restore (fun () ->
+      Unix.putenv "RADER_FORCE_DOMAINS" "3";
+      check "default_jobs honors the override" 3 (Parallel_sweep.default_jobs ());
+      let results, stats =
+        Parallel_sweep.map ~jobs:0
+          ~init:(fun wid -> wid)
+          ~task:(fun _ i -> i + 1)
+          ~skipped:(fun _ -> -1)
+          32
+      in
+      check "forced worker count used" 3 stats.Parallel_sweep.jobs;
+      checkb "results in index order under forced domains" true
+        (Array.to_list results = List.init 32 (fun i -> i + 1));
+      let serial = fingerprint (Coverage.exhaustive_check ~jobs:1 planted_reduce_race) in
+      let forced = fingerprint (Coverage.exhaustive_check ~jobs:0 planted_reduce_race) in
+      fp_equal "forced-domain sweep" serial forced;
+      (* junk values fall back to the probed count instead of exploding *)
+      Unix.putenv "RADER_FORCE_DOMAINS" "zero";
+      checkb "junk override ignored" true (Parallel_sweep.default_jobs () >= 1);
+      Unix.putenv "RADER_FORCE_DOMAINS" "-2";
+      checkb "non-positive override ignored" true
+        (Parallel_sweep.default_jobs () >= 1))
+
 (* --- Engine.reset reuse round-trip ------------------------------------ *)
 
 let run_stats_and_races eng det program =
@@ -260,6 +292,7 @@ let () =
           Alcotest.test_case "index-ordered results" `Quick test_map_basics;
           Alcotest.test_case "stop skips" `Quick test_map_stop_skips_everything;
           Alcotest.test_case "exception poisons" `Quick test_map_task_exception_propagates;
+          Alcotest.test_case "forced domains env hatch" `Quick test_force_domains_env;
         ] );
       ( "engine reuse",
         [
