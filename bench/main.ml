@@ -999,6 +999,122 @@ let s10_print progs =
     progs;
   Tablefmt.print t
 
+(* ---------- S11: symbolic verification vs the enumerated sweep ---------- *)
+
+(* [rader verify] wall-clock against the enumerated §7 sweep on the same
+   program, plus how many of the family's replays the symbolic layer
+   eliminated (certified without running). Reducer-free programs
+   (fib-futures, stencil) have an empty residual set, so the whole family
+   collapses to the no-steal run — the replays-avoided column is the
+   acceptance number. Parity (identical racy-location sets) is asserted,
+   not just reported. *)
+
+module Witness = Rader_analysis.Witness
+
+type s11_row = {
+  s11_name : string;
+  s11_n_specs : int;
+  s11_sweep_run : int;
+  s11_sweep_s : float;
+  s11_replays : int;
+  s11_verify_s : float;
+  s11_racy : int;
+  s11_parity : bool;
+}
+
+let s11_avoided_pct r =
+  100.0
+  *. float_of_int (r.s11_n_specs - r.s11_replays)
+  /. float_of_int (max 1 r.s11_n_specs)
+
+let s11_symbolic_verify () =
+  let s11_scale = if fast then 0.25 else 0.5 in
+  let demo name =
+    match Demos.resolve ~scale:s11_scale name with
+    | Ok p -> (name, p)
+    | Error m -> failwith m
+  in
+  let oblivious =
+    [
+      Bm_oblivious.fib_futures ~n:(if fast then 12 else 16);
+      Bm_oblivious.stencil ~seed:1
+        ~n:(if fast then 1024 else 4096)
+        ~rounds:(if fast then 2 else 4)
+        ~grain:32;
+    ]
+  in
+  let corpus =
+    List.map demo [ "fig1-buggy"; "fig1-fixed"; "fib"; "wordcount" ]
+    @ List.map (fun b -> (b.Bench_def.name, b.Bench_def.cilk)) oblivious
+  in
+  List.map
+    (fun (name, prog) ->
+      Printf.printf "timing %-12s [verify] ...%!" name;
+      let sweep, sweep_s =
+        Stats.time_it (fun () -> Coverage.exhaustive_check prog)
+      in
+      let w, verify_s =
+        Stats.time_it (fun () ->
+            match Witness.verify ~name prog with
+            | Ok w -> w
+            | Error f -> failwith ("S11: verify failed: " ^ Diag.to_string f))
+      in
+      Printf.printf " done\n%!";
+      {
+        s11_name = name;
+        s11_n_specs = sweep.Coverage.n_specs;
+        s11_sweep_run = sweep.Coverage.n_run;
+        s11_sweep_s = sweep_s;
+        s11_replays = w.Witness.n_replays;
+        s11_verify_s = verify_s;
+        s11_racy = List.length w.Witness.racy_locs;
+        s11_parity = w.Witness.racy_locs = sweep.Coverage.racy_locs;
+      })
+    corpus
+
+let s11_print s11rows =
+  Printf.printf
+    "\nS11: symbolic verification (rader verify) vs the enumerated sweep —\n\
+     replays eliminated by the closed-form scan, at identical verdicts\n\
+     -------------------------------------------------------------------\n";
+  let t =
+    Tablefmt.create
+      [
+        "Benchmark";
+        "specs";
+        "sweep runs";
+        "sweep s";
+        "verify replays";
+        "verify s";
+        "avoided %";
+        "speedup";
+        "racy";
+        "parity";
+      ]
+  in
+  List.iter
+    (fun r ->
+      Tablefmt.add_row t
+        [
+          r.s11_name;
+          string_of_int r.s11_n_specs;
+          string_of_int r.s11_sweep_run;
+          Printf.sprintf "%.3g" r.s11_sweep_s;
+          string_of_int r.s11_replays;
+          Printf.sprintf "%.3g" r.s11_verify_s;
+          Printf.sprintf "%.0f%%" (s11_avoided_pct r);
+          Printf.sprintf "%.2f" (r.s11_sweep_s /. r.s11_verify_s);
+          string_of_int r.s11_racy;
+          (if r.s11_parity then "ok" else "MISMATCH");
+        ])
+    s11rows;
+  Tablefmt.print t;
+  List.iter
+    (fun r ->
+      if not r.s11_parity then
+        failwith ("S11: verify/sweep verdict mismatch on " ^ r.s11_name))
+    s11rows
+
 (* ---------- bechamel micro-benchmarks: one Test.make per table ---------- *)
 
 let bechamel_tables () =
@@ -1086,7 +1202,8 @@ let rec emit_json buf = function
         fields;
       Buffer.add_char buf '}'
 
-let bench_json rows (s4 : s4_data) s6rows s7rows (s8 : s8_data) s9rows s10progs =
+let bench_json rows (s4 : s4_data) s6rows s7rows (s8 : s8_data) s9rows s10progs
+    s11rows =
   let overhead_grid base =
     Obj
       (List.map
@@ -1204,9 +1321,28 @@ let bench_json rows (s4 : s4_data) s6rows s7rows (s8 : s8_data) s9rows s10progs 
                ] ))
          s10progs)
   in
+  let s11_json =
+    Obj
+      (List.map
+         (fun r ->
+           ( r.s11_name,
+             Obj
+               [
+                 ("n_specs", Int r.s11_n_specs);
+                 ("sweep_runs", Int r.s11_sweep_run);
+                 ("sweep_s", Num r.s11_sweep_s);
+                 ("verify_replays", Int r.s11_replays);
+                 ("verify_s", Num r.s11_verify_s);
+                 ("replays_avoided_pct", Num (s11_avoided_pct r));
+                 ("speedup_vs_sweep", Num (r.s11_sweep_s /. r.s11_verify_s));
+                 ("racy_locs", Int r.s11_racy);
+                 ("parity", Bool r.s11_parity);
+               ] ))
+         s11rows)
+  in
   Obj
     [
-      ("schema", Str "rader-bench/6");
+      ("schema", Str "rader-bench/7");
       ("scale", Num scale);
       ("fast", Bool fast);
       ("ncores", Int s4.s4_ncores);
@@ -1271,11 +1407,12 @@ let bench_json rows (s4 : s4_data) s6rows s7rows (s8 : s8_data) s9rows s10progs 
                 ] );
           ] );
       ("s10_online_throughput", s10_json);
+      ("s11_symbolic_verify", s11_json);
     ]
 
-let write_bench_json rows s4 s6rows s7rows s8 s9rows s10progs =
+let write_bench_json rows s4 s6rows s7rows s8 s9rows s10progs s11rows =
   let buf = Buffer.create 4096 in
-  emit_json buf (bench_json rows s4 s6rows s7rows s8 s9rows s10progs);
+  emit_json buf (bench_json rows s4 s6rows s7rows s8 s9rows s10progs s11rows);
   Buffer.add_char buf '\n';
   let oc = open_out "BENCH_rader.json" in
   Buffer.output_buffer oc buf;
@@ -1307,6 +1444,8 @@ let () =
   s9_print s9rows;
   let s10progs = s10_online_throughput () in
   s10_print s10progs;
-  write_bench_json rows s4 s6rows s7rows s8 s9rows s10progs;
+  let s11rows = s11_symbolic_verify () in
+  s11_print s11rows;
+  write_bench_json rows s4 s6rows s7rows s8 s9rows s10progs s11rows;
   if not skip_bechamel then bechamel_tables ();
   Printf.printf "\ndone.\n"

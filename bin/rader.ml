@@ -3,6 +3,7 @@
    Subcommands:
      rader check    run a benchmark or demo under a detector + steal spec
      rader coverage run the §7 exhaustive steal-specification enumeration
+     rader verify   symbolic whole-family verification, witness replays only
      rader lint     static reducer-misuse lint over the SP parse tree
      rader chaos    run the fault-containment battery against a program
      rader fuzz     run under simulated work-stealing schedules
@@ -340,6 +341,7 @@ let do_coverage program scale verbose max_specs max_events deadline_s jobs prune
     match res.Coverage.reports with
     | [] ->
         print_endline "no determinacy races under any specification that ran";
+        print_endline "racy locs:";
         0
     | reports ->
         Printf.printf "%d racy location(s):\n" (List.length reports);
@@ -351,6 +353,10 @@ let do_coverage program scale verbose max_specs max_events deadline_s jobs prune
                 Printf.printf "    reproduce with: --steal %s\n" spec.Steal_spec.name
             | None -> ())
           reports;
+        (* stable one-line summary, byte-comparable with `rader verify` *)
+        Printf.printf "racy locs:%s\n"
+          (String.concat ""
+             (List.map (fun l -> " " ^ string_of_int l) res.Coverage.racy_locs));
         1
   in
   if res.Coverage.complete then race_code
@@ -413,6 +419,63 @@ let coverage_cmd =
       $ max_events_arg $ deadline_arg $ jobs_arg $ prune_arg $ reach_arg
       $ metrics_arg $ trace_out_arg)
 
+(* ---------- verify: symbolic whole-spec-space verification ---------- *)
+
+let max_pairs_arg =
+  Arg.(
+    value
+    & opt int 100_000
+    & info [ "max-pairs" ] ~docv:"N"
+        ~doc:
+          "Per-location budget for the symbolic pair scan; past it the \
+           scan is reported truncated and the no-steal replay is kept \
+           (the verdict stays sound, the symbolic detail partial).")
+
+let do_verify program scale json reach max_pairs jobs max_events deadline_s
+    metrics =
+  if jobs < 0 then begin
+    Printf.eprintf "--jobs must be >= 0 (0 = one worker per core)\n";
+    exit 2
+  end;
+  let prog = resolve_program ~scale program in
+  let with_obs = metrics <> None in
+  match
+    An.Witness.verify ?reach ~max_pairs ~jobs ?max_events ?deadline:deadline_s
+      ~with_obs ~name:program prog
+  with
+  | Error f ->
+      Printf.printf "contained failure: %s\n" (Diag.to_string f);
+      print_endline
+        "(the recorded run crashed; run the enumerated sweep: rader coverage)";
+      3
+  | Ok w ->
+      if json then print_string (An.Witness.to_json w ^ "\n")
+      else print_string (An.Witness.to_table w);
+      (match (w.An.Witness.res.Coverage.obs, metrics) with
+      | Some o, Some fmt ->
+          print_metrics fmt o.Coverage.obs_counters ~phases:o.Coverage.obs_phases
+      | _ -> ());
+      if not w.An.Witness.complete then 3
+      else if w.An.Witness.racy_locs <> [] then 1
+      else 0
+
+let verify_cmd =
+  let doc =
+    "Symbolically verify a program across the whole §7 steal-specification \
+     family, replaying only the witness specifications; every verdict is \
+     replay-confirmed and byte-identical to $(b,rader coverage)."
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the witness table as one JSON object.")
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc)
+    Term.(
+      const do_verify $ program_arg $ scale_arg $ json_arg $ reach_arg
+      $ max_pairs_arg $ jobs_arg $ max_events_arg $ deadline_arg $ metrics_arg)
+
 (* ---------- lint ---------- *)
 
 let do_lint program all scale reach json dot_out baseline write_baseline =
@@ -444,7 +507,14 @@ let do_lint program all scale reach json dot_out baseline write_baseline =
             | Error msg ->
                 Printf.printf "%s: %s\n" name msg;
                 incr failures);
-            Some (name, ir, An.Lint.run ~program:prog ir))
+            (* R006 needs the symbolic verification result; a crashing
+               program just loses that rule (contained above). *)
+            let verify =
+              match An.Witness.verify ?reach ~name prog with
+              | Ok w -> Some w
+              | Error _ -> None
+            in
+            Some (name, ir, An.Lint.run ~program:prog ?verify ir))
       programs
   in
   let multi = List.length programs > 1 in
@@ -554,7 +624,7 @@ let write_baseline_arg =
 
 let lint_cmd =
   let doc =
-    "Statically lint a program for reducer misuse (rules R001-R005) over \
+    "Statically lint a program for reducer misuse (rules R001-R006) over \
      the canonical SP parse tree of one recorded run."
   in
   Cmd.v
@@ -665,7 +735,7 @@ let replay_subjects prog spec reach =
     online_kind_subjects (Peer_set.races pe) Report.View_read_race,
     ok )
 
-let do_online program scale seed runs workers density reach max_events
+let do_online program scale seed runs workers stripes density reach max_events
     deadline_s metrics trace_out no_replay =
   if workers < 1 then begin
     Printf.eprintf "rader online: --workers must be >= 1\n";
@@ -675,6 +745,11 @@ let do_online program scale seed runs workers density reach max_events
     Printf.eprintf "rader online: --runs must be >= 1\n";
     exit 2
   end;
+  (match stripes with
+  | Some s when s < 1 ->
+      Printf.eprintf "rader online: --stripes must be >= 1\n";
+      exit 2
+  | _ -> ());
   (match reach with
   | Some Reach.Dset ->
       Printf.eprintf
@@ -705,6 +780,7 @@ let do_online program scale seed runs workers density reach max_events
         seed = run_seed;
         density;
         reach = Reach.Depa;
+        stripes;
         max_events;
         deadline;
         clock = None;
@@ -821,6 +897,16 @@ let online_cmd =
       value & opt int 2
       & info [ "workers"; "p" ] ~docv:"P" ~doc:"Worker domains (>= 1).")
   in
+  let online_stripes_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "stripes" ] ~docv:"N"
+          ~doc:
+            "Shadow-space lock stripes (>= 1, rounded up to a power of \
+             two). Default: derived from $(b,--workers). Striping only \
+             affects contention, never the verdict.")
+  in
   let online_trace_out_arg =
     Arg.(
       value
@@ -841,8 +927,9 @@ let online_cmd =
     (Cmd.info "online" ~doc)
     Term.(
       const do_online $ program_arg $ scale_arg $ seed_arg $ online_runs_arg
-      $ online_workers_arg $ density_arg $ reach_arg $ max_events_arg
-      $ deadline_arg $ metrics_arg $ online_trace_out_arg $ no_replay_arg)
+      $ online_workers_arg $ online_stripes_arg $ density_arg $ reach_arg
+      $ max_events_arg $ deadline_arg $ metrics_arg $ online_trace_out_arg
+      $ no_replay_arg)
 
 (* ---------- dag ---------- *)
 
@@ -1154,7 +1241,8 @@ let do_submit addr mode program scale seed spec_str density max_events
                   (match mode with
                   | `Check -> Sproto.Check
                   | `Coverage -> Sproto.Coverage
-                  | `Lint -> Sproto.Lint);
+                  | `Lint -> Sproto.Lint
+                  | `Verify -> Sproto.Verify);
                 program;
                 scale;
                 seed;
@@ -1187,12 +1275,20 @@ let submit_cmd =
   in
   let mode_arg =
     let m =
-      Arg.enum [ ("check", `Check); ("coverage", `Coverage); ("lint", `Lint) ]
+      Arg.enum
+        [
+          ("check", `Check);
+          ("coverage", `Coverage);
+          ("lint", `Lint);
+          ("verify", `Verify);
+        ]
     in
     Arg.(
       value & opt m `Check
       & info [ "mode"; "m" ] ~docv:"MODE"
-          ~doc:"Request kind: $(b,check), $(b,coverage) or $(b,lint).")
+          ~doc:
+            "Request kind: $(b,check), $(b,coverage), $(b,lint) or \
+             $(b,verify).")
   in
   let submit_program_arg =
     Arg.(
@@ -1294,6 +1390,7 @@ let () =
          [
            check_cmd;
            coverage_cmd;
+           verify_cmd;
            lint_cmd;
            chaos_cmd;
            fuzz_cmd;

@@ -22,6 +22,7 @@ let rules =
     ("R003", Info, "reducer created but never read or updated");
     ("R004", Warning, "result depends on the reduction schedule (eager vs at-sync)");
     ("R005", Warning, "view-aware data accessed view-obliviously in parallel");
+    ("R006", Error, "spec-independent race: racy under every steal spec");
   ]
 
 (* Compact, space-free subject keys: baselines are line-oriented. *)
@@ -190,12 +191,43 @@ let r004 program =
       ]
   | _ -> (* equal, or a replay crashed: nothing provable *) []
 
+(* ---------- R006: spec-independent race ---------- *)
+
+(* Fed by the symbolic verification result: a location whose witness pair
+   is view-oblivious at both endpoints races under *every* steal spec of
+   the §7 family (Symbolic's class-A argument), cross-checked against the
+   residual replays by [Witness.verify]. The strongest diagnostic the
+   tool can issue — no schedule, steal placement or reduction order makes
+   the program safe. *)
+let r006 ir (w : Witness.t) =
+  List.filter_map
+    (fun (row : Witness.row) ->
+      match row.Witness.r_verdict with
+      | Witness.Racy { first_strand; second_strand; always = true; _ } ->
+          Some
+            {
+              rule = "R006";
+              severity = Error;
+              subject = loc_subject ir row.Witness.r_loc;
+              message =
+                Printf.sprintf
+                  "raw parallel accesses to %s (strands %d and %d) race \
+                   under every steal spec of the family (%d specs, \
+                   replay-confirmed): no schedule is safe"
+                  row.Witness.r_label first_strand second_strand
+                  w.Witness.n_specs;
+              strands = [ first_strand; second_strand ];
+            }
+      | _ -> None)
+    w.Witness.rows
+
 (* ---------- driver ---------- *)
 
-let run ?program ?(max_pairs = 100_000) ir =
+let run ?program ?verify ?(max_pairs = 100_000) ir =
   let findings =
     r001 ir @ loc_rules ir ~max_pairs @ r003 ir
     @ (match program with None -> [] | Some p -> r004 p)
+    @ (match verify with None -> [] | Some w -> r006 ir w)
   in
   List.sort (fun a b -> compare (a.rule, a.subject) (b.rule, b.subject)) findings
 

@@ -26,13 +26,19 @@
       view-aware frame (update body) is also accessed view-obliviously on
       a logically parallel strand, with a write on at least one side — a
       view's guts leaked out of its strand (the Fig.-1 shallow-copy bug).
+    - {b R006} (error) — {e spec-independent race}: the symbolic verifier
+      proved the location races under {e every} steal spec of the §7
+      family (both witness endpoints view-oblivious), cross-checked
+      against the residual replays — the strongest diagnostic the tool
+      can issue. Only emitted when a {!Witness.t} is supplied (it needs
+      the witness replays).
 
     Exit-code mapping in the CLI: any finding → 1, none → 0, usage → 2. *)
 
 type severity = Error | Warning | Info
 
 type finding = {
-  rule : string;  (** stable id, ["R001"] .. ["R005"] *)
+  rule : string;  (** stable id, ["R001"] .. ["R006"] *)
   severity : severity;
   subject : string;
       (** compact, space-free subject key, e.g. ["reducer:0"] or
@@ -48,12 +54,14 @@ val rules : (string * severity * string) list
 
 (** [run ir] evaluates every rule and returns the findings sorted by rule
     id then subject. [program] enables the differential rule R004 (it
-    needs two extra replays); without it R004 is skipped.
+    needs two extra replays); without it R004 is skipped. [verify]
+    enables R006, fed by the symbolic verification result.
     Location-pair rules (R002/R005) examine at most [max_pairs] strand
     pairs per location (default [100_000]) and stop at the first witness
     per (rule, location). *)
 val run :
   ?program:(Rader_runtime.Engine.ctx -> int) ->
+  ?verify:Witness.t ->
   ?max_pairs:int ->
   Ir.t ->
   finding list

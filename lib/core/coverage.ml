@@ -188,6 +188,143 @@ let specs_for_reductions ~k =
 let all_specs ~k ~d =
   (Steal_spec.none :: specs_for_updates ~k ~d) @ specs_for_reductions ~k
 
+(* ---------- symbolic no-steal scan ----------
+
+   SP+ under [Steal_spec.none] degenerates to a closed form: no steal ever
+   fires, so every access carries view id 0 and the detector's check
+   collapses to "recorded access parallel with the current one, and the
+   current one view-oblivious" (the view-aware branch compares equal view
+   ids and never fires). Its shadow keeps a recorded access unless it is
+   serial with the current strand, so by transitivity of SP precedence the
+   retained entry is parallel to the current access whenever any dropped
+   one was — per location, the single-slot shadow misses nothing. The
+   no-steal verdict is therefore computable from the recorded trace alone:
+
+     racy(none)(loc) ⟺ ∃ accesses x before y at loc, strands parallel
+                        (parse-tree Lemma 4), at least one a write, and
+                        y view-oblivious.
+
+   When additionally x is view-oblivious, both endpoints are plain user
+   code: they execute, at the same location, under *every* steal spec
+   (steals never perturb view-oblivious strands of an ostensibly
+   deterministic program), stay parallel (the SP relation of user strands
+   is program-determined), and the later-endpoint-oblivious check fires
+   regardless of view ids — the location races on every spec of the
+   family. That is the strongest verdict the analyzer can issue (lint
+   R006) and the basis for skipping the no-steal replay entirely when the
+   scan proves it clean. *)
+
+type certificate =
+  | No_parallel_pair  (** no two accesses are ever logically parallel *)
+  | Parallel_reads_only  (** parallel accesses exist but none writes *)
+  | Va_suppressed
+      (** a parallel pair with a write exists, but every such pair's later
+          endpoint is view-aware: clean without steals; only the residual
+          replays can decide the stolen schedules *)
+
+type loc_scan = {
+  ls_loc : int;
+  ls_first : Rader_runtime.Engine.access;  (** witness pair, serial order *)
+  ls_second : Rader_runtime.Engine.access;
+  ls_always : bool;
+      (** both witness endpoints view-oblivious: racy under every spec *)
+}
+
+type scan = {
+  scan_racy : loc_scan list;  (** ascending location *)
+  scan_clean : (int * certificate) list;  (** ascending location *)
+  scan_truncated : bool;
+      (** some location blew the pair budget: its verdict (and every
+          skip decision resting on scan completeness) is void *)
+}
+
+let scan_trace ?(max_pairs = 100_000) (trace : Trace.t) =
+  let ix = Rader_dag.Sp_tree.index (Trace.sp_tree trace) in
+  let by_loc = Hashtbl.create 64 in
+  List.iter
+    (fun (a : Engine.access) ->
+      let prev =
+        try Hashtbl.find by_loc a.Engine.a_loc with Not_found -> []
+      in
+      Hashtbl.replace by_loc a.Engine.a_loc (a :: prev))
+    trace.Trace.accesses;
+  let locs =
+    List.sort compare
+      (Hashtbl.fold (fun l accs acc -> (l, List.rev accs) :: acc) by_loc [])
+  in
+  let truncated = ref false in
+  let racy = ref [] in
+  let clean = ref [] in
+  List.iter
+    (fun (loc, accs) ->
+      let budget = ref max_pairs in
+      let any_parallel = ref false in
+      let suppressed = ref false in
+      let first_racy = ref None in
+      let first_always = ref None in
+      (try
+         let rec outer = function
+           | [] -> ()
+           | (x : Engine.access) :: rest ->
+               let rec inner = function
+                 | [] -> outer rest
+                 | (y : Engine.access) :: more ->
+                     if !budget <= 0 then begin
+                       truncated := true;
+                       raise Exit
+                     end;
+                     decr budget;
+                     if
+                       x.Engine.a_strand <> y.Engine.a_strand
+                       && Rader_dag.Sp_tree.parallel ix x.Engine.a_strand
+                            y.Engine.a_strand
+                     then begin
+                       any_parallel := true;
+                       if x.Engine.a_is_write || y.Engine.a_is_write then
+                         if not y.Engine.a_view_aware then begin
+                           if !first_racy = None then first_racy := Some (x, y);
+                           if not x.Engine.a_view_aware then begin
+                             first_always := Some (x, y);
+                             raise Exit (* strongest verdict: stop *)
+                           end
+                         end
+                         else suppressed := true
+                     end;
+                     inner more
+               in
+               inner rest
+         in
+         outer accs
+       with Exit -> ());
+      match (!first_always, !first_racy) with
+      | Some (x, y), _ ->
+          racy :=
+            { ls_loc = loc; ls_first = x; ls_second = y; ls_always = true }
+            :: !racy
+      | None, Some (x, y) ->
+          racy :=
+            { ls_loc = loc; ls_first = x; ls_second = y; ls_always = false }
+            :: !racy
+      | None, None ->
+          let cert =
+            if !suppressed then Va_suppressed
+            else if !any_parallel then Parallel_reads_only
+            else No_parallel_pair
+          in
+          clean := (loc, cert) :: !clean)
+    locs;
+  {
+    scan_racy = List.rev !racy;
+    scan_clean = List.rev !clean;
+    scan_truncated = !truncated;
+  }
+
+let symbolic_scan ?max_pairs program =
+  let eng = Engine.create ~record:true () in
+  match Engine.run_result eng program with
+  | Error f -> Error f
+  | Ok _ -> Ok (scan_trace ?max_pairs (Trace.of_engine eng))
+
 type span = {
   span_spec : string;
   span_worker : int;
@@ -205,6 +342,8 @@ type result = {
   prof : profile;
   n_specs : int;
   n_pruned : int;
+  n_skipped : int;
+  sym : scan option;
   n_run : int;
   racy_locs : int list;
   reports : Report.t list;
@@ -238,7 +377,8 @@ type spec_outcome =
   | Not_run
 
 let exhaustive_check ?max_specs ?max_events ?deadline ?(jobs = 1)
-    ?(with_obs = false) ?(prune = false) ?reach program =
+    ?(with_obs = false) ?(prune = false) ?(symbolic = false) ?max_pairs ?reach
+    program =
   let abs_deadline = Option.map (fun s -> Unix.gettimeofday () +. s) deadline in
   let past_deadline () =
     match abs_deadline with
@@ -258,14 +398,40 @@ let exhaustive_check ?max_specs ?max_events ?deadline ?(jobs = 1)
   let prof_counters = Option.map Obs.since prof_snap in
   let specs = all_specs ~k:prof.k ~d:prof.d in
   let n_specs = List.length specs in
+  (* The symbolic fast path needs one extra recorded no-steal run; like
+     pruning it is sound only against a complete profile, and a crashing
+     program voids it too (fall back to the enumerated sweep). *)
+  let sym =
+    if symbolic && prof_failure = None then
+      match
+        Obs.timed phase_profile (fun () -> symbolic_scan ?max_pairs program)
+      with
+      | Ok s -> Some s
+      | Error _ -> None
+    else None
+  in
   (* Pruning is sound only against a complete relevance profile: if the
      profiling run crashed, keep the whole family. *)
-  let specs, n_pruned =
-    if prune && prof_failure = None then begin
-      let kept = prune_specs prof specs in
-      (kept, n_specs - List.length kept)
-    end
-    else (specs, 0)
+  let specs, n_pruned, n_skipped =
+    match sym with
+    | Some s ->
+        (* Symbolic selection: every spec outside the residual set is
+           provably verdict-identical to [Steal_spec.none] (the relevance
+           lemma), and [none] itself is needed only when the scan found —
+           or, truncated, could have missed — a no-steal race. *)
+        let keep (sp : Steal_spec.t) =
+          match sp.Steal_spec.shape with
+          | Steal_spec.Never -> s.scan_racy <> [] || s.scan_truncated
+          | _ -> spec_relevant prof sp
+        in
+        let kept = List.filter keep specs in
+        (kept, 0, n_specs - List.length kept)
+    | None ->
+        if prune && prof_failure = None then begin
+          let kept = prune_specs prof specs in
+          (kept, n_specs - List.length kept, 0)
+        end
+        else (specs, 0, 0)
   in
   let specs, dropped =
     match max_specs with
@@ -394,6 +560,8 @@ let exhaustive_check ?max_specs ?max_events ?deadline ?(jobs = 1)
     prof;
     n_specs;
     n_pruned;
+    n_skipped;
+    sym;
     n_run = !n_run;
     racy_locs = List.sort_uniq compare (Hashtbl.fold (fun k () acc -> k :: acc) seen []);
     reports = List.rev !reports;

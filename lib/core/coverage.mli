@@ -80,6 +80,65 @@ val specs_for_reductions : k:int -> Rader_runtime.Steal_spec.t list
     spec). *)
 val all_specs : k:int -> d:int -> Rader_runtime.Steal_spec.t list
 
+(** {2 Symbolic no-steal scan}
+
+    SP+ under [Steal_spec.none] has a closed form: no steal fires, every
+    access carries view id 0, and the detector reports exactly the
+    locations with two logically parallel accesses, at least one a write,
+    whose {e later} endpoint is view-oblivious (the view-aware branch
+    compares equal view ids and never fires; single-slot shadow retention
+    is per-location complete because entries are only replaced by
+    serially-later accesses and SP precedence is transitive). The scan
+    recomputes that verdict from one recorded run with parse-tree Lemma-4
+    queries — no replay, no detector. Together with {!spec_relevant}
+    (every spec outside the residual set replays byte-identically to
+    [none]) it lets {!exhaustive_check}[ ~symbolic:true] cover the whole
+    §7 family with replays only for the no-steal witness and the residual
+    specs — and with {e zero} replays when the scan is clean and the
+    residual set empty. See DESIGN.md §14. *)
+
+(** Why a location cannot race without steals, independently of the
+    schedule. *)
+type certificate =
+  | No_parallel_pair  (** no two accesses are ever logically parallel *)
+  | Parallel_reads_only  (** parallel accesses exist but none writes *)
+  | Va_suppressed
+      (** parallel write-pairs exist but each one's later endpoint is
+          view-aware — only the residual replays can decide the stolen
+          schedules *)
+
+type loc_scan = {
+  ls_loc : int;
+  ls_first : Rader_runtime.Engine.access;
+      (** earlier endpoint of the witness pair (the first such pair in
+          serial scan order — the minimality the witness table reports) *)
+  ls_second : Rader_runtime.Engine.access;  (** later endpoint *)
+  ls_always : bool;
+      (** both endpoints view-oblivious: the pair executes, stays
+          parallel, and fires the later-endpoint-oblivious check under
+          {e every} spec of the family — racy on all of them (lint R006) *)
+}
+
+type scan = {
+  scan_racy : loc_scan list;  (** no-steal-racy locations, ascending *)
+  scan_clean : (int * certificate) list;  (** clean locations, ascending *)
+  scan_truncated : bool;
+      (** some location blew the pair budget: scan-based skip decisions
+          are void (the sweep keeps the no-steal replay) *)
+}
+
+(** [scan_trace trace] computes the symbolic no-steal verdict from a
+    recorded [Steal_spec.none] trace. [max_pairs] (default 100_000) bounds
+    the per-location pair scan; blowing it sets [scan_truncated]. *)
+val scan_trace : ?max_pairs:int -> Trace.t -> scan
+
+(** [symbolic_scan program] records one no-steal run and scans it.
+    [Error] if the program crashed (contained). *)
+val symbolic_scan :
+  ?max_pairs:int ->
+  (Rader_runtime.Engine.ctx -> 'a) ->
+  (scan, Diag.failure) result
+
 type span = {
   span_spec : string;  (** steal-spec name this replay ran *)
   span_worker : int;  (** worker domain id (0-based) that ran it *)
@@ -105,6 +164,14 @@ type result = {
   n_specs : int;  (** size of the full spec family for this profile *)
   n_pruned : int;
       (** specs dropped by [~prune] as provably redundant (0 without it) *)
+  n_skipped : int;
+      (** specs the [~symbolic] fast path proved redundant without
+          replaying (0 without it); includes [Steal_spec.none] itself when
+          the scan proved the no-steal execution race-free *)
+  sym : scan option;
+      (** the symbolic scan, when [~symbolic] ran one (present even if
+          truncated; [None] when the scan's recorded run crashed and the
+          sweep fell back to enumeration) *)
   n_run : int;  (** specs actually attempted (≤ [n_specs] under budgets) *)
   racy_locs : int list;  (** union over all runs, sorted *)
   reports : Report.t list;  (** deduplicated by location *)
@@ -158,6 +225,16 @@ type result = {
     in [incomplete] (their verdicts are already covered by the no-steal
     replay). If the profiling run crashed, pruning is disabled for that
     sweep. Default false.
+    @param symbolic compute the no-steal verdict symbolically (one extra
+    recorded run, see {!symbolic_scan}) and replay {e only} the witness
+    specs: the no-steal spec when the scan found (or, truncated, could
+    have missed) a race, plus the residual relevant specs. [racy_locs]
+    and [reports] stay byte-identical to the enumerated sweep — enforced
+    by property tests — while skipped specs count in [n_skipped]. A clean
+    scan over an empty residual set replays {e nothing}. Subsumes
+    [~prune]. Disabled (full fall-back, [sym = None] or [n_skipped = 0])
+    when the profiling or scan run crashes. Default false.
+    @param max_pairs per-location pair budget for the [~symbolic] scan.
     @param reach precedence backend for the per-worker SP+ detectors
     (default [Dset]); verdicts are backend-independent, only the cost
     model changes. *)
@@ -168,6 +245,8 @@ val exhaustive_check :
   ?jobs:int ->
   ?with_obs:bool ->
   ?prune:bool ->
+  ?symbolic:bool ->
+  ?max_pairs:int ->
   ?reach:Rader_reach.Reach.backend ->
   (Rader_runtime.Engine.ctx -> 'a) ->
   result

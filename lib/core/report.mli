@@ -27,6 +27,9 @@ type t = {
 (** [to_string r] is a one-line human-readable description. *)
 val to_string : t -> string
 
+(** [access_str k] — ["read"] / ["write"] / ["reducer-read"]. *)
+val access_str : access_kind -> string
+
 (** A per-subject deduplicating collector: like the paper's Rader, each
     racy location/reducer is reported once (the first time). *)
 type collector

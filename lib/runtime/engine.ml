@@ -76,6 +76,7 @@ type t = {
   rreads_log : (int * int) Dynarr.t;
   aux_log : (Tool.frame_kind * int * int) Dynarr.t;
   spawn_log : (int * int * int) Dynarr.t;
+  spawn_conts_log : (Steal_spec.cont_info * int * int) Dynarr.t;
   frames_log : (int * int * bool * Tool.frame_kind) Dynarr.t;
   reducer_merges :
     (ctx -> from_region:int -> into_region:int -> unit) Dynarr.t;
@@ -151,6 +152,7 @@ let create ?(tool = Tool.null) ?(spec = Steal_spec.none) ?(record = false)
     rreads_log = Dynarr.create ();
     aux_log = Dynarr.create ();
     spawn_log = Dynarr.create ();
+    spawn_conts_log = Dynarr.create ();
     frames_log = Dynarr.create ();
     reducer_merges = Dynarr.create ();
     pending_deps = [];
@@ -203,6 +205,7 @@ let reset ?(tool = Tool.null) ?(spec = Steal_spec.none) ?(record = false)
   Dynarr.clear t.rreads_log;
   Dynarr.clear t.aux_log;
   Dynarr.clear t.spawn_log;
+  Dynarr.clear t.spawn_conts_log;
   Dynarr.clear t.frames_log;
   Dynarr.clear t.reducer_merges;
   t.pending_deps <- [];
@@ -429,8 +432,10 @@ let serial_spawn ctx f =
   end;
   (* Continuation after a spawn depends only on the spawn strand. *)
   fr_continue t pf ~preds:[ spawn_strand ];
-  if t.record then
+  if t.record then begin
     Dynarr.push t.spawn_log (info.Steal_spec.spawn_index, spawn_strand, pf.cur_node);
+    Dynarr.push t.spawn_conts_log (info, spawn_strand, pf.cur_node)
+  end;
   fut
 
 let spawn ctx f =
@@ -626,6 +631,7 @@ let merges t = Dynarr.to_list t.merges_log
 let reducer_reads t = Dynarr.to_list t.rreads_log
 let aux_frames t = Dynarr.to_list t.aux_log
 let spawn_log t = Dynarr.to_list t.spawn_log
+let spawn_conts t = Dynarr.to_list t.spawn_conts_log
 let frames t = Dynarr.to_list t.frames_log
 
 (* -------- low-level hooks -------- *)

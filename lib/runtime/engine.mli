@@ -214,6 +214,14 @@ val aux_frames : t -> (Tool.frame_kind * int * int) list
     into a {!Steal_spec.t}. *)
 val spawn_log : t -> (int * int * int) list
 
+(** [spawn_conts t] is the same log with the full steal coordinates: for
+    every spawn in serial order,
+    [(cont_info, spawn_strand, continuation_strand)]. The [cont_info]
+    carries the (frame, depth, local_index, sync_block) coordinates a
+    steal-spec shape matches on — what the symbolic verifier needs to
+    name the witness spec that steals exactly this continuation. *)
+val spawn_conts : t -> (Steal_spec.cont_info * int * int) list
+
 (** [frames t] is, for every frame in creation order,
     [(frame, parent, spawned, kind)] ([parent = -1] for the root). *)
 val frames : t -> (int * int * bool * Tool.frame_kind) list

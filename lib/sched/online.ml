@@ -11,6 +11,7 @@ type config = {
   seed : int;
   density : float;
   reach : Rader_reach.Reach.backend;
+  stripes : int option;
   max_events : int option;
   deadline : float option;
   clock : (unit -> float) option;
@@ -22,6 +23,7 @@ let default ?(workers = 2) ?(seed = 1) ?(density = 0.5) () =
     seed;
     density;
     reach = Rader_reach.Reach.Depa;
+    stripes = None;
     max_events = None;
     deadline = None;
     clock = None;
@@ -79,11 +81,39 @@ type ofr = {
   mutable parked : (unit -> unit) option;  (* suspended sync resumption *)
   rpath : int list;  (* user-child ordinals, frame -> root (reversed) *)
   phash : int;  (* rolling structural hash of [rpath] *)
+  items : oitem Dynarr.t;
+      (* the frame's serial-order event skeleton (children, aux frames,
+         syncs), pushed only by the frame's current executor — enough to
+         replay the serial engine's frame/strand numbering post-run *)
+  mutable in_merge : bool;  (* executing this frame's sync-time merges *)
 }
 
-(* The [Obj.t] payload behind [Engine.ctx]: which frame, and whether we
-   are inside a view-aware auxiliary callback of it. *)
-type ost = { fr : ofr; aux_kind : Tool.frame_kind }
+(* One serially-ordered event on a frame. Mirrors exactly what consumes a
+   frame id or a strand id in the serial engine: a user child (fresh fid,
+   enter strand, subtree, implicit sync strand, then a continue strand on
+   this frame), an auxiliary frame (fresh fid + one strand; a continue
+   strand unless it is a reduce running inside a merge), or a sync
+   (unconditionally one strand, after the merge reduces). *)
+and oitem =
+  | It_user of ofr
+  | It_aux of { continue : bool }
+  | It_sync
+
+(* The [Obj.t] payload behind [Engine.ctx]: which frame, whether we are
+   inside a view-aware auxiliary callback of it, and — if so — which
+   [It_aux] item of the frame that callback is ([-1] for user code). *)
+type ost = { fr : ofr; aux_kind : Tool.frame_kind; aux_item : int }
+
+(* A race endpoint, recorded at access time and resolved to the serial
+   replay's (frame, strand) ids after the run: either user code on [ep_fr]
+   after [ep_item] recorded items, or the auxiliary frame at item index
+   [ep_item]. *)
+type ep = { ep_fr : ofr; ep_item : int; ep_aux : bool }
+
+let ep_of (o : ost) =
+  if o.aux_item >= 0 then { ep_fr = o.fr; ep_item = o.aux_item; ep_aux = true }
+  else
+    { ep_fr = o.fr; ep_item = Dynarr.length o.fr.items; ep_aux = false }
 
 let ost_of ctx : ost = Obj.obj (Engine.ctx_ost ctx)
 
@@ -99,37 +129,51 @@ let point_of (o : ost) =
 
 (* ---------- lock-striped shadow spaces ---------- *)
 
-let n_stripes = 64
+(* Stripe width: an explicit [stripes] rounds up to a power of two (the
+   slot index is a mask); the default scales with the worker count so
+   contention stays flat as domains are added, floored at the historical
+   64-way layout. *)
+let next_pow2 n =
+  let rec go k = if k >= n then k else go (k * 2) in
+  go 1
+
+let stripe_count cfg =
+  match cfg.stripes with
+  | None -> max 64 (next_pow2 (cfg.workers * 16))
+  | Some s ->
+      if s < 1 then invalid_arg "Online.run: stripes must be >= 1";
+      next_pow2 s
 
 (* Determinacy shadow: serially-last writer plus serially-least and
-   -greatest readers per location. The SP-order retention lemma (if x is
-   parallel to a dropped reader r with min <= r <= max in serial order,
-   then x is parallel to min or to max) makes the racy-location set
-   independent of the order workers reach the table. *)
+   -greatest readers per location, each with the endpoint descriptor that
+   produced it. The SP-order retention lemma (if x is parallel to a
+   dropped reader r with min <= r <= max in serial order, then x is
+   parallel to min or to max) makes the racy-location set independent of
+   the order workers reach the table. *)
 type dslot = {
-  mutable w : (Fp.point * bool) option;  (* point, view_aware *)
-  mutable rmin : (Fp.point * bool) option;
-  mutable rmax : (Fp.point * bool) option;
+  mutable w : (Fp.point * bool * ep) option;  (* point, view_aware, endpoint *)
+  mutable rmin : (Fp.point * bool * ep) option;
+  mutable rmax : (Fp.point * bool * ep) option;
 }
 
 (* Peer-Set shadow: serially-least/-greatest reducer-read per reducer,
    each with its serial spawn count (the number of outstanding spawns on
    the reading frame's ancestor chain — Lemma 3's peer-set key). *)
 type pslot = {
-  mutable pmin : (Fp.point * int) option;
-  mutable pmax : (Fp.point * int) option;
+  mutable pmin : (Fp.point * int * ep) option;
+  mutable pmax : (Fp.point * int * ep) option;
 }
 
 type 'slot stripes = { mus : Mutex.t array; tbls : (int, 'slot) Hashtbl.t array }
 
-let stripes () =
+let stripes n =
   {
-    mus = Array.init n_stripes (fun _ -> Mutex.create ());
-    tbls = Array.init n_stripes (fun _ -> Hashtbl.create 64);
+    mus = Array.init n (fun _ -> Mutex.create ());
+    tbls = Array.init n (fun _ -> Hashtbl.create 64);
   }
 
 let with_slot st key ~fresh f =
-  let i = key land (n_stripes - 1) in
+  let i = key land (Array.length st.mus - 1) in
   Mutex.lock st.mus.(i);
   Fun.protect
     ~finally:(fun () -> Mutex.unlock st.mus.(i))
@@ -145,6 +189,20 @@ let with_slot st key ~fresh f =
       f slot)
 
 (* ---------- the runtime ---------- *)
+
+(* A race recorded during the run, with raw endpoint descriptors; the
+   (frame, strand) ids are resolved after all workers join, by replaying
+   the serial engine's numbering over the recorded item skeleton. *)
+type proto = {
+  pr_kind : Report.race_kind;
+  pr_subject : int;
+  pr_label : string;
+  pr_first : ep;
+  pr_first_access : Report.access_kind;
+  pr_second : ep;
+  pr_second_access : Report.access_kind;
+  pr_second_aware : bool;
+}
 
 type rt = {
   eng : Engine.t;
@@ -165,7 +223,8 @@ type rt = {
   dshadow : dslot stripes;
   pshadow : pslot stripes;
   races_mu : Mutex.t;
-  races : Report.collector;
+  protos : proto Dynarr.t;
+  seen : (Report.race_kind * int, unit) Hashtbl.t;  (* per-subject dedup *)
   trace_mu : Mutex.t;
   trace : Steal_trace.entry Dynarr.t;
   n_struct : int Atomic.t;
@@ -236,6 +295,8 @@ let mk_frame rt ~rs ~cum_entry ~sc_entry ~region ~rpath ~phash =
     parked = None;
     rpath;
     phash;
+    items = Dynarr.create ();
+    in_merge = false;
   }
 
 (* ---------- structural steal decisions ---------- *)
@@ -259,42 +320,43 @@ let push_my rt task =
 
 (* ---------- detection ---------- *)
 
-let report_determinacy rt loc =
+(* Record a proto-report, first race per (kind, subject) wins — the same
+   dedup rule as [Report.collector]. *)
+let record_proto rt p =
   Mutex.lock rt.races_mu;
-  Report.report rt.races
-    {
-      Report.kind = Report.Determinacy_race;
-      subject = loc;
-      subject_label = Engine.loc_label rt.eng loc;
-      first_frame = -1;
-      first_access = Report.Write;
-      second_frame = -1;
-      second_access = Report.Write;
-      second_strand = -1;
-      second_view_aware = false;
-      detail =
-        "online: structurally parallel accesses, at least one a write \
-         (endpoints not attributed; replay the steal trace serially for \
-         them)";
-    };
+  let key = (p.pr_kind, p.pr_subject) in
+  if not (Hashtbl.mem rt.seen key) then begin
+    Hashtbl.add rt.seen key ();
+    Dynarr.push rt.protos p
+  end;
   Mutex.unlock rt.races_mu
 
-let report_view_read rt reducer =
-  Mutex.lock rt.races_mu;
-  Report.report rt.races
+let report_determinacy rt loc ~first ~first_access ~second ~second_access
+    ~second_aware =
+  record_proto rt
     {
-      Report.kind = Report.View_read_race;
-      subject = reducer;
-      subject_label = Printf.sprintf "reducer #%d" reducer;
-      first_frame = -1;
-      first_access = Report.Reducer_read;
-      second_frame = -1;
-      second_access = Report.Reducer_read;
-      second_strand = -1;
-      second_view_aware = false;
-      detail = "online: reducer-reads with different peer sets";
-    };
-  Mutex.unlock rt.races_mu
+      pr_kind = Report.Determinacy_race;
+      pr_subject = loc;
+      pr_label = Engine.loc_label rt.eng loc;
+      pr_first = first;
+      pr_first_access = first_access;
+      pr_second = second;
+      pr_second_access = second_access;
+      pr_second_aware = second_aware;
+    }
+
+let report_view_read rt reducer ~first ~second =
+  record_proto rt
+    {
+      pr_kind = Report.View_read_race;
+      pr_subject = reducer;
+      pr_label = Printf.sprintf "reducer #%d" reducer;
+      pr_first = first;
+      pr_first_access = Report.Reducer_read;
+      pr_second = second;
+      pr_second_access = Report.Reducer_read;
+      pr_second_aware = false;
+    }
 
 (* SP+ determinacy rule on a (stored, current) pair: parallel, and — when
    the serially-later endpoint is view-aware — operating on views that
@@ -325,51 +387,66 @@ let peer_races (sp, ssc) (cp, csc) =
   | Fp.Parallel _ -> true
   | Fp.Serial _ -> ssc <> csc
 
-let shadow_read rt loc pt aware =
+let shadow_read rt loc pt aware ep =
   with_slot rt.dshadow loc
     ~fresh:(fun () -> { w = None; rmin = None; rmax = None })
     (fun s ->
       (match s.w with
-      | Some wr when determinacy_races wr (pt, aware) -> report_determinacy rt loc
+      | Some (wp, w_aware, w_ep) when determinacy_races (wp, w_aware) (pt, aware)
+        ->
+          report_determinacy rt loc ~first:w_ep ~first_access:Report.Write
+            ~second:ep ~second_access:Report.Read ~second_aware:aware
       | _ -> ());
       (match s.rmin with
-      | None -> s.rmin <- Some (pt, aware)
-      | Some (m, _) ->
-          if Fp.serial_before pt m then s.rmin <- Some (pt, aware));
+      | None -> s.rmin <- Some (pt, aware, ep)
+      | Some (m, _, _) ->
+          if Fp.serial_before pt m then s.rmin <- Some (pt, aware, ep));
       match s.rmax with
-      | None -> s.rmax <- Some (pt, aware)
-      | Some (m, _) -> if Fp.serial_before m pt then s.rmax <- Some (pt, aware))
+      | None -> s.rmax <- Some (pt, aware, ep)
+      | Some (m, _, _) ->
+          if Fp.serial_before m pt then s.rmax <- Some (pt, aware, ep))
 
-let shadow_write rt loc pt aware =
+let shadow_write rt loc pt aware ep =
   with_slot rt.dshadow loc
     ~fresh:(fun () -> { w = None; rmin = None; rmax = None })
     (fun s ->
-      let cur = (pt, aware) in
       let races = function
-        | Some stored when determinacy_races stored cur -> true
-        | _ -> false
+        | Some (sp, s_aware, _) -> determinacy_races (sp, s_aware) (pt, aware)
+        | None -> false
       in
-      if races s.w || races s.rmin || races s.rmax then report_determinacy rt loc;
+      (* report against the first racing stored endpoint, writer first *)
+      (match
+         List.find_opt
+           (fun (stored, _) -> races stored)
+           [ (s.w, Report.Write); (s.rmin, Report.Read); (s.rmax, Report.Read) ]
+       with
+      | Some (Some (_, _, s_ep), first_access) ->
+          report_determinacy rt loc ~first:s_ep ~first_access ~second:ep
+            ~second_access:Report.Write ~second_aware:aware
+      | _ -> ());
       match s.w with
-      | None -> s.w <- Some cur
-      | Some (wp, _) -> if Fp.serial_before wp pt then s.w <- Some cur)
+      | None -> s.w <- Some (pt, aware, ep)
+      | Some (wp, _, _) -> if Fp.serial_before wp pt then s.w <- Some (pt, aware, ep))
 
-let peer_read rt reducer pt sc =
+let peer_read rt reducer pt sc ep =
   with_slot rt.pshadow reducer
     ~fresh:(fun () -> { pmin = None; pmax = None })
     (fun s ->
-      let cur = (pt, sc) in
       let races = function
-        | Some sp when peer_races sp cur -> true
-        | _ -> false
+        | Some (sp, ssc, _) -> peer_races (sp, ssc) (pt, sc)
+        | None -> false
       in
-      if races s.pmin || races s.pmax then report_view_read rt reducer;
+      (match
+         List.find_opt races [ s.pmin; s.pmax ] |> Option.join
+       with
+      | Some (_, _, s_ep) -> report_view_read rt reducer ~first:s_ep ~second:ep
+      | None -> ());
       (match s.pmin with
-      | None -> s.pmin <- Some cur
-      | Some (m, _) -> if Fp.serial_before pt m then s.pmin <- Some cur);
+      | None -> s.pmin <- Some (pt, sc, ep)
+      | Some (m, _, _) -> if Fp.serial_before pt m then s.pmin <- Some (pt, sc, ep));
       match s.pmax with
-      | None -> s.pmax <- Some cur
-      | Some (m, _) -> if Fp.serial_before m pt then s.pmax <- Some cur)
+      | None -> s.pmax <- Some (pt, sc, ep)
+      | Some (m, _, _) -> if Fp.serial_before m pt then s.pmax <- Some (pt, sc, ep))
 
 (* ---------- effects ---------- *)
 
@@ -454,7 +531,10 @@ let merge_regions rt ctx fr =
         do_merge ~from:r1 ~into:r2;
         go rest
   in
-  go fr.opens;
+  fr.in_merge <- true;
+  Fun.protect
+    ~finally:(fun () -> fr.in_merge <- false)
+    (fun () -> go fr.opens);
   fr.opens <- [];
   fr.region <- fr.base
 
@@ -465,12 +545,17 @@ let frame_sync rt ctx fr =
   Mutex.unlock fr.lock;
   if pending then Effect.perform (Park fr);
   merge_regions rt ctx fr;
+  (* the serial engine allocates a sync strand unconditionally, after the
+     merge reduces *)
+  Dynarr.push fr.items It_sync;
   fr.block <- fr.block + 1;
   fr.ls <- 0
 
 (* ---------- DSL operations ---------- *)
 
-let user_ctx rt fr = Engine.online_ctx rt.eng (Obj.repr { fr; aux_kind = Tool.User_fn })
+let user_ctx rt fr =
+  Engine.online_ctx rt.eng
+    (Obj.repr { fr; aux_kind = Tool.User_fn; aux_item = -1 })
 
 let require_user o what =
   if o.aux_kind <> Tool.User_fn then
@@ -514,6 +599,7 @@ let spawn_impl : type a. rt -> Engine.ctx -> (Engine.ctx -> a) -> a Engine.futur
       ~rpath:(ord :: fr.rpath)
       ~phash:(child_phash fr.phash ord)
   in
+  Dynarr.push fr.items (It_user child);
   let fut = Engine.online_future_make ~owner:fr.fid ~born_block:fr.block in
   if steal_decision rt fr sord then begin
     Mutex.lock rt.trace_mu;
@@ -563,6 +649,7 @@ let call_impl : type a. rt -> Engine.ctx -> (Engine.ctx -> a) -> a =
       ~rpath:(ord :: fr.rpath)
       ~phash:(child_phash fr.phash ord)
   in
+  Dynarr.push fr.items (It_user child);
   bump rt;
   let cctx = user_ctx rt child in
   let v = f cctx in
@@ -591,27 +678,33 @@ let run_aux_impl : type a.
  fun rt ~reducer:_ ctx kind f ->
   let o = ost_of ctx in
   bump rt;
-  f (Engine.online_ctx rt.eng (Obj.repr { fr = o.fr; aux_kind = kind }))
+  let fr = o.fr in
+  let idx = Dynarr.length fr.items in
+  (* a reduce inside a sync-time merge does not continue the frame's
+     strand afterwards (serial [in_reduce]); everything else does *)
+  Dynarr.push fr.items
+    (It_aux { continue = not (kind = Tool.Reduce_fn && fr.in_merge) });
+  f (Engine.online_ctx rt.eng (Obj.repr { fr; aux_kind = kind; aux_item = idx }))
 
 let emit_read_impl rt ctx loc =
   let o = ost_of ctx in
   bump rt;
   match o.aux_kind with
   | Tool.Reduce_fn -> ()
-  | k -> shadow_read rt loc (point_of o) (k <> Tool.User_fn)
+  | k -> shadow_read rt loc (point_of o) (k <> Tool.User_fn) (ep_of o)
 
 let emit_write_impl rt ctx loc =
   let o = ost_of ctx in
   bump rt;
   match o.aux_kind with
   | Tool.Reduce_fn -> ()
-  | k -> shadow_write rt loc (point_of o) (k <> Tool.User_fn)
+  | k -> shadow_write rt loc (point_of o) (k <> Tool.User_fn) (ep_of o)
 
 let emit_reducer_read_impl rt ctx red =
   let o = ost_of ctx in
   bump rt;
   if o.aux_kind = Tool.User_fn then
-    peer_read rt red (point_of o) (o.fr.sc_entry + o.fr.ls)
+    peer_read rt red (point_of o) (o.fr.sc_entry + o.fr.ls) (ep_of o)
 
 let register_reducer_impl rt ~merge =
   Mutex.lock rt.merges_mu;
@@ -671,6 +764,101 @@ let worker rt w first =
         else Domain.cpu_relax ()
   done
 
+(* ---------- endpoint attribution ---------- *)
+
+(* Replay the serial engine's frame/strand numbering over the recorded
+   item skeleton. The serial engine allocates frame ids in creation
+   (preorder) order and strand ids in execution order, with fixed rules:
+   every frame gets an "enter" strand on entry; a user child's whole
+   subtree (ending in its implicit sync strand) precedes a "cont" strand
+   on the parent; an auxiliary frame consumes a fresh frame id plus one
+   strand, then a "cont" strand unless it was a reduce inside a merge;
+   every sync allocates one strand after its merge reduces. A depth-first
+   walk applying those rules to [items] therefore reproduces the exact
+   ids a serial replay of the recorded steal trace assigns (trace replays
+   use the at-sync reduce policy, so no merges happen at steal time). *)
+type serial_ids = {
+  si_fids : (int, int) Hashtbl.t;  (* online fid -> serial fid *)
+  si_segs : (int, int array) Hashtbl.t;
+      (* online fid -> strand after k recorded items, k = 0..n *)
+  si_auxs : (int * int, int * int) Hashtbl.t;
+      (* (online fid, item index) -> aux (serial fid, strand) *)
+}
+
+let resolve_serial_ids root =
+  let next_fid = ref 0 and next_strand = ref 0 in
+  let fresh r =
+    let v = !r in
+    incr r;
+    v
+  in
+  let ids =
+    {
+      si_fids = Hashtbl.create 64;
+      si_segs = Hashtbl.create 64;
+      si_auxs = Hashtbl.create 16;
+    }
+  in
+  let rec dfs fr =
+    Hashtbl.replace ids.si_fids fr.fid (fresh next_fid);
+    let n = Dynarr.length fr.items in
+    let seg = Array.make (n + 1) 0 in
+    seg.(0) <- fresh next_strand;
+    (* "enter" / root "main" *)
+    for i = 0 to n - 1 do
+      seg.(i + 1) <-
+        (match Dynarr.get fr.items i with
+        | It_user child ->
+            dfs child;
+            fresh next_strand (* "cont" *)
+        | It_aux { continue } ->
+            let afid = fresh next_fid in
+            let astrand = fresh next_strand in
+            Hashtbl.replace ids.si_auxs (fr.fid, i) (afid, astrand);
+            if continue then fresh next_strand else seg.(i)
+        | It_sync -> fresh next_strand (* "sync" *))
+    done;
+    Hashtbl.replace ids.si_segs fr.fid seg
+  in
+  dfs root;
+  ids
+
+let ep_ids ids ep =
+  if ep.ep_aux then Hashtbl.find_opt ids.si_auxs (ep.ep_fr.fid, ep.ep_item)
+  else
+    match
+      ( Hashtbl.find_opt ids.si_fids ep.ep_fr.fid,
+        Hashtbl.find_opt ids.si_segs ep.ep_fr.fid )
+    with
+    | Some f, Some seg when ep.ep_item < Array.length seg ->
+        Some (f, seg.(ep.ep_item))
+    | _ -> None
+
+let base_detail = function
+  | Report.Determinacy_race ->
+      "online: structurally parallel accesses, at least one a write"
+  | Report.View_read_race -> "online: reducer-reads with different peer sets"
+
+let resolve_report ids p =
+  let detail = base_detail p.pr_kind in
+  let first_frame, second_frame, second_strand, detail =
+    match (ep_ids ids p.pr_first, ep_ids ids p.pr_second) with
+    | Some (ff, _), Some (sf, ss) -> (ff, sf, ss, detail)
+    | _ -> (-1, -1, -1, detail ^ " (endpoints not attributed)")
+  in
+  {
+    Report.kind = p.pr_kind;
+    subject = p.pr_subject;
+    subject_label = p.pr_label;
+    first_frame;
+    first_access = p.pr_first_access;
+    second_frame;
+    second_access = p.pr_second_access;
+    second_strand;
+    second_view_aware = p.pr_second_aware;
+    detail;
+  }
+
 (* ---------- entry point ---------- *)
 
 let race_summary races =
@@ -692,6 +880,7 @@ let run cfg program =
     invalid_arg
       "Online.run: the dset backend is serially anchored (replay-only); \
        online detection requires --reach depa";
+  let n_stripes = stripe_count cfg in
   let eng = Engine.create () in
   let rt =
     {
@@ -710,10 +899,11 @@ let run cfg program =
       merges_mu = Mutex.create ();
       merges = Dynarr.create ();
       alloc_mu = Mutex.create ();
-      dshadow = stripes ();
-      pshadow = stripes ();
+      dshadow = stripes n_stripes;
+      pshadow = stripes n_stripes;
       races_mu = Mutex.create ();
-      races = Report.collector ();
+      protos = Dynarr.create ();
+      seen = Hashtbl.create 8;
       trace_mu = Mutex.create ();
       trace = Dynarr.create ();
       n_struct = Atomic.make 0;
@@ -796,12 +986,21 @@ let run cfg program =
                  }))
   in
   let races =
+    let protos = Dynarr.to_list rt.protos in
+    let resolved =
+      if protos = [] then []
+      else
+        (* all workers have joined: the item skeleton is complete and
+           quiescent, so the numbering walk needs no locks *)
+        let ids = resolve_serial_ids root in
+        List.map (resolve_report ids) protos
+    in
     List.sort
       (fun a b ->
         match compare a.Report.kind b.Report.kind with
         | 0 -> compare a.Report.subject b.Report.subject
         | c -> c)
-      (Report.races rt.races)
+      resolved
   in
   {
     value;

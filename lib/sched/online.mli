@@ -41,9 +41,17 @@
     completeness for them comes from the serial sweep; skipping cannot
     add false positives).
 
-    Online reports carry [-1] frame/strand ids and canonical access
-    fields — endpoint attribution is not reconstructed online; the
-    trace-replay path recovers it serially. *)
+    {2 Endpoint attribution}
+
+    Each frame records its serially-ordered event skeleton (user
+    children, auxiliary frames, syncs) as it executes; after all workers
+    join, a depth-first walk replays the serial engine's deterministic
+    frame/strand numbering over that skeleton, so reports carry the same
+    frame and strand ids a serial replay of the recorded steal trace
+    assigns (the trace replays under the at-sync reduce policy, matching
+    this runtime's merge placement). If an endpoint cannot be resolved —
+    e.g. the run was cancelled mid-flight — its ids fall back to [-1]
+    and the report's detail says so. *)
 
 open Rader_runtime
 
@@ -54,12 +62,17 @@ type config = {
   reach : Rader_reach.Reach.backend;
       (** precedence backend; must be [Depa] (the [dset] oracle is
           serially anchored and replay-only) *)
+  stripes : int option;
+      (** shadow-space lock stripes, rounded up to a power of two;
+          [None] derives [max 64 (pow2 (workers * 16))]. Striping only
+          affects contention, never the verdict. *)
   max_events : int option;  (** global event budget across all workers *)
   deadline : float option;  (** absolute deadline, [clock] timebase *)
   clock : (unit -> float) option;  (** default [Unix.gettimeofday] *)
 }
 
-(** [default ()] is 2 workers, seed 1, density 0.5, [Depa], no budgets. *)
+(** [default ()] is 2 workers, seed 1, density 0.5, [Depa], derived
+    striping, no budgets. *)
 val default : ?workers:int -> ?seed:int -> ?density:float -> unit -> config
 
 type outcome = {

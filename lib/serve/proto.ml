@@ -26,7 +26,7 @@ let err_unknown_program = 10
 let err_bad_spec = 11
 let err_draining = 12
 
-type check_kind = Check | Coverage | Lint
+type check_kind = Check | Coverage | Lint | Verify
 
 type submit = {
   kind : check_kind;
@@ -88,7 +88,7 @@ let put_opt b put = function
 
 let put_bool b v = put_u8 b (if v then 1 else 0)
 
-let kind_code = function Check -> 0 | Coverage -> 1 | Lint -> 2
+let kind_code = function Check -> 0 | Coverage -> 1 | Lint -> 2 | Verify -> 3
 let status_code = function Clean -> 0 | Races -> 1 | Partial -> 3
 
 let header b ~tag ~id =
@@ -212,6 +212,7 @@ let get_kind c =
   | 0 -> Check
   | 1 -> Coverage
   | 2 -> Lint
+  | 3 -> Verify
   | v -> bad err_bad_field (Printf.sprintf "check kind %d" v)
 
 let get_status c =

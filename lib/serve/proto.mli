@@ -40,6 +40,9 @@ type check_kind =
   | Check  (** one run under one steal spec, SP+ attached *)
   | Coverage  (** the §7 exhaustive sweep *)
   | Lint  (** static reducer-misuse lint — pure tree query, cacheable *)
+  | Verify
+      (** symbolic whole-family verification with witness replays —
+          deterministic in (program, scale), so perfectly cacheable *)
 
 type submit = {
   kind : check_kind;

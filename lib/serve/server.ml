@@ -183,7 +183,11 @@ let answer t conn ~id resp =
    "verdicts byte-identical per backend" unfalsifiable from the outside. *)
 let cache_key ~reach (s : Proto.submit) =
   Printf.sprintf "%s|%d|%s|%h|%d|%s|%h|%s|%s|%b" (Reach.show reach)
-    (match s.kind with Proto.Check -> 0 | Proto.Coverage -> 1 | Proto.Lint -> 2)
+    (match s.kind with
+    | Proto.Check -> 0
+    | Proto.Coverage -> 1
+    | Proto.Lint -> 2
+    | Proto.Verify -> 3)
     s.program s.scale s.seed s.spec s.density
     (match s.max_events with None -> "-" | Some n -> string_of_int n)
     (match s.deadline_s with None -> "-" | Some d -> Printf.sprintf "%h" d)
@@ -199,7 +203,7 @@ let partial_deadline_verdict ~kind ~abs_deadline =
       cached = false;
       v_result = None;
       n_run = 0;
-      n_specs = (match kind with Proto.Coverage -> 0 | _ -> 1);
+      n_specs = (match kind with Proto.Coverage | Proto.Verify -> 0 | _ -> 1);
       races = [];
       failures = [ (Diag.class_name f, Diag.to_string f) ];
     }
@@ -288,6 +292,46 @@ let serve_lint prog ~program_name =
           failures = [];
         }
 
+let serve_verify prog ~program_name ~max_events ~remaining_s ~reach =
+  match
+    An.Witness.verify ~reach ~jobs:1 ~max_events ~deadline:remaining_s
+      ~name:program_name prog
+  with
+  | Error f ->
+      Proto.Verdict
+        {
+          status = Proto.Partial;
+          cached = false;
+          v_result = None;
+          n_run = 1;
+          n_specs = 0;
+          races = [];
+          failures = [ (Diag.class_name f, Diag.to_string f) ];
+        }
+  | Ok w ->
+      let races = List.map Report.to_string w.An.Witness.reports in
+      let failures =
+        List.map
+          (fun (name, f) ->
+            (Diag.class_name f, Printf.sprintf "%s: %s" name (Diag.to_string f)))
+          w.An.Witness.incomplete
+      in
+      let status =
+        if not w.An.Witness.complete then Proto.Partial
+        else if w.An.Witness.racy_locs = [] then Proto.Clean
+        else Proto.Races
+      in
+      Proto.Verdict
+        {
+          status;
+          cached = false;
+          v_result = None;
+          n_run = w.An.Witness.n_replays;
+          n_specs = w.An.Witness.n_specs;
+          races;
+          failures;
+        }
+
 let serve_job t arena job =
   let sub = job.sub in
   (* deterministic per-job chaos roll: same seed, same jid => same fate,
@@ -327,7 +371,11 @@ let serve_job t arena job =
             serve_coverage prog ~max_events:job.eff_max_events
               ~remaining_s:(abs_deadline -. now) ~prune:sub.prune
               ~reach:t.cfg.reach
-        | Proto.Lint -> serve_lint prog ~program_name:sub.program)
+        | Proto.Lint -> serve_lint prog ~program_name:sub.program
+        | Proto.Verify ->
+            serve_verify prog ~program_name:sub.program
+              ~max_events:job.eff_max_events ~remaining_s:(abs_deadline -. now)
+              ~reach:t.cfg.reach)
 
 (* ---------- workers ---------- *)
 

@@ -25,12 +25,13 @@ let check = Alcotest.(check int)
 let checkb = Alcotest.(check bool)
 let checks = Alcotest.(check string)
 
-let cfg ?(workers = 2) ?(seed = 1) ?max_events ?deadline () =
+let cfg ?(workers = 2) ?(seed = 1) ?stripes ?max_events ?deadline () =
   {
     O.workers;
     seed;
     density = 0.5;
     reach = Reach.Depa;
+    stripes;
     max_events;
     deadline;
     clock = None;
@@ -247,7 +248,7 @@ let test_soak () =
       ("budgeted", demo "fib-racy", Some 64, `Contained "budget-exceeded");
     |]
   in
-  let workers_of = [| 1; 2; 4 |] in
+  let workers_of = [| 1; 2; 4; 8 |] in
   let n_ok = ref 0 and n_contained = ref 0 and n_racy = ref 0 in
   for i = 0 to 255 do
     let name, prog, max_events, expect = corpus.(i mod Array.length corpus) in
@@ -305,6 +306,86 @@ let test_budget_containment () =
   | Error f -> Alcotest.failf "wrong failure: %s" (Diag.to_string f)
   | Ok _ -> Alcotest.fail "expired deadline did not stop the run"
 
+(* ---------- endpoint attribution ---------- *)
+
+(* Online reports must carry the frame/strand ids of a serial replay of
+   the recorded steal trace: each endpoint must name a recorded access
+   (or reducer-read) of the subject at exactly those ids in the replay. *)
+let test_endpoint_attribution () =
+  let checked = ref 0 in
+  List.iter
+    (fun (name, seed) ->
+      let prog = demo name in
+      let out = O.run (cfg ~workers:2 ~seed ()) prog in
+      let spec =
+        match Steal_trace.to_spec out.O.trace prog with
+        | Ok s -> s
+        | Error m -> Alcotest.failf "%s: trace->spec: %s" name m
+      in
+      let eng = Engine.create ~spec ~record:true () in
+      ignore (Engine.run_result eng (fun ctx -> ignore (prog ctx)));
+      let tr = Trace.of_engine eng in
+      let stats = Engine.stats eng in
+      List.iter
+        (fun r ->
+          incr checked;
+          let tag =
+            Printf.sprintf "%s seed=%d subject=%d" name seed r.Report.subject
+          in
+          checkb (tag ^ ": endpoints attributed") true
+            (r.Report.first_frame >= 0
+            && r.Report.second_frame >= 0
+            && r.Report.second_strand >= 0);
+          match r.Report.kind with
+          | Report.Determinacy_race ->
+              checkb (tag ^ ": first endpoint is a recorded access") true
+                (List.exists
+                   (fun a ->
+                     a.Engine.a_loc = r.Report.subject
+                     && a.Engine.a_frame = r.Report.first_frame
+                     && a.Engine.a_is_write
+                        = (r.Report.first_access = Report.Write))
+                   tr.Trace.accesses);
+              checkb (tag ^ ": second endpoint is a recorded access") true
+                (List.exists
+                   (fun a ->
+                     a.Engine.a_loc = r.Report.subject
+                     && a.Engine.a_frame = r.Report.second_frame
+                     && a.Engine.a_strand = r.Report.second_strand
+                     && a.Engine.a_is_write
+                        = (r.Report.second_access = Report.Write))
+                   tr.Trace.accesses)
+          | Report.View_read_race ->
+              checkb (tag ^ ": second endpoint is a recorded reducer-read")
+                true
+                (List.mem
+                   (r.Report.subject, r.Report.second_strand)
+                   tr.Trace.reducer_reads);
+              checkb (tag ^ ": first frame in replay range") true
+                (r.Report.first_frame < stats.Engine.n_frames))
+        out.O.races)
+    [ ("fig1-buggy", 3); ("racy-read", 5); ("fib-racy", 2) ];
+  checkb "some races attributed" true (!checked > 0)
+
+(* ---------- stripes ---------- *)
+
+(* Striping only moves mutexes around; any width must produce the same
+   verdict, and non-power-of-two widths round up. *)
+let test_stripes () =
+  let prog = demo "racy-read" in
+  let base = O.run (cfg ~workers:2 ~seed:5 ()) prog in
+  List.iter
+    (fun s ->
+      let out = O.run (cfg ~workers:2 ~seed:5 ~stripes:s ()) prog in
+      checks
+        (Printf.sprintf "stripes=%d verdict" s)
+        (O.race_summary base.O.races)
+        (O.race_summary out.O.races))
+    [ 1; 3; 256 ];
+  Alcotest.check_raises "stripes < 1 rejected"
+    (Invalid_argument "Online.run: stripes must be >= 1") (fun () ->
+      ignore (O.run (cfg ~stripes:0 ()) prog))
+
 let test_config_validation () =
   let prog = demo "fib-racy" in
   Alcotest.check_raises "workers < 1 rejected"
@@ -333,6 +414,12 @@ let () =
         [
           Alcotest.test_case "race-free values" `Quick test_value_integrity;
           Alcotest.test_case "demo races found" `Quick test_demo_races_found;
+        ] );
+      ( "attribution",
+        [
+          Alcotest.test_case "endpoints match serial replay" `Quick
+            test_endpoint_attribution;
+          Alcotest.test_case "stripes invariance" `Quick test_stripes;
         ] );
       ( "soak",
         [

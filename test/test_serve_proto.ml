@@ -29,7 +29,7 @@ let gen_float =
 
 let gen_submit =
   let open QCheck2.Gen in
-  let* kind = oneofl [ Proto.Check; Proto.Coverage; Proto.Lint ] in
+  let* kind = oneofl [ Proto.Check; Proto.Coverage; Proto.Lint; Proto.Verify ] in
   let* program = gen_small_string in
   let* scale = gen_float in
   let* seed = int_bound 1_000_000 in
