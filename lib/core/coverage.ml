@@ -64,8 +64,9 @@ let profile_with_failure program =
     Hashtbl.remove rel fid
   in
   let tool =
+    Tool.extern
     {
-      Tool.null with
+      Tool.hooks_null with
       Tool.on_frame_enter =
         (fun ~frame ~parent ~spawned:_ ~kind ->
           if kind <> Tool.User_fn then begin

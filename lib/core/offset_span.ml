@@ -184,16 +184,19 @@ let on_write d ~frame ~loc =
   | `Parallel -> ()
 
 let tool d =
-  {
-    Tool.null with
-    Tool.on_frame_enter =
-      (fun ~frame ~parent:_ ~spawned ~kind:_ -> on_frame_enter d ~frame ~spawned);
-    on_frame_return =
-      (fun ~frame ~parent:_ ~spawned ~kind:_ -> on_frame_return d ~frame ~spawned);
-    on_sync = (fun ~frame -> on_sync d ~frame);
-    on_read = (fun ~frame ~loc ~view_aware:_ -> on_read d ~frame ~loc);
-    on_write = (fun ~frame ~loc ~view_aware:_ -> on_write d ~frame ~loc);
-  }
+  Tool.extern
+    {
+      Tool.hooks_null with
+      Tool.on_frame_enter =
+        (fun ~frame ~parent:_ ~spawned ~kind:_ ->
+          on_frame_enter d ~frame ~spawned);
+      on_frame_return =
+        (fun ~frame ~parent:_ ~spawned ~kind:_ ->
+          on_frame_return d ~frame ~spawned);
+      on_sync = (fun ~frame -> on_sync d ~frame);
+      on_read = (fun ~frame ~loc ~view_aware:_ -> on_read d ~frame ~loc);
+      on_write = (fun ~frame ~loc ~view_aware:_ -> on_write d ~frame ~loc);
+    }
 
 let attach eng =
   let d = create eng in

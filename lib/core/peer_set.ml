@@ -1,80 +1,41 @@
 module Engine = Rader_runtime.Engine
 module Tool = Rader_runtime.Tool
+module Peer_hot = Rader_runtime.Peer_hot
 module Reach = Rader_reach.Reach
-module Shadow = Rader_memory.Shadow
-module Obs = Rader_obs.Obs
 
-(* Bags and spawn counts live behind [Reach.Peer]; this module keeps the
-   reader shadows, the spawn-count comparison, the user-frame filter and
-   report collection. *)
+(* Bags, spawn counts, the reader shadows and the Lemma-3 comparison live
+   in [Rader_runtime.Peer_hot] (single-match dispatch from the [Tool]
+   variant); this module is the cold-path wrapper building [Report]
+   records in the race callback. *)
 
 type t = {
   eng : Engine.t;
-  reach : Reach.Peer.t;
-  reader : Shadow.t; (* reducer id -> last reader frame *)
-  reader_sc : Shadow.t; (* reducer id -> spawn count of last reader *)
+  hot : Peer_hot.t;
   collector : Report.collector;
 }
 
 let create ?(reach = Reach.Dset) eng =
-  {
-    eng;
-    reach = Reach.Peer.create reach;
-    reader = Shadow.create ();
-    reader_sc = Shadow.create ();
-    collector = Report.collector ();
-  }
-
-let backend d = Reach.Peer.backend d.reach
-
-let on_reducer_read d ~frame ~reducer =
-  if Obs.enabled () then Obs.bump_peerset_query ();
-  let sc = Reach.Peer.spawn_count d.reach in
-  let last = Shadow.get d.reader reducer in
-  if last <> Shadow.absent then begin
-    (* Lemma 3: same peer set iff same spawn count and not in a P bag.
-       Short-circuit order matches the seed: the spawn-count shadow is
-       only consulted when the bag is not already P. *)
-    let racy =
-      Reach.Peer.parallel_read d.reach ~reducer ~frame:last
-      || Shadow.get d.reader_sc reducer <> sc
-    in
-    if racy then
+  let hot = Peer_hot.create ~backend:reach () in
+  let d = { eng; hot; collector = Report.collector () } in
+  Peer_hot.set_on_race hot (fun ~reducer ~first_frame ~second_frame ->
       Report.report d.collector
         {
           Report.kind = Report.View_read_race;
           subject = reducer;
           subject_label = Printf.sprintf "reducer #%d" reducer;
-          first_frame = last;
+          first_frame;
           first_access = Report.Reducer_read;
-          second_frame = frame;
+          second_frame;
           second_access = Report.Reducer_read;
           second_strand = Engine.current_strand d.eng;
           second_view_aware = false;
           detail = "reducer-reads have different peer sets";
-        }
-  end;
-  Shadow.set d.reader reducer frame;
-  Shadow.set d.reader_sc reducer sc;
-  Reach.Peer.note_read d.reach ~reducer ~frame
+        });
+  d
 
-(* Auxiliary (update/reduce/identity) frames are not Cilk functions in the
-   peer-set sense and cannot perform reducer-reads (the engine forbids
-   it); skipping them makes the algorithm's verdicts independent of the
-   steal specification, since view-read races are defined on the user
-   dag. *)
-let tool d =
-  {
-    Tool.null with
-    Tool.on_frame_enter =
-      (fun ~frame ~parent:_ ~spawned ~kind ->
-        if kind = Tool.User_fn then Reach.Peer.on_frame_enter d.reach ~frame ~spawned);
-    on_frame_return =
-      (fun ~frame ~parent:_ ~spawned ~kind ->
-        if kind = Tool.User_fn then Reach.Peer.on_frame_return d.reach ~frame ~spawned);
-    on_sync = (fun ~frame -> Reach.Peer.on_sync d.reach ~frame);
-    on_reducer_read = (fun ~frame ~reducer -> on_reducer_read d ~frame ~reducer);
-  }
+let backend d = Peer_hot.backend d.hot
+
+let tool d = Tool.peer_set d.hot
 
 let attach ?reach eng =
   let d = create ?reach eng in
@@ -82,9 +43,7 @@ let attach ?reach eng =
   d
 
 let reset d =
-  Reach.Peer.reset d.reach;
-  Shadow.clear d.reader;
-  Shadow.clear d.reader_sc;
+  Peer_hot.reset d.hot;
   Report.clear d.collector;
   Engine.set_tool d.eng (tool d)
 

@@ -90,16 +90,18 @@ let on_write d ~frame ~loc =
   if w = Shadow.absent || not (in_p_bag d w) then Shadow.set d.writer loc frame
 
 let tool d =
-  {
-    Tool.null with
-    Tool.on_frame_enter =
-      (fun ~frame ~parent:_ ~spawned:_ ~kind:_ -> on_frame_enter d ~frame);
-    on_frame_return =
-      (fun ~frame ~parent:_ ~spawned ~kind:_ -> on_frame_return d ~frame ~spawned);
-    on_sync = (fun ~frame -> on_sync d ~frame);
-    on_read = (fun ~frame ~loc ~view_aware:_ -> on_read d ~frame ~loc);
-    on_write = (fun ~frame ~loc ~view_aware:_ -> on_write d ~frame ~loc);
-  }
+  Tool.extern
+    {
+      Tool.hooks_null with
+      Tool.on_frame_enter =
+        (fun ~frame ~parent:_ ~spawned:_ ~kind:_ -> on_frame_enter d ~frame);
+      on_frame_return =
+        (fun ~frame ~parent:_ ~spawned ~kind:_ ->
+          on_frame_return d ~frame ~spawned);
+      on_sync = (fun ~frame -> on_sync d ~frame);
+      on_read = (fun ~frame ~loc ~view_aware:_ -> on_read d ~frame ~loc);
+      on_write = (fun ~frame ~loc ~view_aware:_ -> on_write d ~frame ~loc);
+    }
 
 let attach eng =
   let d = create eng in

@@ -137,12 +137,12 @@ let on_frame_enter d ~frame ~spawned =
 let on_frame_return d ~frame ~spawned =
   match d.oracle with
   | Labels -> labels_return d ~frame ~spawned
-  | Fingerprints r -> Reach.Sp.on_frame_return r ~frame ~parallel:spawned
+  | Fingerprints r -> ignore (Reach.Sp.on_frame_return r ~frame ~parallel:spawned)
 
 let on_sync d ~frame =
   match d.oracle with
   | Labels -> labels_sync d ~frame
-  | Fingerprints r -> Reach.Sp.on_sync r ~frame
+  | Fingerprints r -> ignore (Reach.Sp.on_sync r ~frame)
 
 (* The recorded access is serially — hence English- — before the current
    strand, so it is logically parallel iff the current strand is
@@ -203,16 +203,19 @@ let on_write d ~frame ~loc =
   if not wpar then record d d.writer_h d.writer_frame loc ~frame
 
 let tool d =
-  {
-    Tool.null with
-    Tool.on_frame_enter =
-      (fun ~frame ~parent:_ ~spawned ~kind:_ -> on_frame_enter d ~frame ~spawned);
-    on_frame_return =
-      (fun ~frame ~parent:_ ~spawned ~kind:_ -> on_frame_return d ~frame ~spawned);
-    on_sync = (fun ~frame -> on_sync d ~frame);
-    on_read = (fun ~frame ~loc ~view_aware:_ -> on_read d ~frame ~loc);
-    on_write = (fun ~frame ~loc ~view_aware:_ -> on_write d ~frame ~loc);
-  }
+  Tool.extern
+    {
+      Tool.hooks_null with
+      Tool.on_frame_enter =
+        (fun ~frame ~parent:_ ~spawned ~kind:_ ->
+          on_frame_enter d ~frame ~spawned);
+      on_frame_return =
+        (fun ~frame ~parent:_ ~spawned ~kind:_ ->
+          on_frame_return d ~frame ~spawned);
+      on_sync = (fun ~frame -> on_sync d ~frame);
+      on_read = (fun ~frame ~loc ~view_aware:_ -> on_read d ~frame ~loc);
+      on_write = (fun ~frame ~loc ~view_aware:_ -> on_write d ~frame ~loc);
+    }
 
 let attach ?reach eng =
   let d = create ?reach eng in

@@ -1,143 +1,51 @@
 module Engine = Rader_runtime.Engine
 module Tool = Rader_runtime.Tool
+module Sp_hot = Rader_runtime.Sp_hot
 module Reach = Rader_reach.Reach
-module Shadow = Rader_memory.Shadow
-module Dynarr = Rader_support.Dynarr
 
-(* The S/P/vid classification state lives behind [Reach.Sp] (either the
-   original bag/disjoint-set backend or the DePa-style fingerprint one);
-   this module keeps what is detector policy rather than precedence: the
-   frame-kind stack, the reader/writer shadow spaces, the view-awareness
-   rules and report collection. *)
-
-type fstate = { fid : int; fkind : Tool.frame_kind }
+(* The per-event state of SP+ — the S/P/vid precedence core, the
+   frame-kind stack and the reader/writer shadow spaces — lives in
+   [Rader_runtime.Sp_hot] so the [Tool] variant dispatches into it with a
+   single match. This module is the cold-path policy wrapper: it owns the
+   report collector and turns the raw-int race callback into [Report]
+   records (labels, strand ids, detail strings), plus the attach/reset
+   lifecycle. *)
 
 type t = {
   eng : Engine.t;
-  reach : Reach.Sp.t;
-  stack : fstate Dynarr.t;
-  reader : Shadow.t;
-  writer : Shadow.t;
+  hot : Sp_hot.t;
   collector : Report.collector;
 }
 
+let access_of_write w = if w then Report.Write else Report.Read
+
 let create ?(reach = Reach.Dset) eng =
-  {
-    eng;
-    reach = Reach.Sp.create reach;
-    stack = Dynarr.create ();
-    reader = Shadow.create ();
-    writer = Shadow.create ();
-    collector = Report.collector ();
-  }
+  let hot = Sp_hot.create ~backend:reach () in
+  let d = { eng; hot; collector = Report.collector () } in
+  Sp_hot.set_on_race hot
+    (fun ~loc ~first_frame ~first_is_write ~second_frame ~second_is_write
+         ~view_aware ~pv ~cur ->
+      Report.report d.collector
+        {
+          Report.kind = Report.Determinacy_race;
+          subject = loc;
+          subject_label = Engine.loc_label d.eng loc;
+          first_frame;
+          first_access = access_of_write first_is_write;
+          second_frame;
+          second_access = access_of_write second_is_write;
+          second_strand = Engine.current_strand d.eng;
+          second_view_aware = view_aware;
+          detail =
+            (if view_aware then
+               Printf.sprintf "parallel views %d vs %d" pv cur
+             else "");
+        });
+  d
 
-let backend d = Reach.Sp.backend d.reach
+let backend d = Sp_hot.backend d.hot
 
-let top d = Dynarr.top d.stack
-
-let on_frame_enter d ~frame ~kind =
-  (* Fig. 6, "F spawns or calls G": G's S bag and initial P bag inherit the
-     view ID of F's top P bag (0 for the root frame). *)
-  Reach.Sp.on_frame_enter d.reach ~frame;
-  Dynarr.push d.stack { fid = frame; fkind = kind }
-
-let on_frame_return d ~frame ~spawned =
-  let g = Dynarr.pop d.stack in
-  assert (g.fid = frame);
-  (* G has synced: its P stack holds a single empty bag; only G.S moves.
-     A returning Reduce invocation joins the P bag whose views it just
-     merged (it is in series with those descendants but parallel to the
-     sync block's later regions, paper §6); spawned children join the
-     top P bag; called children are serial with F. *)
-  Reach.Sp.on_frame_return d.reach ~frame
-    ~parallel:(g.fkind = Tool.Reduce_fn || spawned)
-
-let on_sync d ~frame =
-  assert ((top d).fid = frame);
-  Reach.Sp.on_sync d.reach ~frame
-
-let on_steal d ~frame ~region = Reach.Sp.on_steal d.reach ~frame ~region
-
-let on_reduce d ~frame ~into_region:_ ~from_region:_ =
-  Reach.Sp.on_reduce d.reach ~frame
-
-(* Shadow-entry classification, anchored at the current strand. *)
-let classify d frame_id =
-  if frame_id = Shadow.absent then Reach.Sp.Serial
-  else Reach.Sp.classify d.reach frame_id
-
-let report d ~loc ~first_frame ~first_access ~second_access ~frame ~view_aware ~detail =
-  Report.report d.collector
-    {
-      Report.kind = Report.Determinacy_race;
-      subject = loc;
-      subject_label = Engine.loc_label d.eng loc;
-      first_frame;
-      first_access;
-      second_frame = frame;
-      second_access;
-      second_strand = Engine.current_strand d.eng;
-      second_view_aware = view_aware;
-      detail;
-    }
-
-let check d ~loc ~frame ~view_aware ~first_frame ~first_access ~second_access =
-  match classify d first_frame with
-  | Reach.Sp.Serial -> ()
-  | Reach.Sp.Parallel pv ->
-      if not view_aware then
-        report d ~loc ~first_frame ~first_access ~second_access ~frame ~view_aware
-          ~detail:""
-      else begin
-        let cur = Reach.Sp.cur_view d.reach in
-        if pv <> cur then
-          report d ~loc ~first_frame ~first_access ~second_access ~frame ~view_aware
-            ~detail:(Printf.sprintf "parallel views %d vs %d" pv cur)
-      end
-
-(* Shadow update: keep the recorded access unless it is serial with the
-   current strand, or this is a reduce strand overwriting an entry of its
-   own view (which the reduce serializes with). *)
-let may_update d ~view_aware recorded =
-  match classify d recorded with
-  | Reach.Sp.Serial -> true
-  | Reach.Sp.Parallel pv ->
-      view_aware
-      && (top d).fkind = Tool.Reduce_fn
-      && pv = Reach.Sp.cur_view d.reach
-
-let on_read d ~frame ~loc ~view_aware =
-  check d ~loc ~frame ~view_aware
-    ~first_frame:(Shadow.get d.writer loc)
-    ~first_access:Report.Write ~second_access:Report.Read;
-  let r = Shadow.get d.reader loc in
-  if may_update d ~view_aware r then Shadow.set d.reader loc frame
-
-let on_write d ~frame ~loc ~view_aware =
-  check d ~loc ~frame ~view_aware
-    ~first_frame:(Shadow.get d.reader loc)
-    ~first_access:Report.Read ~second_access:Report.Write;
-  check d ~loc ~frame ~view_aware
-    ~first_frame:(Shadow.get d.writer loc)
-    ~first_access:Report.Write ~second_access:Report.Write;
-  let w = Shadow.get d.writer loc in
-  if may_update d ~view_aware w then Shadow.set d.writer loc frame
-
-let tool d =
-  {
-    Tool.on_frame_enter =
-      (fun ~frame ~parent:_ ~spawned:_ ~kind -> on_frame_enter d ~frame ~kind);
-    on_frame_return =
-      (fun ~frame ~parent:_ ~spawned ~kind:_ -> on_frame_return d ~frame ~spawned);
-    on_sync = (fun ~frame -> on_sync d ~frame);
-    on_steal = (fun ~frame ~region -> on_steal d ~frame ~region);
-    on_reduce =
-      (fun ~frame ~into_region ~from_region ->
-        on_reduce d ~frame ~into_region ~from_region);
-    on_read = (fun ~frame ~loc ~view_aware -> on_read d ~frame ~loc ~view_aware);
-    on_write = (fun ~frame ~loc ~view_aware -> on_write d ~frame ~loc ~view_aware);
-    on_reducer_read = (fun ~frame:_ ~reducer:_ -> ());
-  }
+let tool d = Tool.sp_plus d.hot
 
 let attach ?reach eng =
   let d = create ?reach eng in
@@ -150,10 +58,7 @@ let attach ?reach eng =
    itself as its engine's tool (the reset engine reverted to
    [Tool.null]). *)
 let reset d =
-  Reach.Sp.reset d.reach;
-  Dynarr.clear d.stack;
-  Shadow.clear d.reader;
-  Shadow.clear d.writer;
+  Sp_hot.reset d.hot;
   Report.clear d.collector;
   Engine.set_tool d.eng (tool d)
 

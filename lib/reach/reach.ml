@@ -1,4 +1,3 @@
-module Bag = Rader_dsets.Bag
 module Dynarr = Rader_support.Dynarr
 module Obs = Rader_obs.Obs
 
@@ -343,65 +342,302 @@ module Fp = struct
     | Serial { a_before_b; _ } | Parallel { a_before_b; _ } -> a_before_b
 end
 
+(* Flat union-find arena shared by the [dset] backends below.
+
+   The seed's generic [Bag]/[Dset] machinery allocates one record per bag
+   plus Dynarr-backed slots per element — three heap allocations per frame
+   enter on a path fib-grained programs hit tens of millions of times.
+   This arena keeps the identical set algebra in raw int arrays:
+
+   - union-find over [parent]/[rank] indexed by frame id, with
+     [parent.(x) = -1] marking "never inserted";
+   - bag payloads (kind + view id) stored at roots in [pk]/[pv] and
+     rewritten to the {e destination}'s payload on every union, exactly
+     like [Bag.union_into] keeping the dst payload;
+   - a bag is just a root index ([-1] when empty) held by its owning
+     frame slot, so unions need no [find] at all — both roots are known.
+
+   Set membership (and hence classification) is independent of union-find
+   tree shape, and payloads are maintained explicitly at roots, so
+   verdicts are byte-identical to the record-based machinery. *)
+module Uf = struct
+  (* One interleaved arena, 4 slots per node — parent, rank, payload kind,
+     payload view — so a find/union touches one cache line per node
+     instead of four. parent = -1 marks "never inserted"; self at root.
+     Payload slots are valid at roots only. *)
+  type t = {
+    mutable a : int array;
+    mutable hi : int; (* high-water mark of inserted ids, for reset *)
+  }
+
+  let stride = 4
+
+  let create () =
+    let a = Array.make (1024 * stride) 0 in
+    let i = ref 0 in
+    while !i < Array.length a do
+      a.(!i) <- -1;
+      i := !i + stride
+    done;
+    { a; hi = 0 }
+
+  let grow a fill n =
+    let b = Array.make (max n (2 * Array.length a)) fill in
+    Array.blit a 0 b 0 (Array.length a);
+    b
+
+  let mem t x = x >= 0 && stride * x < Array.length t.a && t.a.(stride * x) >= 0
+
+  (* Insert [x] as a fresh singleton root (payload set by the caller). *)
+  let insert t x =
+    let cap = Array.length t.a in
+    if stride * x >= cap then begin
+      let b = Array.make (max (stride * (x + 1)) (2 * cap)) 0 in
+      Array.blit t.a 0 b 0 cap;
+      let i = ref cap in
+      while !i < Array.length b do
+        b.(!i) <- -1;
+        i := !i + stride
+      done;
+      t.a <- b
+    end;
+    t.a.(stride * x) <- x;
+    t.a.((stride * x) + 1) <- 0;
+    if x >= t.hi then t.hi <- x + 1;
+    if Obs.enabled () then Obs.bump_dset_add ()
+
+  (* Parent slots of inserted nodes always hold inserted node ids (the
+     forest is closed under parent edges), so the unchecked reads stay
+     within the arena for any [x] the caller has proved [mem]. *)
+  let find t x =
+    let x = ref x and steps = ref 0 in
+    let a = t.a in
+    while Array.unsafe_get a (stride * !x) <> !x do
+      let gp =
+        Array.unsafe_get a (stride * Array.unsafe_get a (stride * !x))
+      in
+      Array.unsafe_set a (stride * !x) gp; (* path halving *)
+      x := gp;
+      incr steps
+    done;
+    if Obs.enabled () then Obs.bump_dset_find ~compress_steps:!steps;
+    !x
+
+  (* Union the set rooted at [src] into the one rooted at [dst]; the
+     merged root takes the destination payload [dkind]/[dvid]. Either
+     root may be [-1] (empty set). Returns the merged root. *)
+  let union_into t ~src ~dst ~dkind ~dvid =
+    if Obs.enabled () then Obs.bump_bag_union ();
+    if src < 0 then dst
+    else begin
+      let a = t.a in
+      let r =
+        if dst < 0 then src
+        else begin
+          if Obs.enabled () then Obs.bump_dset_union ();
+          let rs = a.((stride * src) + 1) and rd = a.((stride * dst) + 1) in
+          if rs > rd then begin
+            a.(stride * dst) <- src;
+            src
+          end
+          else begin
+            a.(stride * src) <- dst;
+            if rs = rd then a.((stride * dst) + 1) <- rd + 1;
+            dst
+          end
+        end
+      in
+      a.((stride * r) + 2) <- dkind;
+      a.((stride * r) + 3) <- dvid;
+      r
+    end
+
+  (* Root payload accessors (valid at roots, like the former pk/pv). *)
+  let kind_at t r = t.a.((stride * r) + 2)
+  let view_at t r = t.a.((stride * r) + 3)
+  let set_kind t r k = t.a.((stride * r) + 2) <- k
+  let set_view t r v = t.a.((stride * r) + 3) <- v
+
+  let reset t =
+    let i = ref 0 in
+    while !i < stride * t.hi do
+      t.a.(!i) <- -1;
+      i := !i + stride
+    done;
+    t.hi <- 0
+end
+
+let grow_stack = Uf.grow
+
 module Sp = struct
   type cls = Serial | Parallel of int
 
-  (* -------- dset backend: the seed's bag machinery, verbatim -------- *)
+  (* -------- dset backend: the seed's S/P bags over the flat arena --------
 
-  type bag_kind = KS | KP
+     The per-frame S bag and P-bag stack are flattened into parallel int
+     stacks: [ffid]/[fvid]/[fsroot]/[fpbase] per live frame, plus one
+     global [proot]/[pvid] stack holding every live frame's open P bags
+     (innermost frame's on top; [fpbase] records where each frame's
+     segment starts).
 
-  type payload = { bkind : bag_kind; vid : int }
+     [lazy_note] defers inserting a frame into its own S set until the
+     first time its id is actually recorded in a shadow space ([note]).
+     Un-noted frames are never classified (only shadow contents are), and
+     a frame is only noted while live — when its S set can only have
+     absorbed other sets, never moved — so a noted frame joins exactly
+     the set the eager discipline would have it in and every verdict is
+     unchanged, while spawn-heavy programs whose frames never touch
+     instrumented memory (fib, knapsack skeletons) do no disjoint-set
+     work at all. *)
 
-  type dframe = { dfid : int; s : payload Bag.t; dpstack : payload Bag.t Dynarr.t }
+  let ks = 0
+  let kp = 1
 
-  type dstate = { store : payload Bag.store; dstack : dframe Dynarr.t }
+  type dstate = {
+    uf : Uf.t;
+    lazy_note : bool;
+    (* live-frame stack *)
+    mutable ffid : int array;
+    mutable fvid : int array; (* entry view id = the S bag's payload vid *)
+    mutable fsroot : int array; (* root of the S set, -1 when empty *)
+    mutable fpbase : int array; (* index of the frame's first P bag *)
+    mutable depth : int;
+    (* open P bags of all live frames *)
+    mutable proot : int array; (* -1 when empty *)
+    mutable pvid : int array;
+    mutable np : int;
+  }
 
-  let d_top_vid f = (Bag.payload (Dynarr.top f.dpstack)).vid
+  let d_create ~lazy_note =
+    {
+      uf = Uf.create ();
+      lazy_note;
+      ffid = Array.make 64 0;
+      fvid = Array.make 64 0;
+      fsroot = Array.make 64 0;
+      fpbase = Array.make 64 0;
+      depth = 0;
+      proot = Array.make 64 0;
+      pvid = Array.make 64 0;
+      np = 0;
+    }
+
+  let d_top_vid st = st.pvid.(st.np - 1)
 
   let d_enter st ~frame =
-    let vid =
-      if Dynarr.is_empty st.dstack then 0 else d_top_vid (Dynarr.top st.dstack)
-    in
-    let s = Bag.make st.store { bkind = KS; vid } [ frame ] in
-    let dpstack = Dynarr.create () in
-    Dynarr.push dpstack (Bag.make st.store { bkind = KP; vid } []);
-    Dynarr.push st.dstack { dfid = frame; s; dpstack }
-
-  let d_return st ~frame ~parallel =
-    let g = Dynarr.pop st.dstack in
-    assert (g.dfid = frame);
-    if not (Dynarr.is_empty st.dstack) then begin
-      let f = Dynarr.top st.dstack in
-      if parallel then Bag.union_into st.store ~dst:(Dynarr.top f.dpstack) ~src:g.s
-      else Bag.union_into st.store ~dst:f.s ~src:g.s
+    let vid = if st.depth = 0 then 0 else st.pvid.(st.np - 1) in
+    if st.depth >= Array.length st.ffid then begin
+      let n = st.depth + 1 in
+      st.ffid <- grow_stack st.ffid 0 n;
+      st.fvid <- grow_stack st.fvid 0 n;
+      st.fsroot <- grow_stack st.fsroot 0 n;
+      st.fpbase <- grow_stack st.fpbase 0 n
+    end;
+    let i = st.depth in
+    st.depth <- i + 1;
+    st.ffid.(i) <- frame;
+    st.fvid.(i) <- vid;
+    st.fpbase.(i) <- st.np;
+    if st.lazy_note then st.fsroot.(i) <- -1
+    else begin
+      Uf.insert st.uf frame;
+      Uf.set_kind st.uf frame ks;
+      Uf.set_view st.uf frame vid;
+      st.fsroot.(i) <- frame
+    end;
+    if st.np >= Array.length st.proot then begin
+      st.proot <- grow_stack st.proot 0 (st.np + 1);
+      st.pvid <- grow_stack st.pvid 0 (st.np + 1)
+    end;
+    st.proot.(st.np) <- -1;
+    st.pvid.(st.np) <- vid;
+    st.np <- st.np + 1;
+    if Obs.enabled () then begin
+      Obs.bump_bag_make ();
+      Obs.bump_bag_make ()
     end
 
+  (* First shadow recording of the (live, top) frame under [lazy_note]:
+     insert it into its own S set now. No root payload changes, so no
+     other frame's classification is affected; a second call is a no-op
+     because the id is already present. *)
+  let d_note st ~frame =
+    if not (Uf.mem st.uf frame) then begin
+      let i = st.depth - 1 in
+      assert (st.ffid.(i) = frame);
+      Uf.insert st.uf frame;
+      st.fsroot.(i) <-
+        Uf.union_into st.uf ~src:frame ~dst:st.fsroot.(i) ~dkind:ks
+          ~dvid:st.fvid.(i)
+    end
+
+  let d_return st ~frame ~parallel =
+    let i = st.depth - 1 in
+    st.depth <- i;
+    assert (st.ffid.(i) = frame);
+    let gs = st.fsroot.(i) in
+    (* drop G's P bags, as the seed dropped its dpstack (post-sync they
+       are empty; elements already merged keep their sets either way) *)
+    st.np <- st.fpbase.(i);
+    if i > 0 then begin
+      if parallel then begin
+        let j = st.np - 1 in
+        st.proot.(j) <-
+          Uf.union_into st.uf ~src:gs ~dst:st.proot.(j) ~dkind:kp
+            ~dvid:st.pvid.(j)
+      end
+      else
+        st.fsroot.(i - 1) <-
+          Uf.union_into st.uf ~src:gs ~dst:st.fsroot.(i - 1) ~dkind:ks
+            ~dvid:st.fvid.(i - 1)
+    end;
+    (* A root payload was rewritten only if the returning frame's S set
+       was non-empty (an empty [src] makes [union_into] a pure no-op). *)
+    i > 0 && gs >= 0
+
   let d_sync st ~frame =
-    let f = Dynarr.top st.dstack in
-    assert (f.dfid = frame);
-    assert (Dynarr.length f.dpstack = 1);
-    let p = Dynarr.pop f.dpstack in
-    Bag.union_into st.store ~dst:f.s ~src:p;
-    let svid = (Bag.payload f.s).vid in
-    Dynarr.push f.dpstack (Bag.make st.store { bkind = KP; vid = svid } [])
+    let i = st.depth - 1 in
+    assert (st.ffid.(i) = frame);
+    assert (st.np = st.fpbase.(i) + 1);
+    let j = st.np - 1 in
+    let src = st.proot.(j) in
+    st.fsroot.(i) <-
+      Uf.union_into st.uf ~src ~dst:st.fsroot.(i) ~dkind:ks ~dvid:st.fvid.(i);
+    (* refresh the single P bag: fresh and empty, carrying the S bag's
+       vid (the frame's entry vid — unions keep the destination payload) *)
+    st.proot.(j) <- -1;
+    st.pvid.(j) <- st.fvid.(i);
+    if Obs.enabled () then Obs.bump_bag_make ();
+    src >= 0
 
   let d_steal st ~frame ~region =
-    let f = Dynarr.top st.dstack in
-    assert (f.dfid = frame);
-    Dynarr.push f.dpstack (Bag.make st.store { bkind = KP; vid = region } [])
+    assert (st.ffid.(st.depth - 1) = frame);
+    if st.np >= Array.length st.proot then begin
+      st.proot <- grow_stack st.proot 0 (st.np + 1);
+      st.pvid <- grow_stack st.pvid 0 (st.np + 1)
+    end;
+    st.proot.(st.np) <- -1;
+    st.pvid.(st.np) <- region;
+    st.np <- st.np + 1;
+    if Obs.enabled () then Obs.bump_bag_make ()
 
   let d_reduce st ~frame =
-    let f = Dynarr.top st.dstack in
-    assert (f.dfid = frame);
-    let p = Dynarr.pop f.dpstack in
-    Bag.union_into st.store ~dst:(Dynarr.top f.dpstack) ~src:p
+    assert (st.ffid.(st.depth - 1) = frame);
+    let j = st.np - 1 in
+    st.np <- j;
+    let src = st.proot.(j) in
+    st.proot.(j - 1) <-
+      Uf.union_into st.uf ~src ~dst:st.proot.(j - 1) ~dkind:kp
+        ~dvid:st.pvid.(j - 1);
+    src >= 0
 
   let d_classify st u =
-    match Bag.find st.store u with
-    | None -> Serial
-    | Some bag ->
-        let p = Bag.payload bag in
-        if p.bkind = KP then Parallel p.vid else Serial
+    if Obs.enabled () then Obs.bump_bag_find ();
+    if not (Uf.mem st.uf u) then Serial
+    else begin
+      let r = Uf.find st.uf u in
+      if Uf.kind_at st.uf r = kp then Parallel (Uf.view_at st.uf r) else Serial
+    end
 
   (* -------- depa backend: fingerprints + view epochs -------- *)
 
@@ -484,7 +720,10 @@ module Sp = struct
       Dynarr.push f.child_ep (if parallel then Dynarr.top f.ep else -1);
       if Obs.enabled () then Obs.bump_reach_epoch ~steps:1
     end;
-    Dynarr.push st.zpool g
+    Dynarr.push st.zpool g;
+    (* popping the stack changes the LCA walk for any recorded frame —
+       conservatively report that classifications may have moved *)
+    true
 
   let z_sync st ~frame =
     let f = Dynarr.top st.zstack in
@@ -498,7 +737,8 @@ module Sp = struct
        frame's entry vid (union keeps the destination payload) *)
     Dynarr.push f.ep (fresh_epoch st);
     Dynarr.push f.vd f.entry_vid;
-    if Obs.enabled () then Obs.bump_reach_epoch ~steps:1
+    if Obs.enabled () then Obs.bump_reach_epoch ~steps:1;
+    true
 
   let z_steal st ~frame ~region =
     let f = Dynarr.top st.zstack in
@@ -513,7 +753,8 @@ module Sp = struct
     assert (Dynarr.length f.ep >= 2);
     ignore (Dynarr.pop f.ep);
     ignore (Dynarr.pop f.vd);
-    if Obs.enabled () then Obs.bump_reach_epoch ~steps:1
+    if Obs.enabled () then Obs.bump_reach_epoch ~steps:1;
+    true
 
   (* View id surviving for recorded epoch [e] in frame [a]: the largest
      still-live epoch <= e (reduce pops epochs from the top, so the views
@@ -558,9 +799,11 @@ module Sp = struct
 
   type t = Sp_dset of dstate | Sp_depa of zstate
 
-  let create = function
-    | Dset -> Sp_dset { store = Bag.create_store (); dstack = Dynarr.create () }
+  let create ?(lazy_note = false) = function
+    | Dset -> Sp_dset (d_create ~lazy_note)
     | Depa ->
+        (* [lazy_note] is irrelevant here: the depa frame table is filled
+           at enter and queries are already mutation-free O(1). *)
         Sp_depa
           {
             next_epoch = 0;
@@ -573,8 +816,9 @@ module Sp = struct
 
   let reset = function
     | Sp_dset st ->
-        Bag.clear_store st.store;
-        Dynarr.clear st.dstack
+        Uf.reset st.uf;
+        st.depth <- 0;
+        st.np <- 0
     | Sp_depa st ->
         st.next_epoch <- 0;
         Dynarr.iter (fun g -> Dynarr.push st.zpool g) st.zstack;
@@ -603,72 +847,140 @@ module Sp = struct
   let classify t u =
     match t with Sp_dset st -> d_classify st u | Sp_depa st -> z_classify st u
 
+  let note t ~frame =
+    match t with Sp_dset st -> d_note st ~frame | Sp_depa _ -> ()
+
   let cur_view = function
-    | Sp_dset st -> d_top_vid (Dynarr.top st.dstack)
+    | Sp_dset st -> d_top_vid st
     | Sp_depa st -> Dynarr.top (Dynarr.top st.zstack).vd
 end
 
 (* ---------------------------------------------------------------------- *)
 
 module Peer = struct
-  (* -------- dset backend: the seed's three bags, verbatim -------- *)
+  (* -------- dset backend: the seed's three bags over the flat arena --------
 
-  type bag_kind = KSS | KSP | KP
+     Same flattening as [Sp]: each live frame's SS/SP/P bags are root
+     indices in parallel int stacks, and [lazy_note] defers inserting a
+     frame into its own SS set until its first recorded reducer-read
+     ([note_read]) — only shadow-recorded reader frames are ever queried
+     by [parallel_read], and a live frame's SS set only absorbs others,
+     so verdicts are unchanged. *)
 
-  type dframe = {
-    dfid : int;
-    danc : int;
-    mutable dls : int;
-    ss : bag_kind Bag.t;
-    sp : bag_kind Bag.t;
-    p : bag_kind Bag.t;
+  let kss = 0
+  let ksp = 1
+  let kp = 2
+
+  type dstate = {
+    uf : Uf.t;
+    lazy_note : bool;
+    mutable pfid : int array;
+    mutable panc : int array;
+    mutable pls : int array;
+    mutable pss : int array; (* SS/SP/P set roots, -1 when empty *)
+    mutable psp : int array;
+    mutable pp : int array;
+    mutable depth : int;
   }
 
-  type dstate = { store : bag_kind Bag.store; dstack : dframe Dynarr.t }
+  let d_create ~lazy_note =
+    {
+      uf = Uf.create ();
+      lazy_note;
+      pfid = Array.make 64 0;
+      panc = Array.make 64 0;
+      pls = Array.make 64 0;
+      pss = Array.make 64 0;
+      psp = Array.make 64 0;
+      pp = Array.make 64 0;
+      depth = 0;
+    }
 
   let d_enter st ~frame ~spawned =
     let anc =
-      if Dynarr.is_empty st.dstack then 0
+      if st.depth = 0 then 0
       else begin
-        let f = Dynarr.top st.dstack in
+        let i = st.depth - 1 in
         if spawned then begin
-          f.dls <- f.dls + 1;
-          Bag.union_into st.store ~dst:f.p ~src:f.sp
+          st.pls.(i) <- st.pls.(i) + 1;
+          (* SP retires into P; SP becomes fresh and empty *)
+          st.pp.(i) <-
+            Uf.union_into st.uf ~src:st.psp.(i) ~dst:st.pp.(i) ~dkind:kp ~dvid:0;
+          st.psp.(i) <- -1
         end;
-        f.danc + f.dls
+        st.panc.(i) + st.pls.(i)
       end
     in
-    Dynarr.push st.dstack
-      {
-        dfid = frame;
-        danc = anc;
-        dls = 0;
-        ss = Bag.make st.store KSS [ frame ];
-        sp = Bag.make st.store KSP [];
-        p = Bag.make st.store KP [];
-      }
+    if st.depth >= Array.length st.pfid then begin
+      let n = st.depth + 1 in
+      st.pfid <- grow_stack st.pfid 0 n;
+      st.panc <- grow_stack st.panc 0 n;
+      st.pls <- grow_stack st.pls 0 n;
+      st.pss <- grow_stack st.pss 0 n;
+      st.psp <- grow_stack st.psp 0 n;
+      st.pp <- grow_stack st.pp 0 n
+    end;
+    let i = st.depth in
+    st.depth <- i + 1;
+    st.pfid.(i) <- frame;
+    st.panc.(i) <- anc;
+    st.pls.(i) <- 0;
+    if st.lazy_note then st.pss.(i) <- -1
+    else begin
+      Uf.insert st.uf frame;
+      Uf.set_kind st.uf frame kss;
+      st.pss.(i) <- frame
+    end;
+    st.psp.(i) <- -1;
+    st.pp.(i) <- -1;
+    if Obs.enabled () then begin
+      Obs.bump_bag_make ();
+      Obs.bump_bag_make ();
+      Obs.bump_bag_make ()
+    end
 
   let d_return st ~frame ~spawned =
-    let g = Dynarr.pop st.dstack in
-    assert (g.dfid = frame);
-    if not (Dynarr.is_empty st.dstack) then begin
-      let f = Dynarr.top st.dstack in
-      Bag.union_into st.store ~dst:f.p ~src:g.p;
-      if spawned then Bag.union_into st.store ~dst:f.p ~src:g.ss
-      else if f.dls = 0 then Bag.union_into st.store ~dst:f.ss ~src:g.ss
-      else Bag.union_into st.store ~dst:f.sp ~src:g.ss
+    let i = st.depth - 1 in
+    st.depth <- i;
+    assert (st.pfid.(i) = frame);
+    if i > 0 then begin
+      let j = i - 1 in
+      st.pp.(j) <-
+        Uf.union_into st.uf ~src:st.pp.(i) ~dst:st.pp.(j) ~dkind:kp ~dvid:0;
+      if spawned then
+        st.pp.(j) <-
+          Uf.union_into st.uf ~src:st.pss.(i) ~dst:st.pp.(j) ~dkind:kp ~dvid:0
+      else if st.pls.(j) = 0 then
+        st.pss.(j) <-
+          Uf.union_into st.uf ~src:st.pss.(i) ~dst:st.pss.(j) ~dkind:kss ~dvid:0
+      else
+        st.psp.(j) <-
+          Uf.union_into st.uf ~src:st.pss.(i) ~dst:st.psp.(j) ~dkind:ksp ~dvid:0
     end
 
   let d_sync st ~frame =
-    let f = Dynarr.top st.dstack in
-    assert (f.dfid = frame);
-    f.dls <- 0;
-    Bag.union_into st.store ~dst:f.p ~src:f.sp
+    let i = st.depth - 1 in
+    assert (st.pfid.(i) = frame);
+    st.pls.(i) <- 0;
+    st.pp.(i) <-
+      Uf.union_into st.uf ~src:st.psp.(i) ~dst:st.pp.(i) ~dkind:kp ~dvid:0;
+    st.psp.(i) <- -1
+
+  (* Lazy first-read insertion (no-op when the frame is already present,
+     which is always the case under the eager discipline). *)
+  let d_note st ~frame =
+    if not (Uf.mem st.uf frame) then begin
+      let i = st.depth - 1 in
+      assert (st.pfid.(i) = frame);
+      Uf.insert st.uf frame;
+      st.pss.(i) <-
+        Uf.union_into st.uf ~src:frame ~dst:st.pss.(i) ~dkind:kss ~dvid:0
+    end
 
   let d_parallel st ~frame =
-    match Bag.find st.store frame with
-    | Some bag -> Bag.payload bag = KP
-    | None -> assert false
+    if Obs.enabled () then Obs.bump_bag_find ();
+    assert (Uf.mem st.uf frame);
+    Uf.kind_at st.uf (Uf.find st.uf frame) = kp
 
   (* -------- depa backend: no bags at all --------
 
@@ -829,8 +1141,8 @@ module Peer = struct
 
   type t = Peer_dset of dstate | Peer_depa of pstate
 
-  let create = function
-    | Dset -> Peer_dset { store = Bag.create_store (); dstack = Dynarr.create () }
+  let create ?(lazy_note = false) = function
+    | Dset -> Peer_dset (d_create ~lazy_note)
     | Depa ->
         Peer_depa
           { pstack = Dynarr.create (); ppool = Dynarr.create (); rtab = Dynarr.create () }
@@ -839,8 +1151,8 @@ module Peer = struct
 
   let reset = function
     | Peer_dset st ->
-        Bag.clear_store st.store;
-        Dynarr.clear st.dstack
+        Uf.reset st.uf;
+        st.depth <- 0
     | Peer_depa st ->
         Dynarr.iter (fun g -> Dynarr.push st.ppool g) st.pstack;
         Dynarr.clear st.pstack;
@@ -861,15 +1173,17 @@ module Peer = struct
 
   let spawn_count = function
     | Peer_dset st ->
-        let f = Dynarr.top st.dstack in
-        f.danc + f.dls
+        let i = st.depth - 1 in
+        st.panc.(i) + st.pls.(i)
     | Peer_depa st ->
         let f = Dynarr.top st.pstack in
         f.panc + f.pls
 
   let note_read t ~reducer ~frame =
     match t with
-    | Peer_dset _ -> ignore (reducer, frame)
+    | Peer_dset st ->
+        ignore reducer;
+        d_note st ~frame
     | Peer_depa st -> p_note_read st ~reducer ~frame
 
   let parallel_read t ~reducer ~frame =

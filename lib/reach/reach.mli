@@ -134,7 +134,15 @@ module Sp : sig
       opened it, or the enclosing frame's entry view). *)
   type cls = Serial | Parallel of int
 
-  val create : backend -> t
+  (** [lazy_note] (default false) defers inserting each frame into its
+      own S set until {!note} — classification of noted frames is
+      unchanged, but callers must then {!note} every frame id they later
+      pass to {!classify} while that frame is the current one. The hot
+      detector cores use this: only shadow-recorded frames are ever
+      classified, so spawn-heavy programs that never touch instrumented
+      memory do no disjoint-set work at all. No effect on [Depa]. *)
+  val create : ?lazy_note:bool -> backend -> t
+
   val backend : t -> backend
 
   (** Empty every arena but keep grown storage — pairs with
@@ -145,17 +153,29 @@ module Sp : sig
 
   (** [parallel] is [spawned || kind = Reduce_fn]: whether the returning
       frame's subtree joins the parent's top P bag (stays parallel until
-      the enclosing sync) or the parent's S bag. *)
-  val on_frame_return : t -> frame:int -> parallel:bool -> unit
+      the enclosing sync) or the parent's S bag.
 
-  val on_sync : t -> frame:int -> unit
+      [on_frame_return], [on_sync] and [on_reduce] return [true] when the
+      event may have changed the classification of some recorded frame
+      (for the dset backend: a payload-rewriting union actually happened;
+      empty-source unions are pure no-ops and return [false]). Callers
+      memoizing [classify] results need to invalidate exactly when one of
+      these returns [true] — see [Sp_hot]'s generation counter. *)
+  val on_frame_return : t -> frame:int -> parallel:bool -> bool
+
+  val on_sync : t -> frame:int -> bool
   val on_steal : t -> frame:int -> region:int -> unit
-  val on_reduce : t -> frame:int -> unit
+  val on_reduce : t -> frame:int -> bool
 
   (** [classify t u] classifies recorded frame [u] against the current
       point. Never-entered frames classify [Serial] (callers guard
       [Shadow.absent] themselves, as the seed did). *)
   val classify : t -> int -> cls
+
+  (** Under [lazy_note], record that the current (top) frame's id is
+      about to be stored in a shadow space: inserts it into its own S
+      set. Idempotent; a no-op under the eager default and on [Depa]. *)
+  val note : t -> frame:int -> unit
 
   (** View id of the current strand (the top P bag of the top frame). *)
   val cur_view : t -> int
@@ -169,7 +189,12 @@ end
 module Peer : sig
   type t
 
-  val create : backend -> t
+  (** [lazy_note] (default false): defer inserting frames into their own
+      SS sets until their first {!note_read}. Only shadow-recorded reader
+      frames are ever queried by {!parallel_read}, so verdicts are
+      unchanged. No effect on [Depa]. *)
+  val create : ?lazy_note:bool -> backend -> t
+
   val backend : t -> backend
   val reset : t -> unit
   val on_frame_enter : t -> frame:int -> spawned:bool -> unit

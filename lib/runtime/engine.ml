@@ -34,14 +34,18 @@ type stats = {
    depends on: the last strand of each completed child spawned in the
    region, the last continuation strand of the region's segment, and the
    region's latest reduce strand. *)
-type region_entry = { rid : int; mutable tails : int list }
+type region_entry = { mutable rid : int; mutable tails : int list }
 
+(* [fid]/[depth]/[kind]/[parent_fid] are mutable only so reduce/identity
+   frame records can be recycled through [aux_pool]; user-facing code
+   never observes a mutation (a frame is reinitialized only between
+   lifetimes, while no ctx for it exists). *)
 type frame = {
-  fid : int;
-  depth : int;
-  kind : Tool.frame_kind;
+  mutable fid : int;
+  mutable depth : int;
+  mutable kind : Tool.frame_kind;
   spawned : bool;
-  parent_fid : int;
+  mutable parent_fid : int;
   mutable alive : bool;
   mutable sync_block : int;
   mutable local_cont_index : int; (* spawns since last sync *)
@@ -108,6 +112,29 @@ type t = {
      The serial path is untouched (one [None] branch per call). *)
   mutable online : online_ops option;
   contract_mu : Mutex.t; (* contract log guard; contended only online *)
+  (* Span batching: consecutive same-frame same-view-awareness reads (or
+     writes) coalesce into one pending run, dispatched as a single
+     [Tool.read_span]/[write_span] at the next non-access event. Only
+     when the tool stack allows it ([spans_on]); counters, logs and the
+     event budget are still charged per access at accept time. *)
+  mutable spans_on : bool;
+  mutable pend_kind : int; (* 0 = none, 1 = read, 2 = write *)
+  mutable pend_frame : int;
+  mutable pend_va : bool;
+  mutable pend_base : int;
+  mutable pend_len : int;
+  mutable pend_stride : int; (* meaningful once pend_len >= 2 *)
+  (* Recycled reduce/identity frame records (each with its one-entry
+     region stack). These frames are created by the steal/merge machinery
+     itself — perfectly LIFO, gone before the merge returns — so reusing
+     their records keeps steal-heavy runs from allocating two frame
+     records plus a region stack per steal. Update frames are NOT pooled:
+     they run arbitrary user code on the serial path, where the seed's
+     stale-ctx detection (a dead frame stays dead) is kept intact. *)
+  aux_pool : frame Dynarr.t;
+  (* Recycled region entries: a steal pushes one, the matching reduce pops
+     and discards it — pooling makes the steal branch allocation-free. *)
+  region_pool : region_entry Dynarr.t;
 }
 
 and ctx = { eng : t; frame : frame; ost : Obj.t }
@@ -134,6 +161,12 @@ and online_ops = {
 }
 
 let no_ost = Obj.repr ()
+
+(* Batching is off for a bare [Null] stack (nothing to deliver to — the
+   empty-tool baseline keeps the seed's per-access cost) and whenever an
+   [Extern] arm is present (external tools may observe interleaving, e.g.
+   the chaos harness counts events to pick an injection point). *)
+let spans_of_tool = function Tool.Null -> false | t -> Tool.spans_ok t
 
 let create ?(tool = Tool.null) ?(spec = Steal_spec.none) ?(record = false)
     ?max_events ?deadline ?(clock = Unix.gettimeofday) () =
@@ -176,11 +209,21 @@ let create ?(tool = Tool.null) ?(spec = Steal_spec.none) ?(record = false)
     c_reducer_reads = 0;
     online = None;
     contract_mu = Mutex.create ();
+    spans_on = spans_of_tool tool;
+    pend_kind = 0;
+    pend_frame = -1;
+    pend_va = false;
+    pend_base = 0;
+    pend_len = 0;
+    pend_stride = 0;
+    aux_pool = Dynarr.create ();
+    region_pool = Dynarr.create ();
   }
 
 let set_tool t tool =
   if t.state <> Fresh then err "Engine.set_tool: engine already running";
-  t.tool <- tool
+  t.tool <- tool;
+  t.spans_on <- spans_of_tool tool
 
 (* Recycle an engine for another run: every counter and log goes back to
    its [create] value, but the arenas behind the Dynarrs and the location
@@ -227,7 +270,9 @@ let reset ?(tool = Tool.null) ?(spec = Steal_spec.none) ?(record = false)
   t.c_reads <- 0;
   t.c_writes <- 0;
   t.c_reducer_reads <- 0;
-  t.online <- None
+  t.online <- None;
+  t.spans_on <- spans_of_tool tool;
+  t.pend_kind <- 0
 
 let dag_kind_of_frame_kind = function
   | Tool.User_fn -> Dag.User
@@ -253,9 +298,34 @@ let bump_event t =
       raise (Fault.Stop (Fault.Deadline dl))
   | _ -> ()
 
+(* Deliver the pending access run. Every coalesced access was already
+   accepted — counted, logged and charged against the budget — so the
+   flush is pure tool dispatch: a single-access run degrades to the plain
+   per-access event. *)
+let really_flush t =
+  let k = t.pend_kind in
+  t.pend_kind <- 0;
+  if k = 1 then begin
+    if t.pend_len = 1 then
+      Tool.read t.tool ~frame:t.pend_frame ~loc:t.pend_base
+        ~view_aware:t.pend_va
+    else
+      Tool.read_span t.tool ~frame:t.pend_frame ~base:t.pend_base
+        ~len:t.pend_len ~stride:t.pend_stride ~view_aware:t.pend_va
+  end
+  else if t.pend_len = 1 then
+    Tool.write t.tool ~frame:t.pend_frame ~loc:t.pend_base
+      ~view_aware:t.pend_va
+  else
+    Tool.write_span t.tool ~frame:t.pend_frame ~base:t.pend_base
+      ~len:t.pend_len ~stride:t.pend_stride ~view_aware:t.pend_va
+
+let[@inline] flush_pend t = if t.pend_kind <> 0 then really_flush t
+
 (* Allocate the next strand id; add the dag vertex and its incoming edges
    when recording. *)
 let new_strand t ~frame ~kind ~view ~label ~preds =
+  flush_pend t;
   bump_event t;
   let id = t.strand_counter in
   t.strand_counter <- id + 1;
@@ -288,15 +358,20 @@ let merge_top_two ctx =
   assert (Dynarr.length fr.regions >= 2);
   let from = Dynarr.pop fr.regions in
   let into = top_region fr in
-  t.tool.on_reduce ~frame:fr.fid ~into_region:into.rid ~from_region:from.rid;
+  flush_pend t;
+  Tool.reduce t.tool ~frame:fr.fid ~into_region:into.rid ~from_region:from.rid;
   if t.record then
     Dynarr.push t.merges_log
       { m_from = from.rid; m_into = into.rid; m_at = t.strand_counter };
   t.pending_deps <- List.rev_append from.tails into.tails;
+  Dynarr.push t.region_pool from;
   t.in_merge <- true;
-  Dynarr.iter
-    (fun merge_fn -> merge_fn ctx ~from_region:from.rid ~into_region:into.rid)
-    t.reducer_merges;
+  (* index loop, not [Dynarr.iter]: merges run once per steal, and the
+     iteration closure would otherwise be allocated on every one *)
+  let from_region = from.rid and into_region = into.rid in
+  for i = 0 to Dynarr.length t.reducer_merges - 1 do
+    (Dynarr.get t.reducer_merges i) ctx ~from_region ~into_region
+  done;
   t.in_merge <- false;
   into.tails <- t.pending_deps;
   t.pending_deps <- []
@@ -310,7 +385,8 @@ let do_sync ctx =
   while Dynarr.length fr.regions > 1 do
     merge_top_two ctx
   done;
-  t.tool.on_sync ~frame:fr.fid;
+  flush_pend t;
+  Tool.sync t.tool ~frame:fr.fid;
   t.c_syncs <- t.c_syncs + 1;
   fr.sync_block <- fr.sync_block + 1;
   fr.local_cont_index <- 0;
@@ -358,7 +434,9 @@ let run_child ctx ~spawned f =
   let entry_rid = cur_region pf in
   let fr = fresh_frame t ~parent:(Some pf) ~spawned ~kind:Tool.User_fn ~entry_rid in
   t.active_frames <- fr :: t.active_frames;
-  t.tool.on_frame_enter ~frame:fr.fid ~parent:pf.fid ~spawned ~kind:Tool.User_fn;
+  flush_pend t;
+  Tool.frame_enter t.tool ~frame:fr.fid ~parent:pf.fid ~spawned
+    ~kind:Tool.User_fn;
   fr.cur_node <-
     new_strand t ~frame:fr.fid ~kind:Dag.User ~view:entry_rid ~label:"enter"
       ~preds:[ pf.cur_node ];
@@ -367,7 +445,9 @@ let run_child ctx ~spawned f =
   do_sync { eng = t; frame = fr; ost = no_ost };
   fr.alive <- false;
   t.active_frames <- List.tl t.active_frames;
-  t.tool.on_frame_return ~frame:fr.fid ~parent:pf.fid ~spawned ~kind:Tool.User_fn;
+  flush_pend t;
+  Tool.frame_return t.tool ~frame:fr.fid ~parent:pf.fid ~spawned
+    ~kind:Tool.User_fn;
   (result, fr.cur_node)
 
 let fr_continue t pf ~preds =
@@ -426,8 +506,18 @@ let serial_spawn ctx f =
     done;
     let rid = t.next_rid in
     t.next_rid <- rid + 1;
-    Dynarr.push pf.regions { rid; tails = [] };
-    t.tool.on_steal ~frame:pf.fid ~region:rid;
+    let entry =
+      if Dynarr.is_empty t.region_pool then { rid; tails = [] }
+      else begin
+        let e = Dynarr.pop t.region_pool in
+        e.rid <- rid;
+        e.tails <- [];
+        e
+      end
+    in
+    Dynarr.push pf.regions entry;
+    flush_pend t;
+    Tool.steal t.tool ~frame:pf.fid ~region:rid;
     t.c_steals <- t.c_steals + 1
   end;
   (* Continuation after a spawn depends only on the spawn strand. *)
@@ -494,7 +584,7 @@ let run t main =
   t.state <- Running;
   let root = fresh_frame t ~parent:None ~spawned:false ~kind:Tool.User_fn ~entry_rid:0 in
   t.active_frames <- [ root ];
-  t.tool.on_frame_enter ~frame:root.fid ~parent:(-1) ~spawned:false
+  Tool.frame_enter t.tool ~frame:root.fid ~parent:(-1) ~spawned:false
     ~kind:Tool.User_fn;
   root.cur_node <-
     new_strand t ~frame:root.fid ~kind:Dag.User ~view:0 ~label:"main" ~preds:[];
@@ -503,7 +593,8 @@ let run t main =
   do_sync ctx;
   root.alive <- false;
   t.active_frames <- [];
-  t.tool.on_frame_return ~frame:root.fid ~parent:(-1) ~spawned:false
+  flush_pend t;
+  Tool.frame_return t.tool ~frame:root.fid ~parent:(-1) ~spawned:false
     ~kind:Tool.User_fn;
   t.state <- Done;
   flush_obs t;
@@ -531,6 +622,11 @@ let failure_origin t =
    attached detectors simply stop receiving events, leaving them holding
    their verdicts over the completed prefix. *)
 let unwind t =
+  (* Deliver any pending access run first: the coalesced accesses were
+     accepted (counted, logged, budget-charged) before the failure, so the
+     detectors must see them to hold verdicts over the exact completed
+     prefix. *)
+  flush_pend t;
   List.iter (fun fr -> fr.alive <- false) t.active_frames;
   t.active_frames <- [];
   t.in_merge <- false;
@@ -647,7 +743,34 @@ let serial_emit_read ctx loc =
   check_alive fr;
   bump_event t;
   let view_aware = fr.kind <> Tool.User_fn in
-  t.tool.on_read ~frame:fr.fid ~loc ~view_aware;
+  (if t.spans_on then begin
+     if t.pend_kind = 1 && t.pend_frame = fr.fid && t.pend_va = view_aware
+     then begin
+       if t.pend_len = 1 then begin
+         t.pend_stride <- loc - t.pend_base;
+         t.pend_len <- 2
+       end
+       else if loc = t.pend_base + (t.pend_len * t.pend_stride) then
+         t.pend_len <- t.pend_len + 1
+       else begin
+         really_flush t;
+         t.pend_kind <- 1;
+         t.pend_frame <- fr.fid;
+         t.pend_va <- view_aware;
+         t.pend_base <- loc;
+         t.pend_len <- 1
+       end
+     end
+     else begin
+       flush_pend t;
+       t.pend_kind <- 1;
+       t.pend_frame <- fr.fid;
+       t.pend_va <- view_aware;
+       t.pend_base <- loc;
+       t.pend_len <- 1
+     end
+   end
+   else Tool.read t.tool ~frame:fr.fid ~loc ~view_aware);
   t.c_reads <- t.c_reads + 1;
   if t.record then
     Dynarr.push t.accesses_log
@@ -670,7 +793,34 @@ let serial_emit_write ctx loc =
   check_alive fr;
   bump_event t;
   let view_aware = fr.kind <> Tool.User_fn in
-  t.tool.on_write ~frame:fr.fid ~loc ~view_aware;
+  (if t.spans_on then begin
+     if t.pend_kind = 2 && t.pend_frame = fr.fid && t.pend_va = view_aware
+     then begin
+       if t.pend_len = 1 then begin
+         t.pend_stride <- loc - t.pend_base;
+         t.pend_len <- 2
+       end
+       else if loc = t.pend_base + (t.pend_len * t.pend_stride) then
+         t.pend_len <- t.pend_len + 1
+       else begin
+         really_flush t;
+         t.pend_kind <- 2;
+         t.pend_frame <- fr.fid;
+         t.pend_va <- view_aware;
+         t.pend_base <- loc;
+         t.pend_len <- 1
+       end
+     end
+     else begin
+       flush_pend t;
+       t.pend_kind <- 2;
+       t.pend_frame <- fr.fid;
+       t.pend_va <- view_aware;
+       t.pend_base <- loc;
+       t.pend_len <- 1
+     end
+   end
+   else Tool.write t.tool ~frame:fr.fid ~loc ~view_aware);
   t.c_writes <- t.c_writes + 1;
   if t.record then
     Dynarr.push t.accesses_log
@@ -691,7 +841,8 @@ let serial_emit_reducer_read ctx reducer =
   let fr = ctx.frame in
   let t = ctx.eng in
   require_user fr "reducer read (create/get/set)";
-  t.tool.on_reducer_read ~frame:fr.fid ~reducer;
+  flush_pend t;
+  Tool.reducer_read t.tool ~frame:fr.fid ~reducer;
   t.c_reducer_reads <- t.c_reducer_reads + 1;
   if t.record then Dynarr.push t.rreads_log (reducer, fr.cur_node)
 
@@ -699,6 +850,35 @@ let emit_reducer_read ctx reducer =
   match ctx.eng.online with
   | Some o -> o.oo_emit_reducer_read ctx reducer
   | None -> serial_emit_reducer_read ctx reducer
+
+(* Acquire a frame for a runtime-invoked (reduce/identity) aux function,
+   reusing a pooled record when one is available. The pooled frame's
+   region stack already holds exactly one entry — aux frames cannot spawn,
+   so they never push another. *)
+let acquire_aux_frame t ~parent ~kind ~entry_rid =
+  if Dynarr.is_empty t.aux_pool then
+    fresh_frame t ~parent:(Some parent) ~spawned:false ~kind ~entry_rid
+  else begin
+    let fr = Dynarr.pop t.aux_pool in
+    let fid = t.next_fid in
+    t.next_fid <- fid + 1;
+    t.c_frames <- t.c_frames + 1;
+    if t.record then Dynarr.push t.frames_log (fid, parent.fid, false, kind);
+    fr.fid <- fid;
+    fr.depth <- parent.depth + 1;
+    fr.kind <- kind;
+    fr.parent_fid <- parent.fid;
+    fr.alive <- true;
+    fr.sync_block <- 0;
+    fr.local_cont_index <- 0;
+    fr.steals_in_block <- 0;
+    (let e = Dynarr.top fr.regions in
+     e.rid <- entry_rid;
+     e.tails <- []);
+    fr.cur_node <- -1;
+    if fr.depth > t.max_depth_seen then t.max_depth_seen <- fr.depth;
+    fr
+  end
 
 let serial_run_aux_frame ?(reducer = -1) ctx kind f =
   let t = ctx.eng in
@@ -708,9 +888,14 @@ let serial_run_aux_frame ?(reducer = -1) ctx kind f =
   | Tool.User_fn -> invalid_arg "run_aux_frame: kind must be view-aware"
   | Tool.Update_fn | Tool.Reduce_fn | Tool.Identity_fn -> ());
   let entry_rid = cur_region pf in
-  let fr = fresh_frame t ~parent:(Some pf) ~spawned:false ~kind ~entry_rid in
+  let fr =
+    if kind = Tool.Update_fn then
+      fresh_frame t ~parent:(Some pf) ~spawned:false ~kind ~entry_rid
+    else acquire_aux_frame t ~parent:pf ~kind ~entry_rid
+  in
   t.active_frames <- fr :: t.active_frames;
-  t.tool.on_frame_enter ~frame:fr.fid ~parent:pf.fid ~spawned:false ~kind;
+  flush_pend t;
+  Tool.frame_enter t.tool ~frame:fr.fid ~parent:pf.fid ~spawned:false ~kind;
   let in_reduce = kind = Tool.Reduce_fn && t.in_merge in
   let preds = if in_reduce then t.pending_deps else [ pf.cur_node ] in
   fr.cur_node <-
@@ -723,12 +908,14 @@ let serial_run_aux_frame ?(reducer = -1) ctx kind f =
   let result = f { eng = t; frame = fr; ost = no_ost } in
   fr.alive <- false;
   t.active_frames <- List.tl t.active_frames;
-  t.tool.on_frame_return ~frame:fr.fid ~parent:pf.fid ~spawned:false ~kind;
+  flush_pend t;
+  Tool.frame_return t.tool ~frame:fr.fid ~parent:pf.fid ~spawned:false ~kind;
   if in_reduce then begin
     t.pending_deps <- [ fr.cur_node ];
     t.c_reduce_calls <- t.c_reduce_calls + 1
   end
   else fr_continue t pf ~preds:[ fr.cur_node ];
+  if kind <> Tool.Update_fn then Dynarr.push t.aux_pool fr;
   result
 
 let run_aux_frame ?(reducer = -1) ctx kind f =

@@ -1,0 +1,16 @@
+(* Why a frame was created. Lives in its own module so the hot detector
+   cores ([Sp_hot], [Peer_hot]) can pattern-match on frame kinds without
+   depending on [Tool], which in turn depends on them; [Tool] re-exports
+   the constructors so existing clients keep writing [Tool.User_fn]. *)
+
+type t = User_fn | Update_fn | Reduce_fn | Identity_fn
+
+let is_view_aware = function
+  | User_fn -> false
+  | Update_fn | Reduce_fn | Identity_fn -> true
+
+let name = function
+  | User_fn -> "user"
+  | Update_fn -> "update"
+  | Reduce_fn -> "reduce"
+  | Identity_fn -> "identity"

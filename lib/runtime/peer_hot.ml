@@ -1,0 +1,70 @@
+module Reach = Rader_reach.Reach
+module Shadow = Rader_memory.Shadow
+module Obs = Rader_obs.Obs
+
+(* The Peer-Set detector's hot path: the precedence core (with lazy SS
+   insertion), the per-reducer reader/spawn-count shadows, and the Lemma-3
+   comparison. Report construction stays with the policy wrapper
+   ([Rader_core.Peer_set]) via [on_race].
+
+   Auxiliary (update/reduce/identity) frames are not Cilk functions in
+   the peer-set sense and cannot perform reducer-reads (the engine
+   forbids it); filtering them here makes the algorithm's verdicts
+   independent of the steal specification, since view-read races are
+   defined on the user dag. *)
+
+type on_race = reducer:int -> first_frame:int -> second_frame:int -> unit
+
+type t = {
+  reach : Reach.Peer.t;
+  reader : Shadow.t; (* reducer id -> last reader frame *)
+  reader_sc : Shadow.t; (* reducer id -> spawn count of last reader *)
+  mutable on_race : on_race;
+}
+
+let no_race ~reducer:_ ~first_frame:_ ~second_frame:_ = ()
+
+let create ?(backend = Reach.Dset) () =
+  {
+    reach = Reach.Peer.create ~lazy_note:true backend;
+    reader = Shadow.create ();
+    reader_sc = Shadow.create ();
+    on_race = no_race;
+  }
+
+let set_on_race t f = t.on_race <- f
+
+let backend t = Reach.Peer.backend t.reach
+
+let reset t =
+  Reach.Peer.reset t.reach;
+  Shadow.clear t.reader;
+  Shadow.clear t.reader_sc
+
+let frame_enter t ~frame ~spawned ~kind =
+  if kind = Frame_kind.User_fn then
+    Reach.Peer.on_frame_enter t.reach ~frame ~spawned
+
+let frame_return t ~frame ~spawned ~kind =
+  if kind = Frame_kind.User_fn then
+    Reach.Peer.on_frame_return t.reach ~frame ~spawned
+
+let sync t ~frame = Reach.Peer.on_sync t.reach ~frame
+
+let reducer_read t ~frame ~reducer =
+  if Obs.enabled () then Obs.bump_peerset_query ();
+  let sc = Reach.Peer.spawn_count t.reach in
+  let last = Shadow.get t.reader reducer in
+  if last <> Shadow.absent then begin
+    (* Lemma 3: same peer set iff same spawn count and not in a P bag.
+       Short-circuit order matches the seed: the spawn-count shadow is
+       only consulted when the bag is not already P. *)
+    let racy =
+      Reach.Peer.parallel_read t.reach ~reducer ~frame:last
+      || Shadow.get t.reader_sc reducer <> sc
+    in
+    if racy then t.on_race ~reducer ~first_frame:last ~second_frame:frame
+  end;
+  Shadow.set t.reader reducer frame;
+  Shadow.set t.reader_sc reducer sc;
+  Reach.Peer.note_read t.reach ~reducer ~frame

@@ -1,0 +1,24 @@
+(** The Peer-Set detector's hot path, defunctionalized.
+
+    Owns the precedence core ({!Rader_reach.Reach.Peer}, run with
+    [lazy_note]), the per-reducer reader and spawn-count shadows, and the
+    Lemma-3 comparison; the policy wrapper ([Rader_core.Peer_set]) builds
+    report records in the {!set_on_race} callback. Frame events for
+    auxiliary (view-aware) frames are filtered here, as the seed's tool
+    record did. *)
+
+type t
+
+type on_race = reducer:int -> first_frame:int -> second_frame:int -> unit
+
+val create : ?backend:Rader_reach.Reach.backend -> unit -> t
+val set_on_race : t -> on_race -> unit
+val backend : t -> Rader_reach.Reach.backend
+
+(** Empty every arena but keep grown storage; [on_race] is kept. *)
+val reset : t -> unit
+
+val frame_enter : t -> frame:int -> spawned:bool -> kind:Frame_kind.t -> unit
+val frame_return : t -> frame:int -> spawned:bool -> kind:Frame_kind.t -> unit
+val sync : t -> frame:int -> unit
+val reducer_read : t -> frame:int -> reducer:int -> unit

@@ -10,10 +10,43 @@ type 'v law_check = {
   lc_samples : int;
 }
 
+(* Serial view storage: region ids are small dense ints (the engine hands
+   them out from a counter), so a flat ['v option array] indexed by region
+   replaces the seed's hashtable — a view lookup on the serial hot path is
+   one bounds check and one array load of the stored option (no hashing,
+   no allocation). [vcount] tracks the live views for [n_views]. *)
+type 'v store = {
+  mutable slots : 'v option array;
+  mutable vcount : int;
+}
+
+let store_find s region =
+  if region < Array.length s.slots then s.slots.(region) else None
+
+let store_set s region v =
+  if region >= Array.length s.slots then begin
+    let cap = max (region + 1) (2 * Array.length s.slots) in
+    let slots = Array.make cap None in
+    Array.blit s.slots 0 slots 0 (Array.length s.slots);
+    s.slots <- slots
+  end;
+  (match s.slots.(region) with
+  | None -> s.vcount <- s.vcount + 1
+  | Some _ -> ());
+  s.slots.(region) <- Some v
+
+let store_remove s region =
+  if region < Array.length s.slots then
+    match s.slots.(region) with
+    | None -> ()
+    | Some _ ->
+        s.slots.(region) <- None;
+        s.vcount <- s.vcount - 1
+
 type 'v t = {
   rid : int;
   monoid : 'v monoid;
-  views : (int, 'v) Hashtbl.t; (* region id -> view *)
+  views : 'v store; (* region id -> view *)
   creation_region : int;
 }
 
@@ -70,16 +103,16 @@ let view_find ctx ~rid ~views region =
     match Engine.online_view_find ctx ~region ~reducer:rid with
     | None -> None
     | Some o -> Some (Obj.obj o)
-  else Hashtbl.find_opt views region
+  else store_find views region
 
 let view_set ctx ~rid ~views region v =
   if Engine.is_online ctx then
     Engine.online_view_set ctx ~region ~reducer:rid (Obj.repr v)
-  else Hashtbl.replace views region v
+  else store_set views region v
 
 let create ctx ?self_check monoid ~init =
   let eng = Engine.engine ctx in
-  let views : (int, 'v) Hashtbl.t = Hashtbl.create 8 in
+  let views = { slots = Array.make 8 None; vcount = 0 } in
   let samples_left =
     ref (match self_check with None -> 0 | Some lc -> max 0 lc.lc_samples)
   in
@@ -94,7 +127,7 @@ let create ctx ?self_check monoid ~init =
         (* Online the dying region's whole view table is discarded by the
            runtime after its merges, so only the serial table needs the
            explicit removal. *)
-        if not (Engine.is_online mctx) then Hashtbl.remove views from_region;
+        if not (Engine.is_online mctx) then store_remove views from_region;
         match view_find mctx ~rid:!rid_slot ~views into_region with
         | None ->
             (* The surviving region never materialized a view: its lazy
@@ -152,5 +185,5 @@ let update ctx r f =
 
 let id r = r.rid
 let name r = r.monoid.name
-let peek r = Hashtbl.find_opt r.views r.creation_region
-let n_views r = Hashtbl.length r.views
+let peek r = store_find r.views r.creation_region
+let n_views r = r.views.vcount

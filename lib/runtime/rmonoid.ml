@@ -8,9 +8,11 @@ let of_pure (m : 'a Monoid.t) : 'a Reducer.monoid =
   }
 
 let int_cell_monoid ~name ~zero ~op : int Cell.t Reducer.monoid =
+  (* hoisted: the identity runs once per steal-created view *)
+  let view_label = name ^ ".view" in
   {
     Reducer.name;
-    identity = (fun ctx -> Cell.make_in ctx ~label:(name ^ ".view") zero);
+    identity = (fun ctx -> Cell.make_in ctx ~label:view_label zero);
     reduce =
       (fun ctx l r ->
         let rv = Cell.read ctx r in

@@ -1,0 +1,232 @@
+module Reach = Rader_reach.Reach
+module Shadow = Rader_memory.Shadow
+
+(* The SP+ detector's hot path, defunctionalized. This module owns
+   everything touched per event — the precedence core, the reader/writer
+   shadow spaces and the frame-kind stack — as flat state the [Tool]
+   variant dispatches into with a single match. Report construction is
+   cold and stays with the policy wrapper ([Rader_core.Sp_plus]), which
+   installs [on_race]; the callback carries only raw ints/bools so this
+   module needs no dependency on the report machinery.
+
+   Two hot-path savings over the seed's closure-record detector:
+
+   - the precedence core runs with [lazy_note]: frames enter the
+     disjoint-set forest only when their id is first recorded in a shadow
+     space, so programs whose frames never touch instrumented memory do
+     no set work at all;
+   - a two-slot classification memo keyed by a structural generation
+     counter, bumped only when the backend reports that an event actually
+     rewrote reachability state (a payload-carrying union; empty-bag
+     returns and syncs are no-ops): within one strand the SP relation is
+     constant, so a span of accesses over the same recorded frame costs
+     one reachability query, and pure-control frame churn between spans
+     costs none. *)
+
+type on_race =
+  loc:int ->
+  first_frame:int ->
+  first_is_write:bool ->
+  second_frame:int ->
+  second_is_write:bool ->
+  view_aware:bool ->
+  pv:int ->
+  cur:int ->
+  unit
+
+type t = {
+  reach : Reach.Sp.t;
+  reader : Shadow.t;
+  writer : Shadow.t;
+  (* frame stack: ids plus kind codes (Frame_kind order: user 0, update 1,
+     reduce 2, identity 3) *)
+  mutable fids : int array;
+  mutable kinds : int array;
+  mutable depth : int;
+  (* structural generation: bumps invalidate the classify memo *)
+  mutable gen : int;
+  (* two-slot memo: (gen, frame) -> -1 = Serial, vid >= 0 = Parallel vid *)
+  mutable m0_gen : int;
+  mutable m0_u : int;
+  mutable m0_res : int;
+  mutable m1_gen : int;
+  mutable m1_u : int;
+  mutable m1_res : int;
+  mutable on_race : on_race;
+}
+
+let no_race ~loc:_ ~first_frame:_ ~first_is_write:_ ~second_frame:_
+    ~second_is_write:_ ~view_aware:_ ~pv:_ ~cur:_ =
+  ()
+
+let kind_code = function
+  | Frame_kind.User_fn -> 0
+  | Frame_kind.Update_fn -> 1
+  | Frame_kind.Reduce_fn -> 2
+  | Frame_kind.Identity_fn -> 3
+
+let reduce_code = 2
+
+let create ?(backend = Reach.Dset) () =
+  {
+    reach = Reach.Sp.create ~lazy_note:true backend;
+    reader = Shadow.create ();
+    writer = Shadow.create ();
+    fids = Array.make 64 0;
+    kinds = Array.make 64 0;
+    depth = 0;
+    gen = 0;
+    m0_gen = -1;
+    m0_u = -1;
+    m0_res = -1;
+    m1_gen = -1;
+    m1_u = -1;
+    m1_res = -1;
+    on_race = no_race;
+  }
+
+let set_on_race t f = t.on_race <- f
+
+let backend t = Reach.Sp.backend t.reach
+
+let reset t =
+  Reach.Sp.reset t.reach;
+  Shadow.clear t.reader;
+  Shadow.clear t.writer;
+  t.depth <- 0;
+  t.gen <- t.gen + 1
+
+(* -------- structural events -------- *)
+
+(* No memo invalidation here: entering a frame pushes fresh empty bags
+   (dset) or extends the current path strictly below any recorded frame's
+   LCA (depa) — no existing frame changes set membership, no root payload
+   is rewritten, so every cached classification recomputes identically. *)
+let frame_enter t ~frame ~kind =
+  Reach.Sp.on_frame_enter t.reach ~frame;
+  if t.depth >= Array.length t.fids then begin
+    let cap = 2 * Array.length t.fids in
+    let fids = Array.make cap 0 and kinds = Array.make cap 0 in
+    Array.blit t.fids 0 fids 0 t.depth;
+    Array.blit t.kinds 0 kinds 0 t.depth;
+    t.fids <- fids;
+    t.kinds <- kinds
+  end;
+  t.fids.(t.depth) <- frame;
+  t.kinds.(t.depth) <- kind_code kind;
+  t.depth <- t.depth + 1
+
+(* Returns, syncs and reduces invalidate the classify memo only when the
+   backend reports a real structural change (a payload-rewriting union in
+   the dset forest): a pure-control frame returning with empty bags
+   rewrites nothing, so every cached classification recomputes
+   identically and the memo survives. *)
+let frame_return t ~frame ~spawned =
+  let i = t.depth - 1 in
+  t.depth <- i;
+  assert (t.fids.(i) = frame);
+  (* A returning Reduce invocation joins the P bag whose views it just
+     merged; spawned children join the top P bag; called children are
+     serial with the parent (paper §6). *)
+  if
+    Reach.Sp.on_frame_return t.reach ~frame
+      ~parallel:(t.kinds.(i) = reduce_code || spawned)
+  then t.gen <- t.gen + 1
+
+let sync t ~frame =
+  assert (t.fids.(t.depth - 1) = frame);
+  if Reach.Sp.on_sync t.reach ~frame then t.gen <- t.gen + 1
+
+(* A steal pushes a fresh empty P bag (dset) / a strictly newer epoch
+   (depa): recorded frames keep their sets, roots keep their payloads, and
+   epoch lookups for already-recorded epochs are unaffected — the memo
+   stays valid. (The current view does change, but it is read directly,
+   never memoized.) *)
+let steal t ~frame ~region =
+  Reach.Sp.on_steal t.reach ~frame ~region
+
+let reduce t ~frame =
+  if Reach.Sp.on_reduce t.reach ~frame then t.gen <- t.gen + 1
+
+(* -------- accesses -------- *)
+
+(* Shadow-entry classification, memoized within the current structural
+   generation: -1 = Serial, otherwise the P bag's view id. *)
+let classify t u =
+  if u = Shadow.absent then -1
+  else if t.m0_gen = t.gen && t.m0_u = u then t.m0_res
+  else if t.m1_gen = t.gen && t.m1_u = u then t.m1_res
+  else begin
+    let res =
+      match Reach.Sp.classify t.reach u with
+      | Reach.Sp.Serial -> -1
+      | Reach.Sp.Parallel vid -> vid
+    in
+    t.m1_gen <- t.m0_gen;
+    t.m1_u <- t.m0_u;
+    t.m1_res <- t.m0_res;
+    t.m0_gen <- t.gen;
+    t.m0_u <- u;
+    t.m0_res <- res;
+    res
+  end
+
+let check t ~loc ~frame ~view_aware ~first_frame ~first_is_write
+    ~second_is_write =
+  let pv = classify t first_frame in
+  if pv >= 0 then
+    if not view_aware then
+      t.on_race ~loc ~first_frame ~first_is_write ~second_frame:frame
+        ~second_is_write ~view_aware ~pv ~cur:0
+    else begin
+      let cur = Reach.Sp.cur_view t.reach in
+      if pv <> cur then
+        t.on_race ~loc ~first_frame ~first_is_write ~second_frame:frame
+          ~second_is_write ~view_aware ~pv ~cur
+    end
+
+(* Shadow update: keep the recorded access unless it is serial with the
+   current strand, or this is a reduce strand overwriting an entry of its
+   own view (which the reduce serializes with). *)
+let may_update t ~view_aware recorded =
+  let pv = classify t recorded in
+  pv < 0
+  || view_aware
+     && t.kinds.(t.depth - 1) = reduce_code
+     && pv = Reach.Sp.cur_view t.reach
+
+let read t ~frame ~loc ~view_aware =
+  check t ~loc ~frame ~view_aware
+    ~first_frame:(Shadow.get t.writer loc)
+    ~first_is_write:true ~second_is_write:false;
+  let r = Shadow.get t.reader loc in
+  if may_update t ~view_aware r then begin
+    Reach.Sp.note t.reach ~frame;
+    Shadow.set t.reader loc frame
+  end
+
+let write t ~frame ~loc ~view_aware =
+  check t ~loc ~frame ~view_aware
+    ~first_frame:(Shadow.get t.reader loc)
+    ~first_is_write:false ~second_is_write:true;
+  let w = Shadow.get t.writer loc in
+  check t ~loc ~frame ~view_aware ~first_frame:w ~first_is_write:true
+    ~second_is_write:true;
+  if may_update t ~view_aware w then begin
+    Reach.Sp.note t.reach ~frame;
+    Shadow.set t.writer loc frame
+  end
+
+let read_span t ~frame ~base ~len ~stride ~view_aware =
+  let loc = ref base in
+  for _ = 1 to len do
+    read t ~frame ~loc:!loc ~view_aware;
+    loc := !loc + stride
+  done
+
+let write_span t ~frame ~base ~len ~stride ~view_aware =
+  let loc = ref base in
+  for _ = 1 to len do
+    write t ~frame ~loc:!loc ~view_aware;
+    loc := !loc + stride
+  done

@@ -1,0 +1,57 @@
+(** The SP+ detector's hot path, defunctionalized.
+
+    Owns the per-event state of the SP+ algorithm — the precedence core
+    ({!Rader_reach.Reach.Sp}, run with [lazy_note]), the reader/writer
+    shadow spaces and the frame-kind stack — so the [Tool] variant can
+    dispatch into it with a single match and no closures. Everything cold
+    (report records, labels, strand ids) lives with the policy wrapper
+    ([Rader_core.Sp_plus]), which installs {!set_on_race}; the callback
+    carries raw ints/bools only.
+
+    Verdict-identical to the seed's closure-record SP+ detector: the
+    classification algebra is unchanged, [lazy_note] only skips set work
+    for frames that are never classified, and the two-slot classify memo
+    is invalidated at every structural event (the SP relation is constant
+    between them). *)
+
+type t
+
+(** Fired once per detected race, in detection order. [pv]/[cur] are the
+    recorded and current view ids; they are meaningful only when
+    [view_aware] is true (the race is then a cross-view one). *)
+type on_race =
+  loc:int ->
+  first_frame:int ->
+  first_is_write:bool ->
+  second_frame:int ->
+  second_is_write:bool ->
+  view_aware:bool ->
+  pv:int ->
+  cur:int ->
+  unit
+
+val create : ?backend:Rader_reach.Reach.backend -> unit -> t
+val set_on_race : t -> on_race -> unit
+val backend : t -> Rader_reach.Reach.backend
+
+(** Empty every arena but keep grown storage (pairs with [Engine.reset]).
+    The installed [on_race] is kept. *)
+val reset : t -> unit
+
+val frame_enter : t -> frame:int -> kind:Frame_kind.t -> unit
+val frame_return : t -> frame:int -> spawned:bool -> unit
+val sync : t -> frame:int -> unit
+val steal : t -> frame:int -> region:int -> unit
+val reduce : t -> frame:int -> unit
+val read : t -> frame:int -> loc:int -> view_aware:bool -> unit
+val write : t -> frame:int -> loc:int -> view_aware:bool -> unit
+
+(** [read_span t ~frame ~base ~len ~stride ~view_aware] processes the
+    access run [base, base+stride, …] (length [len]) exactly as [len]
+    consecutive {!read}s — one tool dispatch, one tight loop, and (via
+    the memo) typically one reachability query for the whole span. *)
+val read_span :
+  t -> frame:int -> base:int -> len:int -> stride:int -> view_aware:bool -> unit
+
+val write_span :
+  t -> frame:int -> base:int -> len:int -> stride:int -> view_aware:bool -> unit

@@ -94,12 +94,14 @@ let raising_tool n =
     incr count;
     if !count >= n then raise Chaos_injected
   in
-  {
-    Tool.null with
-    Tool.on_frame_enter = (fun ~frame:_ ~parent:_ ~spawned:_ ~kind:_ -> tick ());
-    on_read = (fun ~frame:_ ~loc:_ ~view_aware:_ -> tick ());
-    on_write = (fun ~frame:_ ~loc:_ ~view_aware:_ -> tick ());
-  }
+  Tool.extern
+    {
+      Tool.hooks_null with
+      Tool.on_frame_enter =
+        (fun ~frame:_ ~parent:_ ~spawned:_ ~kind:_ -> tick ());
+      on_read = (fun ~frame:_ ~loc:_ ~view_aware:_ -> tick ());
+      on_write = (fun ~frame:_ ~loc:_ ~view_aware:_ -> tick ());
+    }
 
 (* Prefix [program] with two spawned updates of a reducer over [monoid]
    under the all-steals schedule, so the second update runs in a freshly
@@ -192,13 +194,14 @@ let run_perturbed p program =
           incr count;
           if !count = n then Vclock.advance vc 60.0
         in
-        {
-          Tool.null with
-          Tool.on_frame_enter =
-            (fun ~frame:_ ~parent:_ ~spawned:_ ~kind:_ -> tick ());
-          on_read = (fun ~frame:_ ~loc:_ ~view_aware:_ -> tick ());
-          on_write = (fun ~frame:_ ~loc:_ ~view_aware:_ -> tick ());
-        }
+        Tool.extern
+          {
+            Tool.hooks_null with
+            Tool.on_frame_enter =
+              (fun ~frame:_ ~parent:_ ~spawned:_ ~kind:_ -> tick ());
+            on_read = (fun ~frame:_ ~loc:_ ~view_aware:_ -> tick ());
+            on_write = (fun ~frame:_ ~loc:_ ~view_aware:_ -> tick ());
+          }
       in
       contained_run ~extra_tool:stall_tool ~deadline:(1.0e9 +. 30.0)
         ~clock:(Vclock.clock vc) ~spec:Steal_spec.none program

@@ -70,8 +70,9 @@ let mirror_run p spec =
     end
   in
   let tool =
+    Tool.extern
     {
-      Tool.null with
+      Tool.hooks_null with
       Tool.on_frame_enter =
         (fun ~frame ~parent:_ ~spawned:_ ~kind:_ ->
           Reach.Sp.on_frame_enter a ~frame;
@@ -82,14 +83,14 @@ let mirror_run p spec =
       on_frame_return =
         (fun ~frame ~parent:_ ~spawned ~kind ->
           let parallel = kind = Tool.Reduce_fn || spawned in
-          Reach.Sp.on_frame_return a ~frame ~parallel;
-          Reach.Sp.on_frame_return b ~frame ~parallel;
+          ignore (Reach.Sp.on_frame_return a ~frame ~parallel);
+          ignore (Reach.Sp.on_frame_return b ~frame ~parallel);
           decr depth;
           check "return");
       on_sync =
         (fun ~frame ->
-          Reach.Sp.on_sync a ~frame;
-          Reach.Sp.on_sync b ~frame;
+          ignore (Reach.Sp.on_sync a ~frame);
+          ignore (Reach.Sp.on_sync b ~frame);
           check "sync");
       on_steal =
         (fun ~frame ~region ->
@@ -98,8 +99,8 @@ let mirror_run p spec =
           check "steal");
       on_reduce =
         (fun ~frame ~into_region:_ ~from_region:_ ->
-          Reach.Sp.on_reduce a ~frame;
-          Reach.Sp.on_reduce b ~frame;
+          ignore (Reach.Sp.on_reduce a ~frame);
+          ignore (Reach.Sp.on_reduce b ~frame);
           check "reduce");
     }
   in

@@ -621,6 +621,93 @@ let test_spec_random_stable () =
   checkb "stateless decisions" true (a = b);
   checkb "mixed decisions" true (List.mem true a && List.mem false a)
 
+(* ---------- Tool.chain identity ---------- *)
+
+(* [Tool.chain] with [null] must return the other tool physically — no
+   [Both] wrapper node, no wrapper closures — so hot-path dispatch never
+   pays for an inert arm. *)
+let test_chain_null_physical_identity () =
+  let ext = Tool.extern Tool.hooks_null in
+  let sp = Tool.sp_plus (Sp_hot.create ()) in
+  let peer = Tool.peer_set (Peer_hot.create ()) in
+  List.iter
+    (fun t ->
+      checkb "chain t null == t" true (Tool.chain t Tool.null == t);
+      checkb "chain null t == t" true (Tool.chain Tool.null t == t))
+    [ ext; sp; peer; Tool.chain ext sp ];
+  checkb "chain null null == null" true
+    (Tool.chain Tool.null Tool.null == Tool.null);
+  (* the non-degenerate case still builds a real pair *)
+  (match Tool.chain ext sp with
+  | Tool.Both (a, b) -> checkb "both arms kept" true (a == ext && b == sp)
+  | _ -> Alcotest.fail "chain of two live tools must be Both")
+
+let recording_hooks push =
+  {
+    Tool.on_frame_enter =
+      (fun ~frame ~parent ~spawned ~kind ->
+        push
+          (Printf.sprintf "enter %d %d %b %s" frame parent spawned
+             (Tool.frame_kind_name kind)));
+    on_frame_return =
+      (fun ~frame ~parent ~spawned ~kind ->
+        push
+          (Printf.sprintf "return %d %d %b %s" frame parent spawned
+             (Tool.frame_kind_name kind)));
+    on_sync = (fun ~frame -> push (Printf.sprintf "sync %d" frame));
+    on_steal =
+      (fun ~frame ~region -> push (Printf.sprintf "steal %d %d" frame region));
+    on_reduce =
+      (fun ~frame ~into_region ~from_region ->
+        push (Printf.sprintf "reduce %d %d %d" frame into_region from_region));
+    on_read =
+      (fun ~frame ~loc ~view_aware ->
+        push (Printf.sprintf "read %d %d %b" frame loc view_aware));
+    on_write =
+      (fun ~frame ~loc ~view_aware ->
+        push (Printf.sprintf "write %d %d %b" frame loc view_aware));
+    on_reducer_read =
+      (fun ~frame ~reducer -> push (Printf.sprintf "rread %d %d" frame reducer));
+  }
+
+(* A small program exercising every event class: spawns, syncs, cell
+   accesses, reducer updates, and (under the spec below) steals with
+   eager reduces — so identity/reduce frames fire too. *)
+let chain_stream_prog ctx =
+  let eng = Engine.engine ctx in
+  let r = Rmonoid.new_int_add ctx ~init:0 in
+  let c = Cell.make eng ~label:"c" 0 in
+  Cilk.parallel_for ctx ~lo:0 ~hi:8 (fun ctx i ->
+      Rmonoid.add ctx r i;
+      Cell.write ctx c (Cell.read ctx c + 1));
+  Cilk.sync ctx;
+  Rmonoid.int_cell_value ctx r + Cell.read ctx c
+
+let chain_event_stream mk_tool =
+  let log = ref [] in
+  let push s = log := s :: !log in
+  let tool = mk_tool (Tool.extern (recording_hooks push)) in
+  let spec =
+    Steal_spec.at_local_indices ~policy:Steal_spec.Reduce_eagerly [ 1 ]
+  in
+  let eng = Engine.create ~tool ~spec () in
+  let v = Engine.run eng chain_stream_prog in
+  (v, List.rev !log)
+
+(* Chaining with [null] must not change what an observer sees: the event
+   stream through [chain recorder null] (either side) is the same list of
+   events, in the same order, as through the bare recorder. *)
+let test_chain_null_event_stream () =
+  let v0, base = chain_event_stream (fun t -> t) in
+  checkb "stream covers steals" true
+    (List.exists (fun s -> String.length s >= 5 && String.sub s 0 5 = "steal") base);
+  let v1, right = chain_event_stream (fun t -> Tool.chain t Tool.null) in
+  let v2, left = chain_event_stream (fun t -> Tool.chain Tool.null t) in
+  check "value (right)" v0 v1;
+  check "value (left)" v0 v2;
+  Alcotest.(check (list string)) "chain recorder null stream" base right;
+  Alcotest.(check (list string)) "chain null recorder stream" base left
+
 let () =
   Alcotest.run "runtime"
     [
@@ -700,5 +787,12 @@ let () =
         [
           Alcotest.test_case "merge clamping" `Quick test_spec_merge_clamping;
           Alcotest.test_case "random stable" `Quick test_spec_random_stable;
+        ] );
+      ( "tool",
+        [
+          Alcotest.test_case "chain-null physical identity" `Quick
+            test_chain_null_physical_identity;
+          Alcotest.test_case "chain-null event stream" `Quick
+            test_chain_null_event_stream;
         ] );
     ]
